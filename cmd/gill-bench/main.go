@@ -1,0 +1,62 @@
+// Command gill-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gill-bench -list
+//	gill-bench -exp table2
+//	gill-bench -exp fig4 -full
+//	gill-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id to run (see -list)")
+		all  = flag.Bool("all", false, "run every experiment")
+		full = flag.Bool("full", false, "run at paper scale instead of quick scale")
+		list = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	switch {
+	case *list:
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Description)
+		}
+	case *all:
+		for _, r := range experiments.Registry() {
+			runOne(r, scale)
+		}
+	case *exp != "":
+		r, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gill-bench: unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		runOne(r, scale)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(r experiments.Runner, scale experiments.Scale) {
+	fmt.Printf("== %s: %s\n", r.ID, r.Description)
+	start := time.Now()
+	res := r.Run(scale)
+	fmt.Println(res)
+	fmt.Printf("-- %s done in %v\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+}

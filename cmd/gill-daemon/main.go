@@ -1,0 +1,175 @@
+// Command gill-daemon runs one GILL collection daemon: it accepts BGP
+// peering sessions, applies a filter set, and archives retained updates in
+// (optionally gzip-compressed) MRT.
+//
+// Usage:
+//
+//	gill-daemon -listen :1790 -as 65000 -router-id 192.0.2.1 \
+//	    -filters filters.txt -out updates.mrt.gz -stats 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"compress/gzip"
+
+	"repro/internal/archive"
+	"repro/internal/daemon"
+	"repro/internal/filter"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":1790", "address to accept BGP sessions on")
+		localAS  = flag.Uint("as", 65000, "collector AS number")
+		routerID = flag.String("router-id", "192.0.2.1", "collector BGP identifier (IPv4)")
+		filters  = flag.String("filters", "", "filter file produced by the orchestrator (empty: collect everything)")
+		out      = flag.String("out", "", "MRT output file (.gz for compression; empty: discard)")
+		archDir  = flag.String("archive", "", "rotating MRT archive directory (the §9 database; overrides -out)")
+		ribEvery = flag.Duration("rib-every", daemon.RIBDumpInterval, "RIB dump interval")
+		ribOut   = flag.String("rib-out", "", "RIB dump file prefix (empty: no dumps)")
+		stats    = flag.Duration("stats", 30*time.Second, "stats reporting interval")
+	)
+	flag.Parse()
+
+	rid, err := netip.ParseAddr(*routerID)
+	if err != nil {
+		log.Fatalf("gill-daemon: bad -router-id: %v", err)
+	}
+
+	var fs *filter.Set
+	if *filters != "" {
+		f, err := os.Open(*filters)
+		if err != nil {
+			log.Fatalf("gill-daemon: %v", err)
+		}
+		fs, err = filter.Unmarshal(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("gill-daemon: parsing filters: %v", err)
+		}
+		log.Printf("loaded %d drop rules, %d anchors", fs.NumDrops(), len(fs.Anchors()))
+	}
+
+	var w io.Writer
+	var closer io.Closer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("gill-daemon: %v", err)
+		}
+		if strings.HasSuffix(*out, ".gz") {
+			gz := gzip.NewWriter(f)
+			w = gz
+			closer = multiCloser{gz, f}
+		} else {
+			w, closer = f, f
+		}
+	}
+
+	cfgD := daemon.Config{
+		LocalAS:  uint32(*localAS),
+		RouterID: rid,
+		Filters:  fs,
+		Out:      w,
+	}
+	var store *archive.Store
+	if *archDir != "" {
+		store, err = archive.Open(*archDir, archive.DefaultRotation)
+		if err != nil {
+			log.Fatalf("gill-daemon: %v", err)
+		}
+		cfgD.RecordSink = store.Append
+	}
+	d := daemon.New(cfgD)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("gill-daemon: %v", err)
+	}
+	log.Printf("gill-daemon AS%d listening on %s", *localAS, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *stats > 0 {
+		go func() {
+			t := time.NewTicker(*stats)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					s := d.Stats()
+					log.Printf("received=%d filtered=%d written=%d lost=%d",
+						s.Received, s.Filtered, s.Written, s.Lost)
+				}
+			}
+		}()
+	}
+	if (*ribOut != "" || store != nil) && *ribEvery > 0 {
+		go func() {
+			t := time.NewTicker(*ribEvery)
+			defer t.Stop()
+			n := 0
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if store != nil {
+						if err := store.WriteRIB(time.Now(), d.DumpRIB); err != nil {
+							log.Printf("rib dump: %v", err)
+						}
+						continue
+					}
+					name := fmt.Sprintf("%s.%d.mrt", *ribOut, n)
+					f, err := os.Create(name)
+					if err != nil {
+						log.Printf("rib dump: %v", err)
+						continue
+					}
+					if err := d.DumpRIB(f); err != nil {
+						log.Printf("rib dump: %v", err)
+					}
+					f.Close()
+					n++
+				}
+			}
+		}()
+	}
+
+	err = d.Serve(ctx, ln)
+	d.Close()
+	if store != nil {
+		store.Close()
+	}
+	if closer != nil {
+		closer.Close()
+	}
+	s := d.Stats()
+	log.Printf("final: received=%d filtered=%d written=%d lost=%d (%v)",
+		s.Received, s.Filtered, s.Written, s.Lost, err)
+}
+
+// multiCloser closes the compressor before the file beneath it.
+type multiCloser struct{ a, b io.Closer }
+
+func (m multiCloser) Close() error {
+	if err := m.a.Close(); err != nil {
+		m.b.Close()
+		return err
+	}
+	return m.b.Close()
+}

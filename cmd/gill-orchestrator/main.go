@@ -1,0 +1,206 @@
+// Command gill-orchestrator runs GILL's control plane interactively: it
+// manages peering requests with two-step verification, tracks the
+// component refresh schedule, and can train the sampling pipeline on an
+// MRT stream to produce a filter file for gill-daemon.
+//
+// Commands on stdin:
+//
+//	submit <asn> <email> <router-ip>   file a peering request
+//	confirm <asn> <email>              complete email verification
+//	peers                              list active sessions
+//	status                             refresh schedule state
+//	train <stream.mrt[.gz]> <out.filters>  run components #1+#2, write filters
+//	quit
+package main
+
+import (
+	"bufio"
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mrt"
+	"repro/internal/orchestrator"
+	"repro/internal/update"
+)
+
+func main() {
+	var registryFile = flag.String("registry", "", "ownership registry file with 'email asn' lines (empty: accept everyone)")
+	flag.Parse()
+
+	verifier := loadRegistry(*registryFile)
+	o := orchestrator.New(verifier, nil)
+	fmt.Println("gill-orchestrator ready; commands: submit/confirm/peers/status/train/quit")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "submit":
+			if len(fields) != 4 {
+				fmt.Println("usage: submit <asn> <email> <router-ip>")
+				continue
+			}
+			asn, err1 := strconv.ParseUint(fields[1], 10, 32)
+			ip, err2 := netip.ParseAddr(fields[3])
+			if err1 != nil || err2 != nil {
+				fmt.Println("bad asn or ip")
+				continue
+			}
+			err := o.SubmitPeering(orchestrator.PeeringRequest{
+				ASN: uint32(asn), Email: fields[2], RouterIP: ip,
+			})
+			report(err, "request filed; confirm by email to activate")
+		case "confirm":
+			if len(fields) != 3 {
+				fmt.Println("usage: confirm <asn> <email>")
+				continue
+			}
+			asn, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				fmt.Println("bad asn")
+				continue
+			}
+			p, err := o.ConfirmEmail(uint32(asn), fields[2])
+			if err != nil {
+				report(err, "")
+				continue
+			}
+			fmt.Printf("AS%d activated (router %s)\n", p.ASN, p.RouterIP)
+		case "peers":
+			for _, p := range o.Peers() {
+				fmt.Printf("AS%-8d %s since %s\n", p.ASN, p.RouterIP, p.AddedAt.Format("2006-01-02 15:04"))
+			}
+		case "status":
+			c1, c2 := o.Due()
+			fmt.Printf("component #1 (redundant updates, every %v): due=%v\n", orchestrator.Component1Period, c1)
+			fmt.Printf("component #2 (anchor VPs, every %v): due=%v\n", orchestrator.Component2Period, c2)
+		case "train":
+			if len(fields) != 3 {
+				fmt.Println("usage: train <stream.mrt[.gz]> <out.filters>")
+				continue
+			}
+			if err := trainFromMRT(o, fields[1], fields[2]); err != nil {
+				fmt.Println("train:", err)
+			}
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("unknown command")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func report(err error, okMsg string) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(okMsg)
+}
+
+func loadRegistry(path string) orchestrator.OwnershipVerifier {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("gill-orchestrator: %v", err)
+	}
+	owned := make(map[string]uint32)
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		asn, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			continue
+		}
+		owned[fields[0]] = uint32(asn)
+	}
+	return orchestrator.VerifierFunc(func(email string, asn uint32) bool {
+		return owned[email] == asn
+	})
+}
+
+// trainFromMRT replays an MRT stream through the sampling pipeline and
+// writes the resulting filter file.
+func trainFromMRT(o *orchestrator.Orchestrator, inPath, outPath string) error {
+	f, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(inPath, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return err
+		}
+		defer gz.Close()
+		r = gz
+	}
+	mr := mrt.NewReader(r)
+	var us []*update.Update
+	for {
+		rec, err := mr.ReadRecord()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		us = append(us, rec.CanonicalUpdates()...)
+	}
+	update.Annotate(us)
+	// MRT update streams carry no table dumps; bootstrap each VP's
+	// baseline RIB from the first path it announces per prefix, so event
+	// detection (component #2) has a reference state.
+	baseline := make(map[string]map[netip.Prefix][]uint32)
+	for _, u := range us {
+		if u.Withdraw || len(u.Path) == 0 {
+			continue
+		}
+		m := baseline[u.VP]
+		if m == nil {
+			m = make(map[netip.Prefix][]uint32)
+			baseline[u.VP] = m
+		}
+		if _, seen := m[u.Prefix]; !seen {
+			m[u.Prefix] = u.Path
+		}
+	}
+	m := core.Train(core.TrainingData{
+		Updates:  us,
+		Baseline: baseline,
+		TotalVPs: len(baseline),
+	}, core.DefaultConfig(), rand.New(rand.NewSource(1)))
+	o.LoadFilters(m.Filters, 1)
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := m.Filters.Marshal(out); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d updates from %d VPs: %d drop rules, %d anchors → %s\n",
+		len(us), len(baseline), m.Filters.NumDrops(), len(m.Filters.Anchors()), outPath)
+	return nil
+}

@@ -1,0 +1,89 @@
+// Command gill-query reads a GILL archive directory (the §9 database of
+// rotating MRT files) and prints the updates in a time range.
+//
+// Usage:
+//
+//	gill-query -dir ./archive -from 2023-09-01T00:00:00Z -to 2023-09-01T06:00:00Z
+//	gill-query -dir ./archive -list            # inventory of archive files
+//	gill-query -dir ./archive -from ... -to ... -vp vp65001 -count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/archive"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", "", "archive directory")
+		from  = flag.String("from", "", "range start (RFC 3339)")
+		to    = flag.String("to", "", "range end (RFC 3339)")
+		vp    = flag.String("vp", "", "restrict to one vantage point")
+		list  = flag.Bool("list", false, "list archive files instead of querying")
+		count = flag.Bool("count", false, "print only the number of matching updates")
+	)
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("gill-query: -dir is required")
+	}
+	store, err := archive.Open(*dir, archive.DefaultRotation)
+	if err != nil {
+		log.Fatalf("gill-query: %v", err)
+	}
+	defer store.Close()
+
+	if *list {
+		files, err := store.Files()
+		if err != nil {
+			log.Fatalf("gill-query: %v", err)
+		}
+		for _, f := range files {
+			fmt.Printf("%s  window %s  %d bytes\n", f.Name, f.Start.Format(time.RFC3339), f.Size)
+		}
+		ribs, _ := store.RIBs()
+		for _, r := range ribs {
+			fmt.Println(r)
+		}
+		return
+	}
+
+	start, err := time.Parse(time.RFC3339, *from)
+	if err != nil {
+		log.Fatalf("gill-query: bad -from: %v", err)
+	}
+	end, err := time.Parse(time.RFC3339, *to)
+	if err != nil {
+		log.Fatalf("gill-query: bad -to: %v", err)
+	}
+	us, err := store.Query(start, end)
+	if err != nil {
+		log.Fatalf("gill-query: %v", err)
+	}
+	n := 0
+	for _, u := range us {
+		if *vp != "" && u.VP != *vp {
+			continue
+		}
+		n++
+		if *count {
+			continue
+		}
+		if u.Withdraw {
+			fmt.Printf("%s %-10s WITHDRAW %s\n", u.Time.Format(time.RFC3339), u.VP, u.Prefix)
+			continue
+		}
+		path := make([]string, len(u.Path))
+		for i, as := range u.Path {
+			path[i] = fmt.Sprint(as)
+		}
+		fmt.Printf("%s %-10s %s via %s\n", u.Time.Format(time.RFC3339), u.VP, u.Prefix, strings.Join(path, " "))
+	}
+	if *count {
+		fmt.Println(n)
+	}
+}

@@ -1,0 +1,130 @@
+// Command gill-sim runs mini-Internet simulations: it generates an AS
+// topology with the paper's statistical parameters, deploys vantage
+// points, replays a routing-event schedule, and writes the collected
+// update stream (optionally as MRT) together with summary statistics.
+//
+// Usage:
+//
+//	gill-sim -ases 1000 -vps 100 -failures 60 -hijacks 30 -out stream.mrt.gz
+//	gill-sim -ases 300 -vps 20 -train   # also trains GILL and reports fractions
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/netip"
+	"os"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mrt"
+	"repro/internal/simulate"
+	"repro/internal/topology"
+	"repro/internal/update"
+)
+
+func main() {
+	var (
+		ases     = flag.Int("ases", 300, "topology size")
+		vps      = flag.Int("vps", 20, "ASes hosting a vantage point")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		failures = flag.Int("failures", 12, "link fail/restore pairs")
+		hijacks  = flag.Int("hijacks", 6, "Type-1 forged-origin hijacks")
+		hijacks2 = flag.Int("hijacks2", 3, "Type-2 forged-origin hijacks")
+		origins  = flag.Int("origin-changes", 6, "origin-change events")
+		out      = flag.String("out", "", "write the stream as MRT (.gz supported)")
+		train    = flag.Bool("train", false, "train GILL on the stream and report")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultScenario(*seed)
+	cfg.ASes = *ases
+	cfg.VPs = *vps
+	cfg.Failures = *failures
+	cfg.Hijacks = *hijacks
+	cfg.Hijacks2 = *hijacks2
+	cfg.OriginChanges = *origins
+
+	sc := experiments.BuildScenario(cfg)
+	fmt.Printf("topology: %d ASes, %d links (avg degree %.1f), %d prefixes\n",
+		len(sc.Topo.ASes()), len(sc.Topo.Links), sc.Topo.AvgDegree(), len(sc.Topo.AllPrefixes()))
+	fmt.Printf("deployment: %d VPs; stream: %d updates over %v\n",
+		len(sc.VPs), len(sc.Updates), sc.End.Sub(experiments.T0))
+	fmt.Printf("ground truth: %d failures, %d hijacks\n", len(sc.Failures), len(sc.Hijacks))
+	for i, def := range []update.Definition{update.Def1, update.Def2, update.Def3} {
+		fmt.Printf("redundant updates (Def. %d): %.1f%%\n", i+1,
+			100*update.RedundantFraction(def, sc.Updates))
+	}
+
+	if *out != "" {
+		if err := writeMRT(*out, sc); err != nil {
+			log.Fatalf("gill-sim: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *train {
+		m := core.Train(core.TrainingData{
+			Updates:    sc.Updates,
+			Baseline:   sc.Baseline,
+			Categories: topology.Categorize(sc.Topo),
+			TotalVPs:   len(sc.VPs),
+		}, core.DefaultConfig(), rand.New(rand.NewSource(*seed)))
+		fmt.Printf("GILL: retained %.1f%% of updates, %d/%d anchor VPs, %d drop rules\n",
+			100*m.RetainedFraction(sc.Updates), len(m.Anchors), len(sc.VPs), m.Filters.NumDrops())
+	}
+}
+
+// writeMRT archives the scenario stream as BGP4MP records.
+func writeMRT(path string, sc *experiments.Scenario) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer gz.Close()
+		w = gz
+	}
+	mw := mrt.NewWriter(w)
+	for _, u := range sc.Updates {
+		msg := &bgp.Update{}
+		if u.Withdraw {
+			msg.Withdrawn = []netip.Prefix{u.Prefix}
+		} else {
+			msg.Origin = bgp.OriginIGP
+			msg.ASPath = u.Path
+			msg.NextHop = netip.AddrFrom4([4]byte{10, 0, 0, 1})
+			msg.NLRI = []netip.Prefix{u.Prefix}
+			for _, c := range u.Comms {
+				msg.Communities = append(msg.Communities, bgp.Community(c))
+			}
+		}
+		rec := &mrt.Record{
+			Header: mrt.Header{
+				Timestamp: u.Time,
+				Type:      mrt.TypeBGP4MP,
+				Subtype:   mrt.SubtypeBGP4MPMessageAS4,
+			},
+			BGP4MP: &mrt.BGP4MPMessage{
+				PeerAS:  simulate.VPAS(u.VP),
+				LocalAS: 65000,
+				PeerIP:  netip.AddrFrom4([4]byte{10, 1, 0, 1}),
+				LocalIP: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+				Message: msg,
+			},
+		}
+		if err := mw.WriteRecord(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

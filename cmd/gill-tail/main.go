@@ -1,0 +1,72 @@
+// Command gill-tail follows a GILL live feed (the RIS-Live-style stream a
+// daemon publishes) and prints updates as they arrive.
+//
+// Usage:
+//
+//	gill-tail -addr collector.example:1791
+//	gill-tail -addr :1791 -prefix 203.0.113.0/24
+//	gill-tail -addr :1791 -vp vp65001 -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/live"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:1791", "live feed address")
+		prefix = flag.String("prefix", "", "subscribe to one prefix")
+		vp     = flag.String("vp", "", "subscribe to one vantage point")
+		asJSON = flag.Bool("json", false, "print raw JSON messages")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	c, err := live.Dial(ctx, *addr, live.Subscription{Prefix: *prefix, VP: *vp})
+	if err != nil {
+		log.Fatalf("gill-tail: %v", err)
+	}
+	defer c.Close()
+	go func() {
+		<-ctx.Done()
+		c.Close()
+	}()
+
+	enc := json.NewEncoder(os.Stdout)
+	for {
+		m, err := c.Next()
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			log.Fatalf("gill-tail: %v", err)
+		}
+		if *asJSON {
+			_ = enc.Encode(m)
+			continue
+		}
+		at := time.Unix(m.Timestamp, 0).UTC().Format("15:04:05")
+		if m.Withdraw {
+			fmt.Printf("%s %-10s WITHDRAW %s\n", at, m.VP, m.Prefix)
+			continue
+		}
+		path := make([]string, len(m.Path))
+		for i, as := range m.Path {
+			path[i] = fmt.Sprint(as)
+		}
+		fmt.Printf("%s %-10s %s via %s (%d communities)\n",
+			at, m.VP, m.Prefix, strings.Join(path, " "), len(m.Communities))
+	}
+}

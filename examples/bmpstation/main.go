@@ -1,0 +1,126 @@
+// BMP station: the §14 generalization of GILL to the BGP Monitoring
+// Protocol. A router exports its adj-RIB-in over BMP (RFC 7854); the
+// station pushes every route through the same GILL filters as a BGP
+// peering, archives what survives in the rotating MRT database, and
+// answers a time-range query from the archive.
+//
+//	go run ./examples/bmpstation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	gill "repro"
+	"repro/internal/bgp"
+	"repro/internal/bmp"
+	"repro/internal/filter"
+	"repro/internal/mrt"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "gill-archive-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := gill.OpenArchive(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// GILL filters: drop the monitored router's chattiest prefix.
+	noisy := netip.MustParsePrefix("203.0.113.0/24")
+	fs := filter.NewSet(filter.GranVPPrefix)
+	fs.AddDropVPPrefix("vp65001", noisy)
+
+	station := &gill.BMPStation{
+		Filters: fs,
+		Deliver: func(u *gill.Update) {
+			rec := &mrt.Record{
+				Header: mrt.Header{Timestamp: u.Time, Type: mrt.TypeBGP4MP, Subtype: mrt.SubtypeBGP4MPMessageAS4},
+				BGP4MP: &mrt.BGP4MPMessage{
+					PeerAS: 65001, LocalAS: 65000,
+					PeerIP:  netip.MustParseAddr("192.0.2.9"),
+					LocalIP: netip.MustParseAddr("192.0.2.1"),
+					Message: &bgp.Update{
+						Origin: bgp.OriginIGP, ASPath: u.Path,
+						NextHop: netip.MustParseAddr("192.0.2.9"),
+						NLRI:    []netip.Prefix{u.Prefix},
+					},
+				},
+			}
+			if err := store.Append(rec); err != nil {
+				log.Printf("archive: %v", err)
+			}
+		},
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() { _ = station.Serve(ctx, ln) }()
+	fmt.Printf("BMP station on %s, archive in %s\n", ln.Addr(), dir)
+
+	// The monitored router.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp, err := bmp.NewExporter(conn, "edge-router-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	peer := bmp.PerPeerHeader{
+		Address: netip.MustParseAddr("192.0.2.9"),
+		AS:      65001,
+		BGPID:   netip.MustParseAddr("192.0.2.9"),
+	}
+	_ = exp.Send(&bmp.Message{Type: bmp.TypePeerUp, Peer: peer})
+
+	t0 := time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+	prefixes := []string{"198.51.100.0/24", "203.0.113.0/24", "192.0.2.0/24"}
+	for i := 0; i < 9; i++ {
+		peer.Timestamp = t0.Add(time.Duration(i) * 10 * time.Minute)
+		msg := &bmp.Message{
+			Type: bmp.TypeRouteMonitoring,
+			Peer: peer,
+			Update: &bgp.Update{
+				Origin: bgp.OriginIGP, ASPath: []uint32{65001, uint32(2 + i%3), 9},
+				NextHop: netip.MustParseAddr("192.0.2.9"),
+				NLRI:    []netip.Prefix{netip.MustParsePrefix(prefixes[i%3])},
+			},
+		}
+		if err := exp.Send(msg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	exp.Close()
+
+	for station.Stats().Received < 9 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := station.Stats()
+	fmt.Printf("station: received=%d filtered=%d (the noisy prefix)\n", st.Received, st.Filtered)
+
+	// Query the archive for the first half hour.
+	got, err := store.Query(t0, t0.Add(30*time.Minute))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archive query [%s, +30m): %d updates\n", t0.Format("15:04"), len(got))
+	for _, u := range got {
+		fmt.Printf("  %s %s via %v\n", u.Time.Format("15:04"), u.Prefix, u.Path)
+	}
+	files, _ := store.Files()
+	fmt.Printf("archive files: %d\n", len(files))
+	store.Close()
+}

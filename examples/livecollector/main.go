@@ -1,0 +1,129 @@
+// Livecollector: a complete collection deployment over real TCP — an
+// orchestrator approves a peering request, a daemon accepts the BGP
+// session and applies GILL filters, a synthetic router sends a calibrated
+// update stream, and the resulting MRT archive is read back and verified.
+//
+//	go run ./examples/livecollector
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/netip"
+	"time"
+
+	gill "repro"
+	"repro/internal/bgp"
+	"repro/internal/filter"
+	"repro/internal/mrt"
+	"repro/internal/orchestrator"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. The orchestrator vets the new peer (§9's two-step verification).
+	registry := orchestrator.VerifierFunc(func(email string, asn uint32) bool {
+		return email == "noc@example.net" && asn == 65001
+	})
+	orch := gill.NewOrchestrator(registry)
+	if err := orch.SubmitPeering(orchestrator.PeeringRequest{
+		ASN: 65001, Email: "noc@example.net",
+		RouterIP: netip.MustParseAddr("127.0.0.1"),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	peer, err := orch.ConfirmEmail(65001, "noc@example.net")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("peering approved: AS%d from %s\n", peer.ASN, peer.RouterIP)
+
+	// 2. Filters: drop this peer's two noisiest prefixes; everything else
+	// follows the accept-everything default.
+	fs := filter.NewSet(filter.GranVPPrefix)
+	noisy := []netip.Prefix{
+		netip.MustParsePrefix("32.0.0.0/24"),
+		netip.MustParsePrefix("32.0.1.0/24"),
+	}
+	for _, p := range noisy {
+		fs.AddDropVPPrefix("vp65001", p)
+	}
+	orch.LoadFilters(fs, 1)
+
+	// 3. The daemon accepts the session and archives retained updates.
+	var archive bytes.Buffer
+	d := gill.NewDaemon(gill.DaemonConfig{
+		LocalAS:  65000,
+		RouterID: netip.MustParseAddr("192.0.2.1"),
+		Filters:  orch.Filters(),
+		Out:      &archive,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = d.ServeConn(ctx, conn)
+	}()
+
+	// 4. The "router": a real BGP speaker sending a calibrated stream.
+	sess, err := bgp.Dial(ctx, ln.Addr().String(), bgp.SpeakerConfig{
+		LocalAS:  65001,
+		RouterID: netip.MustParseAddr("192.0.2.9"),
+		HoldTime: 90,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 1000
+	for _, tu := range workload.Stream(workload.StreamConfig{
+		PeerAS: 65001, Seed: 3, Prefixes: 40,
+	}, n) {
+		if err := sess.Send(tu.Update); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Let the daemon drain, then close.
+	for d.Stats().Received < n {
+		time.Sleep(10 * time.Millisecond)
+	}
+	sess.Close()
+	d.Close()
+
+	s := d.Stats()
+	fmt.Printf("daemon: received=%d filtered=%d written=%d lost=%d\n",
+		s.Received, s.Filtered, s.Written, s.Lost)
+
+	// 5. Read the MRT archive back.
+	r := mrt.NewReader(bytes.NewReader(archive.Bytes()))
+	records, dropped := 0, 0
+	for {
+		rec, err := r.ReadRecord()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatalf("corrupt archive: %v", err)
+		}
+		records++
+		for _, u := range rec.CanonicalUpdates() {
+			for _, p := range noisy {
+				if u.Prefix == p && !u.Withdraw {
+					dropped++
+				}
+			}
+		}
+	}
+	fmt.Printf("archive: %d MRT records; filtered prefixes appearing: %d (want 0)\n",
+		records, dropped)
+}

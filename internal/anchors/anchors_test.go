@@ -1,0 +1,231 @@
+package anchors
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/update"
+)
+
+var t0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func pfx(i int) netip.Prefix { return topology.PrefixFromIndex(i) }
+
+func mkUpd(vp string, at time.Duration, p netip.Prefix, path ...uint32) *update.Update {
+	return &update.Update{VP: vp, Time: t0.Add(at), Prefix: p, Path: path}
+}
+
+func TestDetectEvents(t *testing.T) {
+	baseline := map[string]map[netip.Prefix][]uint32{
+		"vpA": {pfx(0): {10, 20, 30}},
+		"vpB": {pfx(0): {11, 20, 30}},
+		"vpC": {pfx(0): {12, 30}},
+	}
+	us := []*update.Update{
+		// vpA switches: link 20-30 vanishes, 20-40, 40-30 appear; origin
+		// stays 30.
+		mkUpd("vpA", time.Minute, pfx(0), 10, 20, 40, 30),
+		// vpB sees an origin change 30 → 99 (and its old links vanish).
+		mkUpd("vpB", 2*time.Minute, pfx(0), 11, 20, 99),
+	}
+	evs := DetectEvents(baseline, us, 10, DefaultBand())
+	var kinds = map[EventType]int{}
+	var sawOrigin, sawOutage, sawNew bool
+	for _, e := range evs {
+		kinds[e.Type]++
+		if e.Type == OriginChange && e.AS1 == 30 && e.AS2 == 99 {
+			sawOrigin = true
+			if len(e.SeenBy) != 1 || e.SeenBy[0] != "vpB" {
+				t.Errorf("origin change seen by %v, want [vpB]", e.SeenBy)
+			}
+		}
+		if e.Type == Outage && e.AS1 == 20 && e.AS2 == 30 {
+			sawOutage = true
+		}
+		if e.Type == NewLink && e.AS1 == 20 && e.AS2 == 40 {
+			sawNew = true
+		}
+	}
+	if !sawOrigin || !sawOutage || !sawNew {
+		t.Errorf("missing events: origin=%v outage=%v new=%v (%v)", sawOrigin, sawOutage, sawNew, evs)
+	}
+}
+
+func TestDetectEventsGlobalFiltered(t *testing.T) {
+	// All 2 of 2 VPs see the event: ≥50% → filtered out.
+	baseline := map[string]map[netip.Prefix][]uint32{
+		"vpA": {pfx(0): {10, 30}},
+		"vpB": {pfx(0): {11, 30}},
+	}
+	us := []*update.Update{
+		mkUpd("vpA", time.Minute, pfx(0), 10, 40, 30),
+		mkUpd("vpB", time.Minute, pfx(0), 11, 40, 30),
+	}
+	evs := DetectEvents(baseline, us, 2, DefaultBand())
+	for _, e := range evs {
+		if len(e.SeenBy) >= 1 && float64(len(e.SeenBy)) >= 0.5*2 {
+			t.Errorf("global event not filtered: %+v", e)
+		}
+	}
+}
+
+func TestBalancedSelect(t *testing.T) {
+	topo := topology.Generate(topology.DefaultGenConfig(400), rand.New(rand.NewSource(1)))
+	cats := topology.Categorize(topo)
+	ases := topo.ASes()
+	r := rand.New(rand.NewSource(2))
+	var events []Event
+	for i := 0; i < 3000; i++ {
+		events = append(events, Event{
+			Type:  EventType(r.Intn(NumEventTypes)),
+			AS1:   ases[r.Intn(len(ases))],
+			AS2:   ases[r.Intn(len(ases))],
+			Start: t0.Add(time.Duration(i) * time.Minute),
+			End:   t0.Add(time.Duration(i)*time.Minute + 30*time.Second),
+		})
+	}
+	sel := BalancedSelect(events, cats, 5, r)
+	// No cell may exceed perCell.
+	cells := make(map[CategoryPair]map[EventType]int)
+	for _, e := range sel {
+		p := PairOf(cats[e.AS1], cats[e.AS2])
+		if cells[p] == nil {
+			cells[p] = make(map[EventType]int)
+		}
+		cells[p][e.Type]++
+		if cells[p][e.Type] > 5 {
+			t.Fatalf("cell %v/%v overfull", p, e.Type)
+		}
+	}
+	if len(sel) == 0 {
+		t.Fatal("empty selection")
+	}
+	// Balanced selection must be flatter than random: compare the spread
+	// of the Fig. 12 matrices.
+	mBal := SelectionMatrix(sel, cats)
+	mRnd := SelectionMatrix(events[:len(sel)], cats)
+	if spread(mBal) > spread(mRnd) {
+		t.Errorf("balanced spread %.3f > random spread %.3f", spread(mBal), spread(mRnd))
+	}
+}
+
+func spread(m [topology.NumCategories][topology.NumCategories]float64) float64 {
+	lo, hi := 1.0, 0.0
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] < lo {
+				lo = m[i][j]
+			}
+			if m[i][j] > hi {
+				hi = m[i][j]
+			}
+		}
+	}
+	return hi - lo
+}
+
+// replayScenario: vpA and vpB see identical views; vpC sees a different
+// one. The redundancy score R(A,B) must exceed R(A,C) and R(B,C).
+func replayScenario(t *testing.T) *ScoreMatrix {
+	t.Helper()
+	baseline := map[string]map[netip.Prefix][]uint32{
+		"vpA": {pfx(0): {1, 2, 3}, pfx(1): {1, 2, 4}},
+		"vpB": {pfx(0): {1, 2, 3}, pfx(1): {1, 2, 4}},
+		"vpC": {pfx(0): {9, 3}, pfx(1): {9, 8, 4}},
+	}
+	events := []Event{
+		{Type: Outage, AS1: 2, AS2: 3, Start: t0.Add(time.Minute), End: t0.Add(3 * time.Minute)},
+		{Type: NewLink, AS1: 2, AS2: 5, Start: t0.Add(10 * time.Minute), End: t0.Add(12 * time.Minute)},
+	}
+	us := []*update.Update{
+		// Event 1: vpA and vpB lose link 2-3 identically; vpC unaffected.
+		mkUpd("vpA", 2*time.Minute, pfx(0), 1, 2, 5, 3),
+		mkUpd("vpB", 2*time.Minute, pfx(0), 1, 2, 5, 3),
+		// Event 2: again A and B move identically, C barely changes.
+		mkUpd("vpA", 11*time.Minute, pfx(1), 1, 2, 5, 4),
+		mkUpd("vpB", 11*time.Minute, pfx(1), 1, 2, 5, 4),
+		mkUpd("vpC", 11*time.Minute, pfx(1), 9, 4),
+	}
+	rep := NewReplayer(baseline, us)
+	vecs := rep.EventVectors(events)
+	return Scores(rep.VPs(), vecs)
+}
+
+func TestScoresIdenticalViewsMostRedundant(t *testing.T) {
+	s := replayScenario(t)
+	rAB := s.Score("vpA", "vpB")
+	rAC := s.Score("vpA", "vpC")
+	if rAB <= rAC {
+		t.Errorf("R(A,B)=%v should exceed R(A,C)=%v", rAB, rAC)
+	}
+	if rAB != 1.0 {
+		t.Errorf("identical views should min-max to score 1, got %v", rAB)
+	}
+	// Symmetry and diagonal.
+	if s.Score("vpA", "vpB") != s.Score("vpB", "vpA") {
+		t.Error("score matrix not symmetric")
+	}
+	if s.Score("vpA", "vpA") != 1 {
+		t.Error("self-score must be 1")
+	}
+	for i := range s.R {
+		for j := range s.R[i] {
+			if s.R[i][j] < 0 || s.R[i][j] > 1 {
+				t.Fatalf("score out of [0,1]: %v", s.R[i][j])
+			}
+		}
+	}
+}
+
+func TestSelectAnchorsPrefersUniqueViews(t *testing.T) {
+	s := replayScenario(t)
+	volume := map[string]int{"vpA": 100, "vpB": 80, "vpC": 50}
+	anchors := SelectAnchors(s, volume, DefaultSelectConfig())
+	// The seed is one of the redundant pair; vpC (unique view) must then be
+	// admitted; the remaining twin is fully redundant → excluded.
+	if len(anchors) != 2 {
+		t.Fatalf("anchors = %v, want 2", anchors)
+	}
+	hasC := false
+	for _, a := range anchors {
+		if a == "vpC" {
+			hasC = true
+		}
+	}
+	if !hasC {
+		t.Errorf("anchors = %v must include the unique vpC", anchors)
+	}
+	// Volume tiebreak: between identical twins the lighter vpB wins.
+	for _, a := range anchors {
+		if a == "vpA" {
+			t.Errorf("anchors = %v: vpB (lower volume) should beat its twin vpA", anchors)
+		}
+	}
+}
+
+func TestSelectAnchorsMaxCap(t *testing.T) {
+	s := replayScenario(t)
+	cfg := DefaultSelectConfig()
+	cfg.MaxAnchors = 1
+	anchors := SelectAnchors(s, map[string]int{}, cfg)
+	if len(anchors) != 1 {
+		t.Fatalf("anchors = %v, want 1 with cap", anchors)
+	}
+}
+
+func TestSelectAnchorsEmpty(t *testing.T) {
+	if got := SelectAnchors(&ScoreMatrix{}, nil, DefaultSelectConfig()); got != nil {
+		t.Errorf("empty matrix anchors = %v", got)
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	for et := NewLink; et <= OriginChange; et++ {
+		if et.String() == "unknown" {
+			t.Errorf("EventType %d unnamed", et)
+		}
+	}
+}

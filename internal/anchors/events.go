@@ -1,0 +1,273 @@
+// Package anchors implements Component #2 of GILL's sampling (§6, §18):
+// selecting the anchor VPs from which all updates are retained. It detects
+// candidate BGP events from collected data, stratifies them across AS
+// categories to avoid bias, quantifies how each VP experienced each event
+// with the 15 topological features of Table 6, scores pairwise VP
+// redundancy, and greedily selects a minimal anchor set balancing
+// uniqueness against data volume.
+package anchors
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/update"
+)
+
+// EventType classifies the non-global BGP events GILL uses to gauge VP
+// redundancy (§18.1).
+type EventType int
+
+// Event types.
+const (
+	NewLink EventType = iota
+	Outage
+	OriginChange
+)
+
+// NumEventTypes is the number of event types used for stratification.
+const NumEventTypes = 3
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case NewLink:
+		return "new-link"
+	case Outage:
+		return "outage"
+	case OriginChange:
+		return "origin-change"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one candidate BGP event. AS1 and AS2 are the two involved ASes
+// (link endpoints, or old and new origin), Start/End bound the event, and
+// SeenBy lists the VPs that observed it.
+type Event struct {
+	Type       EventType
+	AS1, AS2   uint32
+	Start, End time.Time
+	SeenBy     []string
+}
+
+// VisibilityBand is the §18.1 candidate filter: an event qualifies if seen
+// by at least one VP and by fewer than MaxFraction of all VPs (global
+// events do not discriminate between VPs).
+type VisibilityBand struct {
+	MaxFraction float64
+}
+
+// DefaultBand returns the paper's <50% visibility band.
+func DefaultBand() VisibilityBand { return VisibilityBand{MaxFraction: 0.5} }
+
+// DetectEvents scans an update stream (with per-VP baseline RIBs) for
+// new-link, outage, and origin-change events, applying the visibility
+// band. totalVPs is the number of VPs feeding the platform (the band's
+// denominator).
+func DetectEvents(baseline map[string]map[netip.Prefix][]uint32, us []*update.Update, totalVPs int, band VisibilityBand) []Event {
+	type obs struct {
+		start, end time.Time
+		seen       map[string]bool
+	}
+	// key: type|as1|as2
+	found := make(map[string]*obs)
+	type evKey struct {
+		t        EventType
+		as1, as2 uint32
+	}
+	keys := make(map[string]evKey)
+	note := func(t EventType, a, b uint32, vp string, at time.Time) {
+		if t != OriginChange && a > b {
+			a, b = b, a
+		}
+		k := fmt.Sprintf("%d|%d|%d", t, a, b)
+		o := found[k]
+		if o == nil {
+			o = &obs{start: at, end: at, seen: make(map[string]bool)}
+			found[k] = o
+			keys[k] = evKey{t, a, b}
+		}
+		if at.Before(o.start) {
+			o.start = at
+		}
+		if at.After(o.end) {
+			o.end = at
+		}
+		o.seen[vp] = true
+	}
+
+	// Per-VP view replay.
+	links := make(map[string]map[update.Link]int) // link -> refcount per VP
+	origins := make(map[string]map[netip.Prefix]uint32)
+	paths := make(map[string]map[netip.Prefix][]uint32)
+	for vp, rib := range baseline {
+		links[vp] = make(map[update.Link]int)
+		origins[vp] = make(map[netip.Prefix]uint32)
+		paths[vp] = make(map[netip.Prefix][]uint32)
+		for p, path := range rib {
+			paths[vp][p] = path
+			for _, l := range update.PathLinks(path) {
+				links[vp][l]++
+			}
+			if len(path) > 0 {
+				origins[vp][p] = path[len(path)-1]
+			}
+		}
+	}
+	sorted := append([]*update.Update(nil), us...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+	for _, u := range sorted {
+		vp := u.VP
+		if links[vp] == nil {
+			links[vp] = make(map[update.Link]int)
+			origins[vp] = make(map[netip.Prefix]uint32)
+			paths[vp] = make(map[netip.Prefix][]uint32)
+		}
+		old := paths[vp][u.Prefix]
+		// Retire the old path's links.
+		for _, l := range update.PathLinks(old) {
+			links[vp][l]--
+			if links[vp][l] <= 0 {
+				delete(links[vp], l)
+				note(Outage, l.From, l.To, vp, u.Time)
+			}
+		}
+		if u.Withdraw {
+			delete(paths[vp], u.Prefix)
+			delete(origins[vp], u.Prefix)
+			continue
+		}
+		for _, l := range update.PathLinks(u.Path) {
+			if links[vp][l] == 0 {
+				note(NewLink, l.From, l.To, vp, u.Time)
+			}
+			links[vp][l]++
+		}
+		if o := u.Origin(); o != 0 {
+			if prev, ok := origins[vp][u.Prefix]; ok && prev != o {
+				note(OriginChange, prev, o, vp, u.Time)
+			}
+			origins[vp][u.Prefix] = o
+		}
+		paths[vp][u.Prefix] = u.Path
+	}
+
+	var out []Event
+	ks := make([]string, 0, len(found))
+	for k := range found {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		o := found[k]
+		if len(o.seen) == 0 {
+			continue
+		}
+		if totalVPs > 0 && float64(len(o.seen)) >= band.MaxFraction*float64(totalVPs) {
+			continue // global event
+		}
+		seen := make([]string, 0, len(o.seen))
+		for vp := range o.seen {
+			seen = append(seen, vp)
+		}
+		sort.Strings(seen)
+		ek := keys[k]
+		out = append(out, Event{
+			Type: ek.t, AS1: ek.as1, AS2: ek.as2,
+			Start: o.start, End: o.end, SeenBy: seen,
+		})
+	}
+	return out
+}
+
+// CategoryPair is an unordered pair of AS categories.
+type CategoryPair struct {
+	Low, High topology.Category
+}
+
+// PairOf builds the canonical pair.
+func PairOf(a, b topology.Category) CategoryPair {
+	if a > b {
+		a, b = b, a
+	}
+	return CategoryPair{Low: a, High: b}
+}
+
+// NumCategoryPairs is the 15 unordered pairs over five categories.
+const NumCategoryPairs = topology.NumCategories * (topology.NumCategories + 1) / 2
+
+// BalancedSelect stratifies candidate events: up to perCell events for
+// every (category pair, event type) cell, sampled uniformly within each
+// cell (§18.1, Fig. 12). Events whose ASes lack a category are skipped.
+func BalancedSelect(events []Event, cats map[uint32]topology.Category, perCell int, r *rand.Rand) []Event {
+	cells := make(map[CategoryPair]map[EventType][]Event)
+	for _, e := range events {
+		c1, ok1 := cats[e.AS1]
+		c2, ok2 := cats[e.AS2]
+		if !ok1 || !ok2 {
+			continue
+		}
+		p := PairOf(c1, c2)
+		if cells[p] == nil {
+			cells[p] = make(map[EventType][]Event)
+		}
+		cells[p][e.Type] = append(cells[p][e.Type], e)
+	}
+	var out []Event
+	pairs := make([]CategoryPair, 0, len(cells))
+	for p := range cells {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Low != pairs[j].Low {
+			return pairs[i].Low < pairs[j].Low
+		}
+		return pairs[i].High < pairs[j].High
+	})
+	for _, p := range pairs {
+		for t := EventType(0); t < NumEventTypes; t++ {
+			evs := cells[p][t]
+			if len(evs) > perCell {
+				r.Shuffle(len(evs), func(i, j int) { evs[i], evs[j] = evs[j], evs[i] })
+				evs = evs[:perCell]
+			}
+			out = append(out, evs...)
+		}
+	}
+	return out
+}
+
+// SelectionMatrix tallies the category-pair distribution of a selection
+// (the Fig. 12 heat map): cell [i][j] is the fraction of events whose AS
+// pair falls in categories (i+1, j+1).
+func SelectionMatrix(events []Event, cats map[uint32]topology.Category) [topology.NumCategories][topology.NumCategories]float64 {
+	var m [topology.NumCategories][topology.NumCategories]float64
+	n := 0
+	for _, e := range events {
+		c1, ok1 := cats[e.AS1]
+		c2, ok2 := cats[e.AS2]
+		if !ok1 || !ok2 {
+			continue
+		}
+		i, j := int(c1)-1, int(c2)-1
+		m[i][j]++
+		if i != j {
+			m[j][i]++
+		}
+		n++
+	}
+	if n > 0 {
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] /= float64(n)
+			}
+		}
+	}
+	return m
+}

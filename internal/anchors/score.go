@@ -1,0 +1,315 @@
+package anchors
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/update"
+)
+
+// Replayer reconstructs each VP's weighted AS graph G_v(t) over time from
+// a baseline RIB and an update stream, and evaluates the Table 6 feature
+// vectors at event boundaries (§18.2).
+type Replayer struct {
+	vps    []string
+	graphs map[string]*features.Graph
+	paths  map[string]map[netip.Prefix][]uint32
+	stream []*update.Update
+	pos    int
+
+	// Feature memoization: events drawn from the hot pools repeatedly
+	// involve the same ASes, and consecutive event boundaries often see
+	// the same graph state (identified by the stream position), so node
+	// and pair features recur heavily.
+	nodeCache map[nodeKey][features.NumNodeFeatures]float64
+	pairCache map[pairKey][features.NumPairFeatures]float64
+}
+
+type nodeKey struct {
+	vp  string
+	pos int
+	as  uint32
+}
+
+type pairKey struct {
+	vp       string
+	pos      int
+	as1, as2 uint32
+}
+
+func (r *Replayer) nodeFeatures(vp string, g *features.Graph, as uint32) [features.NumNodeFeatures]float64 {
+	k := nodeKey{vp, r.pos, as}
+	if v, ok := r.nodeCache[k]; ok {
+		return v
+	}
+	v := g.NodeFeatures(as)
+	r.nodeCache[k] = v
+	return v
+}
+
+func (r *Replayer) pairFeatures(vp string, g *features.Graph, as1, as2 uint32) [features.NumPairFeatures]float64 {
+	k := pairKey{vp, r.pos, as1, as2}
+	if v, ok := r.pairCache[k]; ok {
+		return v
+	}
+	v := g.PairFeatures(as1, as2)
+	r.pairCache[k] = v
+	return v
+}
+
+// NewReplayer builds a replayer from per-VP baseline RIBs and a stream of
+// updates (any order; sorted internally).
+func NewReplayer(baseline map[string]map[netip.Prefix][]uint32, us []*update.Update) *Replayer {
+	r := &Replayer{
+		graphs:    make(map[string]*features.Graph),
+		paths:     make(map[string]map[netip.Prefix][]uint32),
+		nodeCache: make(map[nodeKey][features.NumNodeFeatures]float64),
+		pairCache: make(map[pairKey][features.NumPairFeatures]float64),
+	}
+	for vp, rib := range baseline {
+		r.vps = append(r.vps, vp)
+		r.graphs[vp] = features.FromRIB(rib)
+		ps := make(map[netip.Prefix][]uint32, len(rib))
+		for p, path := range rib {
+			ps[p] = path
+		}
+		r.paths[vp] = ps
+	}
+	sort.Strings(r.vps)
+	r.stream = append([]*update.Update(nil), us...)
+	sort.SliceStable(r.stream, func(i, j int) bool { return r.stream[i].Time.Before(r.stream[j].Time) })
+	return r
+}
+
+// VPs returns the replayer's vantage points, sorted.
+func (r *Replayer) VPs() []string { return r.vps }
+
+// advanceTo applies all updates strictly before t. Snapshots must be
+// requested in non-decreasing time order.
+func (r *Replayer) advanceTo(t time.Time) {
+	for r.pos < len(r.stream) && r.stream[r.pos].Time.Before(t) {
+		u := r.stream[r.pos]
+		r.pos++
+		g := r.graphs[u.VP]
+		if g == nil {
+			g = features.NewGraph()
+			r.graphs[u.VP] = g
+			r.paths[u.VP] = make(map[netip.Prefix][]uint32)
+		}
+		if old := r.paths[u.VP][u.Prefix]; old != nil {
+			g.RemovePath(old, 1)
+		}
+		if u.Withdraw {
+			delete(r.paths[u.VP], u.Prefix)
+			continue
+		}
+		g.AddPath(u.Path, 1)
+		r.paths[u.VP][u.Prefix] = u.Path
+	}
+}
+
+// EventVectors computes, for every event, each VP's 15-dimensional feature
+// difference between event start and end. Events are processed on a merged
+// timeline so each VP graph is replayed once.
+func (r *Replayer) EventVectors(events []Event) [][][]float64 {
+	type boundary struct {
+		at    time.Time
+		event int
+		start bool
+	}
+	var bs []boundary
+	for i, e := range events {
+		bs = append(bs, boundary{e.Start, i, true})
+		// Feature differences compare the graph just before the event with
+		// the graph after it has fully played out.
+		bs = append(bs, boundary{e.End.Add(1), i, false})
+	}
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].at.Before(bs[j].at) })
+
+	startVec := make([][][]float64, len(events)) // [event][vp][15]
+	out := make([][][]float64, len(events))
+	for i := range events {
+		startVec[i] = make([][]float64, len(r.vps))
+		out[i] = make([][]float64, len(r.vps))
+	}
+	for _, b := range bs {
+		r.advanceTo(b.at)
+		e := events[b.event]
+		for vi, vp := range r.vps {
+			g := r.graphs[vp]
+			if g == nil {
+				g = features.NewGraph()
+			}
+			n1 := r.nodeFeatures(vp, g, e.AS1)
+			n2 := r.nodeFeatures(vp, g, e.AS2)
+			pf := r.pairFeatures(vp, g, e.AS1, e.AS2)
+			vec := make([]float64, features.VectorDim)
+			for f := 0; f < features.NumNodeFeatures; f++ {
+				vec[2*f] = n1[f]
+				vec[2*f+1] = n2[f]
+			}
+			for f := 0; f < features.NumPairFeatures; f++ {
+				vec[2*features.NumNodeFeatures+f] = pf[f]
+			}
+			if b.start {
+				startVec[b.event][vi] = vec
+			} else {
+				diff := make([]float64, features.VectorDim)
+				sv := startVec[b.event][vi]
+				for k := range diff {
+					if sv != nil {
+						diff[k] = sv[k] - vec[k]
+					}
+				}
+				out[b.event][vi] = diff
+			}
+		}
+	}
+	return out
+}
+
+// ScoreMatrix holds pairwise VP redundancy scores in [0, 1]; 1 is the most
+// redundant pair (§18.3).
+type ScoreMatrix struct {
+	VPs []string
+	R   [][]float64
+}
+
+// FeatureQuantum is the grid standardized features snap to before the
+// distance computation. Collapsing sub-quantum jitter makes VPs whose
+// views of an event are *effectively* identical exactly identical, so
+// fully redundant pairs reach score 1 — the paper's §18.4 stop criterion
+// ("the highest possible redundancy score") presumes such exact ties,
+// which real platforms exhibit massively (co-located VPs, identical
+// feeds).
+const FeatureQuantum = 0.25
+
+// Scores normalizes the per-event feature matrices column-wise (standard
+// scaler), quantizes, accumulates pairwise squared Euclidean distances
+// over all events, averages, and min-max rescales into redundancy scores
+// R = 1 − ∐(avg distance) (§18.3).
+func Scores(vps []string, vectors [][][]float64) *ScoreMatrix {
+	n := len(vps)
+	sum := make([][]float64, n)
+	for i := range sum {
+		sum[i] = make([]float64, n)
+	}
+	for _, byVP := range vectors {
+		m := standardScale(byVP, n)
+		for i := range m {
+			for k := range m[i] {
+				m[i][k] = math.Round(m[i][k]/FeatureQuantum) * FeatureQuantum
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := 0.0
+				for k := range m[i] {
+					diff := m[i][k] - m[j][k]
+					d += diff * diff
+				}
+				sum[i][j] += d
+				sum[j][i] += d
+			}
+		}
+	}
+	if len(vectors) > 0 {
+		for i := range sum {
+			for j := range sum[i] {
+				sum[i][j] /= float64(len(vectors))
+			}
+		}
+	}
+	// Min-max over off-diagonal entries, then invert.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if sum[i][j] < lo {
+				lo = sum[i][j]
+			}
+			if sum[i][j] > hi {
+				hi = sum[i][j]
+			}
+		}
+	}
+	R := make([][]float64, n)
+	for i := range R {
+		R[i] = make([]float64, n)
+		for j := range R[i] {
+			if i == j {
+				R[i][j] = 1
+				continue
+			}
+			if hi > lo {
+				R[i][j] = 1 - (sum[i][j]-lo)/(hi-lo)
+			} else {
+				R[i][j] = 1
+			}
+		}
+	}
+	return &ScoreMatrix{VPs: append([]string(nil), vps...), R: R}
+}
+
+// standardScale normalizes the event's VP×feature matrix column-wise to
+// zero mean and unit standard deviation.
+func standardScale(byVP [][]float64, n int) [][]float64 {
+	dim := 0
+	for _, v := range byVP {
+		if v != nil {
+			dim = len(v)
+			break
+		}
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, dim)
+		if byVP[i] != nil {
+			copy(m[i], byVP[i])
+		}
+	}
+	for k := 0; k < dim; k++ {
+		mean := 0.0
+		for i := range m {
+			mean += m[i][k]
+		}
+		mean /= float64(n)
+		sd := 0.0
+		for i := range m {
+			d := m[i][k] - mean
+			sd += d * d
+		}
+		sd = math.Sqrt(sd / float64(n))
+		for i := range m {
+			if sd > 0 {
+				m[i][k] = (m[i][k] - mean) / sd
+			} else {
+				m[i][k] = 0
+			}
+		}
+	}
+	return m
+}
+
+// Score returns R(a, b).
+func (s *ScoreMatrix) Score(a, b string) float64 {
+	ia, ib := s.index(a), s.index(b)
+	if ia < 0 || ib < 0 {
+		return 0
+	}
+	return s.R[ia][ib]
+}
+
+func (s *ScoreMatrix) index(vp string) int {
+	for i, v := range s.VPs {
+		if v == vp {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,126 @@
+package anchors
+
+import "sort"
+
+// SelectConfig tunes the greedy anchor selection (§18.4).
+type SelectConfig struct {
+	// Gamma is the fraction of unselected VPs forming the low-redundancy
+	// candidate set each iteration (default 0.10).
+	Gamma float64
+	// StopScore: selection stops once every unselected VP has a maximum
+	// redundancy score of at least StopScore with some selected VP (the
+	// paper stops at "the highest possible redundancy score", i.e. 1).
+	StopScore float64
+	// MaxAnchors optionally caps the anchor set (0 = unlimited).
+	MaxAnchors int
+}
+
+// DefaultSelectConfig returns the paper's parameters. StopScore below 1
+// operationalizes "the highest possible redundancy score": with min-max
+// normalized scores, a remaining VP whose redundancy to some anchor is in
+// the top decile of the scale carries no appreciably unique view.
+func DefaultSelectConfig() SelectConfig {
+	return SelectConfig{Gamma: 0.10, StopScore: 0.90}
+}
+
+// SelectAnchors runs the §18.4 greedy: start from the most redundant VP
+// (lowest total distance ⇔ highest total redundancy), then repeatedly
+// build the candidate set K of the γ-fraction of unselected VPs with the
+// lowest maximum redundancy to the selected set, and admit the candidate
+// with the smallest data volume. volume maps VP → number of updates
+// exported over the sampling period.
+func SelectAnchors(s *ScoreMatrix, volume map[string]int, cfg SelectConfig) []string {
+	n := len(s.VPs)
+	if n == 0 {
+		return nil
+	}
+	if cfg.Gamma <= 0 {
+		cfg.Gamma = 0.10
+	}
+
+	selected := make([]bool, n)
+	var anchors []string
+
+	// Seed: highest total redundancy (ties → lower volume, then name).
+	seed := 0
+	bestSum := -1.0
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				sum += s.R[i][j]
+			}
+		}
+		if sum > bestSum || (sum == bestSum && lessVP(s, volume, i, seed)) {
+			bestSum, seed = sum, i
+		}
+	}
+	selected[seed] = true
+	anchors = append(anchors, s.VPs[seed])
+
+	for {
+		if cfg.MaxAnchors > 0 && len(anchors) >= cfg.MaxAnchors {
+			break
+		}
+		// Maximum redundancy of each unselected VP to the selected set.
+		// Only *uncovered* VPs (below the stop score) are candidates: a VP
+		// already redundant with an anchor adds no unique view, and letting
+		// it into K would let the volume tiebreak starve genuine outliers.
+		type cand struct {
+			i    int
+			maxR float64
+		}
+		var cands []cand
+		for i := 0; i < n; i++ {
+			if selected[i] {
+				continue
+			}
+			maxR := 0.0
+			for j := 0; j < n; j++ {
+				if selected[j] && s.R[i][j] > maxR {
+					maxR = s.R[i][j]
+				}
+			}
+			if maxR < cfg.StopScore {
+				cands = append(cands, cand{i, maxR})
+			}
+		}
+		// Stop when every remaining VP is (near-)fully redundant with an
+		// anchor.
+		if len(cands) == 0 {
+			break
+		}
+		// K: the γ fraction with the lowest max redundancy (≥1 VP).
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].maxR != cands[b].maxR {
+				return cands[a].maxR < cands[b].maxR
+			}
+			return s.VPs[cands[a].i] < s.VPs[cands[b].i]
+		})
+		k := int(cfg.Gamma * float64(len(cands)))
+		if k < 1 {
+			k = 1
+		}
+		K := cands[:k]
+		// Admit the lowest-volume candidate.
+		pick := K[0].i
+		for _, c := range K[1:] {
+			if lessVP(s, volume, c.i, pick) {
+				pick = c.i
+			}
+		}
+		selected[pick] = true
+		anchors = append(anchors, s.VPs[pick])
+	}
+	sort.Strings(anchors)
+	return anchors
+}
+
+// lessVP orders VPs by volume then name, for deterministic tie-breaking.
+func lessVP(s *ScoreMatrix, volume map[string]int, a, b int) bool {
+	va, vb := volume[s.VPs[a]], volume[s.VPs[b]]
+	if va != vb {
+		return va < vb
+	}
+	return s.VPs[a] < s.VPs[b]
+}

@@ -1,0 +1,217 @@
+package archive
+
+import (
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/mrt"
+)
+
+var t0 = time.Date(2023, 9, 1, 12, 0, 0, 0, time.UTC)
+
+func rec(at time.Time, peerAS uint32, pfx string) *mrt.Record {
+	return &mrt.Record{
+		Header: mrt.Header{Timestamp: at, Type: mrt.TypeBGP4MP, Subtype: mrt.SubtypeBGP4MPMessageAS4},
+		BGP4MP: &mrt.BGP4MPMessage{
+			PeerAS: peerAS, LocalAS: 65000,
+			PeerIP:  netip.MustParseAddr("192.0.2.9"),
+			LocalIP: netip.MustParseAddr("192.0.2.1"),
+			Message: &bgp.Update{
+				Origin: bgp.OriginIGP, ASPath: []uint32{peerAS, 2, 9},
+				NextHop: netip.MustParseAddr("192.0.2.9"),
+				NLRI:    []netip.Prefix{netip.MustParsePrefix(pfx)},
+			},
+		},
+	}
+}
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), time.Hour)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestAppendAndQuery(t *testing.T) {
+	s := open(t)
+	for i := 0; i < 10; i++ {
+		if err := s.Append(rec(t0.Add(time.Duration(i)*time.Minute), 65001, "203.0.113.0/24")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if s.Appended() != 10 {
+		t.Errorf("Appended = %d", s.Appended())
+	}
+	got, err := s.Query(t0, t0.Add(5*time.Minute))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("Query returned %d, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatal("query result unsorted")
+		}
+	}
+	if got[0].VP != "vp65001" {
+		t.Errorf("VP = %q", got[0].VP)
+	}
+}
+
+func TestRotation(t *testing.T) {
+	s := open(t)
+	// Three hours of data → three files.
+	for h := 0; h < 3; h++ {
+		for i := 0; i < 4; i++ {
+			at := t0.Add(time.Duration(h)*time.Hour + time.Duration(i)*time.Minute)
+			if err := s.Append(rec(at, 65001, "203.0.113.0/24")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	files, err := s.Files()
+	if err != nil {
+		t.Fatalf("Files: %v", err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("files = %d, want 3: %+v", len(files), files)
+	}
+	for i := 1; i < len(files); i++ {
+		if !files[i].Start.After(files[i-1].Start) {
+			t.Fatal("files not sorted by window")
+		}
+		if files[i].Size == 0 {
+			t.Fatal("empty archive file")
+		}
+	}
+	// A middle-window query touches only its records.
+	got, err := s.Query(t0.Add(time.Hour), t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(got) != 4 {
+		t.Errorf("middle window returned %d, want 4", len(got))
+	}
+}
+
+func TestOutOfOrderWithinWindow(t *testing.T) {
+	s := open(t)
+	// A slightly late record after the window rolled: lands in the newer
+	// file but stays queryable by timestamp.
+	if err := s.Append(rec(t0, 65001, "203.0.113.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(t0.Add(time.Hour), 65001, "203.0.113.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	late := rec(t0.Add(59*time.Minute), 65001, "198.51.100.0/24")
+	if err := s.Append(late); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Query(t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("query returned %d, want 2 (incl. the late record)", len(got))
+	}
+}
+
+func TestReopenAppendsMultistream(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(t0, 65001, "203.0.113.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen the same directory and write into the same window: the file
+	// gains a second gzip member, which queries must read through.
+	s2, err := Open(dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Append(rec(t0.Add(time.Minute), 65002, "198.51.100.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Query(t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("multistream query returned %d, want 2", len(got))
+	}
+}
+
+func TestWriteRIBAndList(t *testing.T) {
+	s := open(t)
+	err := s.WriteRIB(t0, func(w io.Writer) error {
+		mw := mrt.NewWriter(w)
+		return mw.WriteRecord(&mrt.Record{
+			Header: mrt.Header{Timestamp: t0, Type: mrt.TypeTableDumpV2, Subtype: mrt.SubtypePeerIndexTable},
+			PeerIndex: &mrt.PeerIndexTable{
+				CollectorID: netip.MustParseAddr("192.0.2.1"),
+				ViewName:    "gill",
+			},
+		})
+	})
+	if err != nil {
+		t.Fatalf("WriteRIB: %v", err)
+	}
+	ribs, err := s.RIBs()
+	if err != nil || len(ribs) != 1 {
+		t.Fatalf("RIBs = %v err=%v", ribs, err)
+	}
+	// RIB files do not pollute the update file list.
+	files, _ := s.Files()
+	if len(files) != 0 {
+		t.Errorf("update files = %v, want none", files)
+	}
+}
+
+func TestQueryEmptyStore(t *testing.T) {
+	s := open(t)
+	got, err := s.Query(t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty store returned %d", len(got))
+	}
+}
+
+func TestDefaultRotation(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.rotate != DefaultRotation {
+		t.Errorf("rotate = %v", s.rotate)
+	}
+}
+
+func TestWriteRIBDumpError(t *testing.T) {
+	s := open(t)
+	err := s.WriteRIB(t0, func(w io.Writer) error {
+		return io.ErrClosedPipe
+	})
+	if err == nil {
+		t.Error("dump error swallowed")
+	}
+}

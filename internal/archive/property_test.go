@@ -1,0 +1,53 @@
+package archive
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQueryCompletenessProperty: every appended record whose timestamp
+// falls in the query range is returned, for roughly-ordered streams (the
+// archive's contract allows one rotation of disorder).
+func TestQueryCompletenessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, err := Open(t.TempDir(), time.Hour)
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+
+		n := 5 + r.Intn(40)
+		var times []time.Time
+		at := t0
+		for i := 0; i < n; i++ {
+			// Mostly forward movement with bounded (≤30 min) regressions.
+			at = at.Add(time.Duration(r.Intn(45)-10) * time.Minute)
+			if at.Before(t0) {
+				at = t0
+			}
+			times = append(times, at)
+			if err := s.Append(rec(at, 65001, "203.0.113.0/24")); err != nil {
+				return false
+			}
+		}
+		from := t0.Add(time.Duration(r.Intn(120)) * time.Minute)
+		to := from.Add(time.Duration(1+r.Intn(180)) * time.Minute)
+		want := 0
+		for _, ts := range times {
+			if !ts.Before(from) && ts.Before(to) {
+				want++
+			}
+		}
+		got, err := s.Query(from, to)
+		if err != nil {
+			return false
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

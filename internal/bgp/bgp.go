@@ -1,0 +1,71 @@
+// Package bgp implements the subset of BGP-4 (RFC 4271) that a route
+// collector needs: the message model, a binary wire codec, a session
+// state machine, and a TCP speaker. It supports 4-octet AS numbers
+// (RFC 6793), standard communities (RFC 1997) and multiprotocol
+// reachability for IPv6 (RFC 4760).
+//
+// The package is transport-agnostic at its core: Marshal/Unmarshal work on
+// byte slices, and Speaker drives them over any net.Conn.
+package bgp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Message type codes (RFC 4271 §4.1).
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// Wire constants.
+const (
+	// HeaderLen is the fixed BGP message header length: 16-byte marker,
+	// 2-byte length, 1-byte type.
+	HeaderLen = 19
+	// MaxMessageLen is the maximum BGP message size (RFC 4271 §4).
+	MaxMessageLen = 4096
+	// Version is the only supported protocol version.
+	Version = 4
+)
+
+// Common errors returned by the codec.
+var (
+	ErrShortMessage   = errors.New("bgp: message truncated")
+	ErrBadMarker      = errors.New("bgp: invalid marker")
+	ErrBadLength      = errors.New("bgp: invalid message length")
+	ErrUnknownType    = errors.New("bgp: unknown message type")
+	ErrBadAttribute   = errors.New("bgp: malformed path attribute")
+	ErrBadPrefix      = errors.New("bgp: malformed NLRI prefix")
+	ErrBadOpen        = errors.New("bgp: malformed OPEN")
+	ErrMessageTooLong = errors.New("bgp: message exceeds 4096 bytes")
+)
+
+// Message is implemented by every BGP message body.
+type Message interface {
+	// Type returns the BGP message type code.
+	Type() uint8
+	// marshalBody appends the message body (without header) to dst.
+	marshalBody(dst []byte) ([]byte, error)
+	// unmarshalBody parses the message body (without header).
+	unmarshalBody(src []byte) error
+}
+
+// typeName maps a message type code to its RFC name, for diagnostics.
+func typeName(t uint8) string {
+	switch t {
+	case TypeOpen:
+		return "OPEN"
+	case TypeUpdate:
+		return "UPDATE"
+	case TypeNotification:
+		return "NOTIFICATION"
+	case TypeKeepalive:
+		return "KEEPALIVE"
+	default:
+		return fmt.Sprintf("TYPE(%d)", t)
+	}
+}

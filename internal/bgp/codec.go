@@ -1,0 +1,97 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Marshal encodes m into a full BGP message (header + body).
+func Marshal(m Message) ([]byte, error) {
+	buf := make([]byte, HeaderLen, 64)
+	for i := 0; i < 16; i++ {
+		buf[i] = 0xff
+	}
+	buf[18] = m.Type()
+	buf, err := m.marshalBody(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > MaxMessageLen {
+		return nil, ErrMessageTooLong
+	}
+	binary.BigEndian.PutUint16(buf[16:18], uint16(len(buf)))
+	return buf, nil
+}
+
+// Unmarshal decodes a full BGP message (header + body). src must contain
+// exactly one message.
+func Unmarshal(src []byte) (Message, error) {
+	body, typ, err := checkHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	switch typ {
+	case TypeOpen:
+		m = &Open{}
+	case TypeUpdate:
+		m = &Update{}
+	case TypeNotification:
+		m = &Notification{}
+	case TypeKeepalive:
+		m = &Keepalive{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, typ)
+	}
+	if err := m.unmarshalBody(body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// checkHeader validates the 19-byte header and returns the body and type.
+func checkHeader(src []byte) ([]byte, uint8, error) {
+	if len(src) < HeaderLen {
+		return nil, 0, ErrShortMessage
+	}
+	for i := 0; i < 16; i++ {
+		if src[i] != 0xff {
+			return nil, 0, ErrBadMarker
+		}
+	}
+	length := int(binary.BigEndian.Uint16(src[16:18]))
+	if length < HeaderLen || length > MaxMessageLen || length != len(src) {
+		return nil, 0, ErrBadLength
+	}
+	return src[HeaderLen:length], src[18], nil
+}
+
+// ReadMessage reads exactly one BGP message from r. It first reads the
+// 19-byte header to learn the length, then the remainder of the body.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, ErrBadLength
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return Unmarshal(buf)
+}
+
+// WriteMessage marshals m and writes it to w.
+func WriteMessage(w io.Writer, m Message) error {
+	buf, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,149 @@
+package bgp
+
+// State is a BGP session FSM state (RFC 4271 §8.2.2).
+type State int
+
+// FSM states.
+const (
+	StateIdle State = iota
+	StateConnect
+	StateActive
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateConnect:
+		return "Connect"
+	case StateActive:
+		return "Active"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	default:
+		return "Unknown"
+	}
+}
+
+// Event is an input to the FSM.
+type Event int
+
+// FSM events (a subset of RFC 4271 §8.1 sufficient for a collector).
+const (
+	EventManualStart Event = iota
+	EventManualStop
+	EventTCPConnected
+	EventTCPFailed
+	EventOpenReceived
+	EventKeepaliveReceived
+	EventNotificationReceived
+	EventHoldTimerExpired
+	EventUpdateReceived
+)
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	switch e {
+	case EventManualStart:
+		return "ManualStart"
+	case EventManualStop:
+		return "ManualStop"
+	case EventTCPConnected:
+		return "TCPConnected"
+	case EventTCPFailed:
+		return "TCPFailed"
+	case EventOpenReceived:
+		return "OpenReceived"
+	case EventKeepaliveReceived:
+		return "KeepaliveReceived"
+	case EventNotificationReceived:
+		return "NotificationReceived"
+	case EventHoldTimerExpired:
+		return "HoldTimerExpired"
+	case EventUpdateReceived:
+		return "UpdateReceived"
+	default:
+		return "Unknown"
+	}
+}
+
+// FSM is a pure (side-effect free) BGP session state machine. The Speaker
+// drives it and performs the I/O its transitions imply; keeping the
+// machine pure makes every transition unit-testable.
+type FSM struct {
+	state State
+}
+
+// NewFSM returns an FSM in StateIdle.
+func NewFSM() *FSM { return &FSM{state: StateIdle} }
+
+// State returns the current state.
+func (f *FSM) State() State { return f.state }
+
+// Step applies ev and returns the new state and whether the transition is
+// legal. Illegal transitions leave the state unchanged and, per RFC 4271,
+// should cause the caller to drop the session.
+func (f *FSM) Step(ev Event) (State, bool) {
+	next, ok := transition(f.state, ev)
+	if ok {
+		f.state = next
+	}
+	return f.state, ok
+}
+
+func transition(s State, ev Event) (State, bool) {
+	// ManualStop always returns to Idle.
+	if ev == EventManualStop {
+		return StateIdle, true
+	}
+	switch s {
+	case StateIdle:
+		if ev == EventManualStart {
+			return StateConnect, true
+		}
+	case StateConnect:
+		switch ev {
+		case EventTCPConnected:
+			return StateOpenSent, true
+		case EventTCPFailed:
+			return StateActive, true
+		}
+	case StateActive:
+		switch ev {
+		case EventTCPConnected:
+			return StateOpenSent, true
+		case EventTCPFailed:
+			return StateActive, true
+		}
+	case StateOpenSent:
+		switch ev {
+		case EventOpenReceived:
+			return StateOpenConfirm, true
+		case EventTCPFailed, EventNotificationReceived, EventHoldTimerExpired:
+			return StateIdle, true
+		}
+	case StateOpenConfirm:
+		switch ev {
+		case EventKeepaliveReceived:
+			return StateEstablished, true
+		case EventTCPFailed, EventNotificationReceived, EventHoldTimerExpired:
+			return StateIdle, true
+		}
+	case StateEstablished:
+		switch ev {
+		case EventUpdateReceived, EventKeepaliveReceived:
+			return StateEstablished, true
+		case EventTCPFailed, EventNotificationReceived, EventHoldTimerExpired:
+			return StateIdle, true
+		}
+	}
+	return s, false
+}

@@ -1,0 +1,85 @@
+package bgp
+
+import "testing"
+
+func TestFSMHappyPath(t *testing.T) {
+	f := NewFSM()
+	steps := []struct {
+		ev   Event
+		want State
+	}{
+		{EventManualStart, StateConnect},
+		{EventTCPConnected, StateOpenSent},
+		{EventOpenReceived, StateOpenConfirm},
+		{EventKeepaliveReceived, StateEstablished},
+		{EventUpdateReceived, StateEstablished},
+		{EventKeepaliveReceived, StateEstablished},
+		{EventManualStop, StateIdle},
+	}
+	for _, s := range steps {
+		got, ok := f.Step(s.ev)
+		if !ok {
+			t.Fatalf("Step(%v) rejected in state %v", s.ev, got)
+		}
+		if got != s.want {
+			t.Fatalf("Step(%v) = %v, want %v", s.ev, got, s.want)
+		}
+	}
+}
+
+func TestFSMConnectRetry(t *testing.T) {
+	f := NewFSM()
+	f.Step(EventManualStart)
+	if st, ok := f.Step(EventTCPFailed); !ok || st != StateActive {
+		t.Fatalf("Connect+TCPFailed = %v/%v, want Active/true", st, ok)
+	}
+	if st, ok := f.Step(EventTCPConnected); !ok || st != StateOpenSent {
+		t.Fatalf("Active+TCPConnected = %v/%v, want OpenSent/true", st, ok)
+	}
+}
+
+func TestFSMIllegalTransitions(t *testing.T) {
+	cases := []struct {
+		state State
+		ev    Event
+	}{
+		{StateIdle, EventUpdateReceived},
+		{StateIdle, EventOpenReceived},
+		{StateConnect, EventUpdateReceived},
+		{StateOpenSent, EventUpdateReceived},
+		{StateOpenSent, EventKeepaliveReceived},
+		{StateOpenConfirm, EventOpenReceived},
+	}
+	for _, c := range cases {
+		f := &FSM{state: c.state}
+		if _, ok := f.Step(c.ev); ok {
+			t.Errorf("state %v accepted %v", c.state, c.ev)
+		}
+		if f.State() != c.state {
+			t.Errorf("illegal transition mutated state: %v -> %v", c.state, f.State())
+		}
+	}
+}
+
+func TestFSMErrorPathsReturnToIdle(t *testing.T) {
+	for _, ev := range []Event{EventTCPFailed, EventNotificationReceived, EventHoldTimerExpired} {
+		f := &FSM{state: StateEstablished}
+		if st, ok := f.Step(ev); !ok || st != StateIdle {
+			t.Errorf("Established+%v = %v/%v, want Idle/true", ev, st, ok)
+		}
+	}
+}
+
+func TestStateAndEventStrings(t *testing.T) {
+	states := []State{StateIdle, StateConnect, StateActive, StateOpenSent, StateOpenConfirm, StateEstablished, State(42)}
+	for _, s := range states {
+		if s.String() == "" {
+			t.Errorf("State(%d).String() empty", s)
+		}
+	}
+	for ev := EventManualStart; ev <= EventUpdateReceived+1; ev++ {
+		if ev.String() == "" {
+			t.Errorf("Event(%d).String() empty", ev)
+		}
+	}
+}

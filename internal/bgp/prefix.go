@@ -1,0 +1,65 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// appendPrefix appends the NLRI encoding of p (length octet followed by the
+// minimal number of address octets) to dst.
+func appendPrefix(dst []byte, p netip.Prefix) []byte {
+	bits := p.Bits()
+	dst = append(dst, byte(bits))
+	addr := p.Addr().AsSlice()
+	n := (bits + 7) / 8
+	return append(dst, addr[:n]...)
+}
+
+// parsePrefix decodes one NLRI prefix from src, returning the prefix and the
+// number of bytes consumed. v6 selects the address family.
+func parsePrefix(src []byte, v6 bool) (netip.Prefix, int, error) {
+	if len(src) < 1 {
+		return netip.Prefix{}, 0, ErrBadPrefix
+	}
+	bits := int(src[0])
+	max := 32
+	if v6 {
+		max = 128
+	}
+	if bits > max {
+		return netip.Prefix{}, 0, fmt.Errorf("%w: length %d exceeds %d", ErrBadPrefix, bits, max)
+	}
+	n := (bits + 7) / 8
+	if len(src) < 1+n {
+		return netip.Prefix{}, 0, ErrBadPrefix
+	}
+	var addr netip.Addr
+	if v6 {
+		var raw [16]byte
+		copy(raw[:], src[1:1+n])
+		addr = netip.AddrFrom16(raw)
+	} else {
+		var raw [4]byte
+		copy(raw[:], src[1:1+n])
+		addr = netip.AddrFrom4(raw)
+	}
+	p, err := addr.Prefix(bits)
+	if err != nil {
+		return netip.Prefix{}, 0, fmt.Errorf("%w: %v", ErrBadPrefix, err)
+	}
+	return p, 1 + n, nil
+}
+
+// parsePrefixes decodes a run of NLRI prefixes until src is exhausted.
+func parsePrefixes(src []byte, v6 bool) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(src) > 0 {
+		p, n, err := parsePrefix(src, v6)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		src = src[n:]
+	}
+	return out, nil
+}

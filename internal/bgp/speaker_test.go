@@ -1,0 +1,233 @@
+package bgp
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// pairSessions establishes two ends of a BGP session over a real TCP
+// loopback connection.
+func pairSessions(t *testing.T) (collector, peer *Session) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+
+	type result struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			ch <- result{nil, err}
+			return
+		}
+		s, err := Establish(ctx, conn, SpeakerConfig{
+			LocalAS:  65000,
+			RouterID: netip.MustParseAddr("192.0.2.100"),
+			HoldTime: 30,
+		})
+		ch <- result{s, err}
+	}()
+
+	peer, err = Dial(ctx, ln.Addr().String(), SpeakerConfig{
+		LocalAS:  65001,
+		RouterID: netip.MustParseAddr("192.0.2.1"),
+		HoldTime: 30,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	res := <-ch
+	if res.err != nil {
+		t.Fatalf("Establish (passive): %v", res.err)
+	}
+	t.Cleanup(func() { peer.Close(); res.s.Close() })
+	return res.s, peer
+}
+
+func TestSessionHandshake(t *testing.T) {
+	collector, peer := pairSessions(t)
+	if collector.PeerAS != 65001 {
+		t.Errorf("collector sees peer AS %d, want 65001", collector.PeerAS)
+	}
+	if peer.PeerAS != 65000 {
+		t.Errorf("peer sees collector AS %d, want 65000", peer.PeerAS)
+	}
+	if collector.State() != StateEstablished || peer.State() != StateEstablished {
+		t.Errorf("states = %v / %v, want Established", collector.State(), peer.State())
+	}
+}
+
+func TestSessionUpdateDelivery(t *testing.T) {
+	collector, peer := pairSessions(t)
+	u := &Update{
+		Origin:  OriginIGP,
+		ASPath:  []uint32{65001, 64999},
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")},
+	}
+	if err := peer.Send(u); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case got := <-collector.Updates():
+		if len(got.NLRI) != 1 || got.NLRI[0] != u.NLRI[0] {
+			t.Errorf("received %+v", got)
+		}
+		if len(got.ASPath) != 2 || got.ASPath[0] != 65001 {
+			t.Errorf("AS path %v", got.ASPath)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("update not delivered")
+	}
+}
+
+func TestSessionBurstDelivery(t *testing.T) {
+	collector, peer := pairSessions(t)
+	const n = 500
+	go func() {
+		for i := 0; i < n; i++ {
+			u := &Update{
+				Origin:  OriginIGP,
+				ASPath:  []uint32{65001},
+				NextHop: netip.MustParseAddr("192.0.2.1"),
+				NLRI:    []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+			}
+			if err := peer.Send(u); err != nil {
+				return
+			}
+		}
+	}()
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for got < n {
+		select {
+		case _, ok := <-collector.Updates():
+			if !ok {
+				t.Fatalf("session closed after %d updates", got)
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("timeout after %d/%d updates", got, n)
+		}
+	}
+}
+
+func TestSessionCloseSendsNotification(t *testing.T) {
+	collector, peer := pairSessions(t)
+	if err := peer.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-collector.Done():
+		n, ok := collector.Err().(*Notification)
+		if !ok {
+			t.Fatalf("Err = %v, want *Notification", collector.Err())
+		}
+		if n.Code != NotifCease {
+			t.Errorf("notification code = %d, want Cease", n.Code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("collector did not observe close")
+	}
+}
+
+// rawServer accepts one TCP connection and runs fn over it.
+func rawServer(t *testing.T, fn func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		fn(conn)
+	}()
+	return ln.Addr().String()
+}
+
+func TestEstablishRejectsBadVersion(t *testing.T) {
+	addr := rawServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		_, _ = ReadMessage(conn) // swallow our OPEN
+		open := NewOpen(65009, 90, netip.MustParseAddr("192.0.2.9"))
+		open.VersionNum = 3 // BGP-3
+		_ = WriteMessage(conn, open)
+		_, _ = ReadMessage(conn) // expect the notification back
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, addr, SpeakerConfig{
+		LocalAS: 65000, RouterID: netip.MustParseAddr("192.0.2.1"),
+	}); err == nil {
+		t.Fatal("session established with BGP version 3")
+	}
+}
+
+func TestEstablishRejectsNonOpenFirst(t *testing.T) {
+	addr := rawServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		_, _ = ReadMessage(conn)
+		_ = WriteMessage(conn, &Keepalive{}) // keepalive before OPEN
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, addr, SpeakerConfig{
+		LocalAS: 65000, RouterID: netip.MustParseAddr("192.0.2.1"),
+	}); err == nil {
+		t.Fatal("session established without an OPEN")
+	}
+}
+
+func TestEstablishNotificationDuringHandshake(t *testing.T) {
+	addr := rawServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		_, _ = ReadMessage(conn)
+		_ = WriteMessage(conn, NewOpen(65009, 90, netip.MustParseAddr("192.0.2.9")))
+		_, _ = ReadMessage(conn) // our keepalive
+		_ = WriteMessage(conn, &Notification{Code: NotifCease})
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := Dial(ctx, addr, SpeakerConfig{
+		LocalAS: 65000, RouterID: netip.MustParseAddr("192.0.2.1"),
+	})
+	n, ok := err.(*Notification)
+	if !ok || n.Code != NotifCease {
+		t.Fatalf("err = %v, want Cease notification", err)
+	}
+}
+
+func TestEstablishHandshakeTimeout(t *testing.T) {
+	addr := rawServer(t, func(conn net.Conn) {
+		// Accept and stay silent; the dialer's context deadline applies.
+		defer conn.Close()
+		time.Sleep(3 * time.Second)
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := Dial(ctx, addr, SpeakerConfig{
+		LocalAS: 65000, RouterID: netip.MustParseAddr("192.0.2.1"),
+	}); err == nil {
+		t.Fatal("session established against a silent peer")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("handshake did not respect the context deadline")
+	}
+}

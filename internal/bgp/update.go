@@ -1,0 +1,360 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Path attribute type codes.
+const (
+	AttrOrigin          = 1
+	AttrASPath          = 2
+	AttrNextHop         = 3
+	AttrMED             = 4
+	AttrLocalPref       = 5
+	AttrAtomicAggregate = 6
+	AttrAggregator      = 7
+	AttrCommunities     = 8
+	AttrMPReachNLRI     = 14
+	AttrMPUnreachNLRI   = 15
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+// ORIGIN values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// AS_PATH segment types.
+const (
+	segSet      = 1
+	segSequence = 2
+)
+
+// Community is a standard RFC 1997 community value.
+type Community uint32
+
+// String renders the community in the conventional ASN:value form.
+func (c Community) String() string {
+	return fmt.Sprintf("%d:%d", uint32(c)>>16, uint32(c)&0xffff)
+}
+
+// ParseCommunity parses "ASN:value" into a Community.
+func ParseCommunity(s string) (Community, error) {
+	var hi, lo uint32
+	if _, err := fmt.Sscanf(s, "%d:%d", &hi, &lo); err != nil {
+		return 0, fmt.Errorf("bgp: bad community %q: %w", s, err)
+	}
+	if hi > 0xffff || lo > 0xffff {
+		return 0, fmt.Errorf("bgp: community %q out of range", s)
+	}
+	return Community(hi<<16 | lo), nil
+}
+
+// Update is the BGP UPDATE message. The codec always encodes AS_PATH with
+// 4-octet ASNs (both ends of every session this package establishes
+// advertise RFC 6793 support). IPv6 NLRI travel in MP_REACH/MP_UNREACH.
+type Update struct {
+	Withdrawn   []netip.Prefix // IPv4 withdrawn routes
+	Origin      uint8
+	ASPath      []uint32 // flattened AS_SEQUENCE
+	NextHop     netip.Addr
+	MED         uint32
+	HasMED      bool
+	LocalPref   uint32
+	HasLocal    bool
+	Communities []Community
+	NLRI        []netip.Prefix // IPv4 announced routes
+
+	V6NLRI      []netip.Prefix // IPv6 announced routes (MP_REACH_NLRI)
+	V6NextHop   netip.Addr
+	V6Withdrawn []netip.Prefix // IPv6 withdrawn routes (MP_UNREACH_NLRI)
+}
+
+// Type implements Message.
+func (*Update) Type() uint8 { return TypeUpdate }
+
+// IsWithdrawOnly reports whether the update withdraws routes without
+// announcing any.
+func (u *Update) IsWithdrawOnly() bool {
+	return len(u.NLRI) == 0 && len(u.V6NLRI) == 0 &&
+		(len(u.Withdrawn) > 0 || len(u.V6Withdrawn) > 0)
+}
+
+// appendAttr appends one path attribute, choosing extended length when the
+// value exceeds 255 bytes.
+func appendAttr(dst []byte, flags, code uint8, val []byte) []byte {
+	if len(val) > 255 {
+		dst = append(dst, flags|flagExtLen, code)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
+	} else {
+		dst = append(dst, flags, code, byte(len(val)))
+	}
+	return append(dst, val...)
+}
+
+func (u *Update) marshalBody(dst []byte) ([]byte, error) {
+	// Withdrawn routes.
+	var wd []byte
+	for _, p := range u.Withdrawn {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("%w: IPv6 prefix in v4 withdrawn set", ErrBadPrefix)
+		}
+		wd = appendPrefix(wd, p)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(wd)))
+	dst = append(dst, wd...)
+
+	// Path attributes.
+	var attrs []byte
+	hasReach := len(u.NLRI) > 0 || len(u.V6NLRI) > 0
+	if hasReach {
+		attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{u.Origin})
+		var asp []byte
+		if len(u.ASPath) > 0 {
+			asp = append(asp, segSequence, byte(len(u.ASPath)))
+			for _, as := range u.ASPath {
+				asp = binary.BigEndian.AppendUint32(asp, as)
+			}
+		}
+		attrs = appendAttr(attrs, flagTransitive, AttrASPath, asp)
+	}
+	if len(u.NLRI) > 0 {
+		if !u.NextHop.Is4() {
+			return nil, fmt.Errorf("%w: v4 NLRI requires IPv4 next hop", ErrBadAttribute)
+		}
+		nh := u.NextHop.As4()
+		attrs = appendAttr(attrs, flagTransitive, AttrNextHop, nh[:])
+	}
+	if u.HasMED {
+		attrs = appendAttr(attrs, flagOptional, AttrMED, binary.BigEndian.AppendUint32(nil, u.MED))
+	}
+	if u.HasLocal {
+		attrs = appendAttr(attrs, flagTransitive, AttrLocalPref, binary.BigEndian.AppendUint32(nil, u.LocalPref))
+	}
+	if len(u.Communities) > 0 {
+		var cs []byte
+		for _, c := range u.Communities {
+			cs = binary.BigEndian.AppendUint32(cs, uint32(c))
+		}
+		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrCommunities, cs)
+	}
+	if len(u.V6NLRI) > 0 {
+		var mp []byte
+		mp = append(mp, 0, AFIIPv6, SAFIUnicast)
+		if !u.V6NextHop.Is6() || u.V6NextHop.Is4In6() {
+			return nil, fmt.Errorf("%w: v6 NLRI requires IPv6 next hop", ErrBadAttribute)
+		}
+		nh := u.V6NextHop.As16()
+		mp = append(mp, 16)
+		mp = append(mp, nh[:]...)
+		mp = append(mp, 0) // reserved SNPA count
+		for _, p := range u.V6NLRI {
+			mp = appendPrefix(mp, p)
+		}
+		attrs = appendAttr(attrs, flagOptional, AttrMPReachNLRI, mp)
+	}
+	if len(u.V6Withdrawn) > 0 {
+		var mp []byte
+		mp = append(mp, 0, AFIIPv6, SAFIUnicast)
+		for _, p := range u.V6Withdrawn {
+			mp = appendPrefix(mp, p)
+		}
+		attrs = appendAttr(attrs, flagOptional, AttrMPUnreachNLRI, mp)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+	dst = append(dst, attrs...)
+
+	// NLRI.
+	for _, p := range u.NLRI {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("%w: IPv6 prefix in v4 NLRI", ErrBadPrefix)
+		}
+		dst = appendPrefix(dst, p)
+	}
+	return dst, nil
+}
+
+func (u *Update) unmarshalBody(src []byte) error {
+	*u = Update{}
+	if len(src) < 4 {
+		return ErrShortMessage
+	}
+	wdLen := int(binary.BigEndian.Uint16(src[:2]))
+	if len(src) < 2+wdLen+2 {
+		return ErrShortMessage
+	}
+	wd, err := parsePrefixes(src[2:2+wdLen], false)
+	if err != nil {
+		return err
+	}
+	u.Withdrawn = wd
+	src = src[2+wdLen:]
+	attrLen := int(binary.BigEndian.Uint16(src[:2]))
+	if len(src) < 2+attrLen {
+		return ErrShortMessage
+	}
+	if err := u.parseAttrs(src[2 : 2+attrLen]); err != nil {
+		return err
+	}
+	nlri, err := parsePrefixes(src[2+attrLen:], false)
+	if err != nil {
+		return err
+	}
+	u.NLRI = nlri
+	return nil
+}
+
+func (u *Update) parseAttrs(src []byte) error {
+	for len(src) > 0 {
+		if len(src) < 3 {
+			return ErrBadAttribute
+		}
+		flags, code := src[0], src[1]
+		var alen, hdr int
+		if flags&flagExtLen != 0 {
+			if len(src) < 4 {
+				return ErrBadAttribute
+			}
+			alen, hdr = int(binary.BigEndian.Uint16(src[2:4])), 4
+		} else {
+			alen, hdr = int(src[2]), 3
+		}
+		if len(src) < hdr+alen {
+			return ErrBadAttribute
+		}
+		val := src[hdr : hdr+alen]
+		src = src[hdr+alen:]
+		switch code {
+		case AttrOrigin:
+			if alen != 1 {
+				return fmt.Errorf("%w: ORIGIN length %d", ErrBadAttribute, alen)
+			}
+			u.Origin = val[0]
+		case AttrASPath:
+			path, err := parseASPath(val)
+			if err != nil {
+				return err
+			}
+			u.ASPath = path
+		case AttrNextHop:
+			if alen != 4 {
+				return fmt.Errorf("%w: NEXT_HOP length %d", ErrBadAttribute, alen)
+			}
+			var a [4]byte
+			copy(a[:], val)
+			u.NextHop = netip.AddrFrom4(a)
+		case AttrMED:
+			if alen != 4 {
+				return fmt.Errorf("%w: MED length %d", ErrBadAttribute, alen)
+			}
+			u.MED, u.HasMED = binary.BigEndian.Uint32(val), true
+		case AttrLocalPref:
+			if alen != 4 {
+				return fmt.Errorf("%w: LOCAL_PREF length %d", ErrBadAttribute, alen)
+			}
+			u.LocalPref, u.HasLocal = binary.BigEndian.Uint32(val), true
+		case AttrCommunities:
+			if alen%4 != 0 {
+				return fmt.Errorf("%w: COMMUNITIES length %d", ErrBadAttribute, alen)
+			}
+			for i := 0; i < alen; i += 4 {
+				u.Communities = append(u.Communities, Community(binary.BigEndian.Uint32(val[i:i+4])))
+			}
+		case AttrMPReachNLRI:
+			if err := u.parseMPReach(val); err != nil {
+				return err
+			}
+		case AttrMPUnreachNLRI:
+			if err := u.parseMPUnreach(val); err != nil {
+				return err
+			}
+		default:
+			// Unknown attributes are tolerated (a collector must not
+			// reject updates it merely stores).
+		}
+	}
+	return nil
+}
+
+// parseASPath decodes an AS_PATH assuming 4-octet ASNs and flattens all
+// AS_SEQUENCE segments. AS_SET members are appended in order (collectors
+// treat sets as opaque path material).
+func parseASPath(val []byte) ([]uint32, error) {
+	var path []uint32
+	for len(val) > 0 {
+		if len(val) < 2 {
+			return nil, fmt.Errorf("%w: truncated AS_PATH segment", ErrBadAttribute)
+		}
+		segType, n := val[0], int(val[1])
+		if segType != segSet && segType != segSequence {
+			return nil, fmt.Errorf("%w: AS_PATH segment type %d", ErrBadAttribute, segType)
+		}
+		need := 2 + 4*n
+		if len(val) < need {
+			return nil, fmt.Errorf("%w: truncated AS_PATH", ErrBadAttribute)
+		}
+		for i := 0; i < n; i++ {
+			path = append(path, binary.BigEndian.Uint32(val[2+4*i:6+4*i]))
+		}
+		val = val[need:]
+	}
+	return path, nil
+}
+
+func (u *Update) parseMPReach(val []byte) error {
+	if len(val) < 5 {
+		return fmt.Errorf("%w: short MP_REACH_NLRI", ErrBadAttribute)
+	}
+	afi := binary.BigEndian.Uint16(val[:2])
+	safi := val[2]
+	nhLen := int(val[3])
+	if afi != AFIIPv6 || safi != SAFIUnicast {
+		return nil // other families ignored
+	}
+	if len(val) < 4+nhLen+1 {
+		return fmt.Errorf("%w: short MP_REACH_NLRI next hop", ErrBadAttribute)
+	}
+	if nhLen >= 16 {
+		var a [16]byte
+		copy(a[:], val[4:20])
+		u.V6NextHop = netip.AddrFrom16(a)
+	}
+	rest := val[4+nhLen:]
+	if len(rest) < 1 {
+		return fmt.Errorf("%w: missing SNPA count", ErrBadAttribute)
+	}
+	rest = rest[1:] // reserved
+	nlri, err := parsePrefixes(rest, true)
+	if err != nil {
+		return err
+	}
+	u.V6NLRI = nlri
+	return nil
+}
+
+func (u *Update) parseMPUnreach(val []byte) error {
+	if len(val) < 3 {
+		return fmt.Errorf("%w: short MP_UNREACH_NLRI", ErrBadAttribute)
+	}
+	afi := binary.BigEndian.Uint16(val[:2])
+	safi := val[2]
+	if afi != AFIIPv6 || safi != SAFIUnicast {
+		return nil
+	}
+	wd, err := parsePrefixes(val[3:], true)
+	if err != nil {
+		return err
+	}
+	u.V6Withdrawn = wd
+	return nil
+}

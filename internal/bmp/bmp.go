@@ -1,0 +1,302 @@
+// Package bmp implements the BGP Monitoring Protocol (RFC 7854) subset a
+// collection platform consumes — §14 names BMP as the natural
+// generalization of GILL's principles: instead of peering, a router
+// streams its adj-RIB-in over BMP, and the same redundancy filters apply.
+//
+// Supported messages: Initiation, Termination, Peer Up, Peer Down, Route
+// Monitoring (carrying BGP UPDATE PDUs), and Statistics Report. A Station
+// accepts BMP sessions over TCP and converts route-monitoring messages
+// into canonical updates for the sampling pipeline.
+package bmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/update"
+)
+
+// BMP version implemented (RFC 7854).
+const Version = 3
+
+// Message types (RFC 7854 §4.1).
+const (
+	TypeRouteMonitoring  = 0
+	TypeStatisticsReport = 1
+	TypePeerDown         = 2
+	TypePeerUp           = 3
+	TypeInitiation       = 4
+	TypeTermination      = 5
+)
+
+// Peer types.
+const PeerTypeGlobal = 0
+
+// Information TLV types (Initiation).
+const (
+	InfoString   = 0
+	InfoSysDescr = 1
+	InfoSysName  = 2
+)
+
+// Errors.
+var (
+	ErrShort      = errors.New("bmp: truncated message")
+	ErrBadVersion = errors.New("bmp: unsupported version")
+	ErrBadType    = errors.New("bmp: unknown message type")
+)
+
+// PerPeerHeader precedes peer-scoped messages (RFC 7854 §4.2).
+type PerPeerHeader struct {
+	PeerType      uint8
+	Flags         uint8
+	Distinguisher uint64
+	Address       netip.Addr
+	AS            uint32
+	BGPID         netip.Addr
+	Timestamp     time.Time
+}
+
+const perPeerLen = 42
+
+func (h *PerPeerHeader) marshal(dst []byte) []byte {
+	dst = append(dst, h.PeerType, h.Flags)
+	dst = binary.BigEndian.AppendUint64(dst, h.Distinguisher)
+	var addr [16]byte
+	if h.Address.Is4() {
+		a4 := h.Address.As4()
+		copy(addr[12:], a4[:])
+	} else if h.Address.IsValid() {
+		addr = h.Address.As16()
+	}
+	dst = append(dst, addr[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, h.AS)
+	var bid [4]byte
+	if h.BGPID.Is4() {
+		bid = h.BGPID.As4()
+	}
+	dst = append(dst, bid[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(h.Timestamp.Unix()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(h.Timestamp.Nanosecond()/1000))
+	return dst
+}
+
+func parsePerPeer(src []byte) (PerPeerHeader, []byte, error) {
+	if len(src) < perPeerLen {
+		return PerPeerHeader{}, nil, ErrShort
+	}
+	h := PerPeerHeader{
+		PeerType:      src[0],
+		Flags:         src[1],
+		Distinguisher: binary.BigEndian.Uint64(src[2:10]),
+		AS:            binary.BigEndian.Uint32(src[26:30]),
+	}
+	// V flag (bit 0x80): IPv6 address.
+	if h.Flags&0x80 != 0 {
+		var a [16]byte
+		copy(a[:], src[10:26])
+		h.Address = netip.AddrFrom16(a)
+	} else {
+		var a [4]byte
+		copy(a[:], src[22:26])
+		h.Address = netip.AddrFrom4(a)
+	}
+	var bid [4]byte
+	copy(bid[:], src[30:34])
+	h.BGPID = netip.AddrFrom4(bid)
+	sec := binary.BigEndian.Uint32(src[34:38])
+	usec := binary.BigEndian.Uint32(src[38:42])
+	h.Timestamp = time.Unix(int64(sec), int64(usec)*1000).UTC()
+	return h, src[perPeerLen:], nil
+}
+
+// Message is one decoded BMP message.
+type Message struct {
+	Type uint8
+	// Peer is set for peer-scoped types.
+	Peer PerPeerHeader
+	// Update is set for route monitoring.
+	Update *bgp.Update
+	// Info holds initiation/termination TLVs (type → value).
+	Info map[uint16]string
+	// Stats holds statistics-report counters (stat type → value).
+	Stats map[uint16]uint64
+	// PeerDownReason for TypePeerDown.
+	PeerDownReason uint8
+}
+
+// Marshal encodes a BMP message (common header + body).
+func Marshal(m *Message) ([]byte, error) {
+	body := make([]byte, 0, 64)
+	switch m.Type {
+	case TypeInitiation, TypeTermination:
+		for typ, val := range m.Info {
+			body = binary.BigEndian.AppendUint16(body, typ)
+			body = binary.BigEndian.AppendUint16(body, uint16(len(val)))
+			body = append(body, val...)
+		}
+	case TypePeerUp:
+		body = m.Peer.marshal(body)
+		// Local address (16) + local port (2) + remote port (2) and the
+		// two OPEN PDUs are permitted to be empty in this subset; emit
+		// zeroed placeholders for the fixed part.
+		body = append(body, make([]byte, 20)...)
+	case TypePeerDown:
+		body = m.Peer.marshal(body)
+		body = append(body, m.PeerDownReason)
+	case TypeRouteMonitoring:
+		body = m.Peer.marshal(body)
+		if m.Update == nil {
+			return nil, fmt.Errorf("bmp: route monitoring without update")
+		}
+		pdu, err := bgp.Marshal(m.Update)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, pdu...)
+	case TypeStatisticsReport:
+		body = m.Peer.marshal(body)
+		body = binary.BigEndian.AppendUint32(body, uint32(len(m.Stats)))
+		for typ, val := range m.Stats {
+			body = binary.BigEndian.AppendUint16(body, typ)
+			body = binary.BigEndian.AppendUint16(body, 8)
+			body = binary.BigEndian.AppendUint64(body, val)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, m.Type)
+	}
+	out := make([]byte, 0, 6+len(body))
+	out = append(out, Version)
+	out = binary.BigEndian.AppendUint32(out, uint32(6+len(body)))
+	out = append(out, m.Type)
+	return append(out, body...), nil
+}
+
+// ReadMessage reads one BMP message from r.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[0])
+	}
+	length := binary.BigEndian.Uint32(hdr[1:5])
+	if length < 6 || length > 1<<20 {
+		return nil, ErrShort
+	}
+	body := make([]byte, length-6)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, ErrShort
+	}
+	m := &Message{Type: hdr[5]}
+	switch m.Type {
+	case TypeInitiation, TypeTermination:
+		m.Info = map[uint16]string{}
+		for len(body) >= 4 {
+			typ := binary.BigEndian.Uint16(body[:2])
+			l := int(binary.BigEndian.Uint16(body[2:4]))
+			if len(body) < 4+l {
+				return nil, ErrShort
+			}
+			m.Info[typ] = string(body[4 : 4+l])
+			body = body[4+l:]
+		}
+	case TypePeerUp:
+		peer, rest, err := parsePerPeer(body)
+		if err != nil {
+			return nil, err
+		}
+		m.Peer = peer
+		_ = rest // local address/ports + OPENs ignored in this subset
+	case TypePeerDown:
+		peer, rest, err := parsePerPeer(body)
+		if err != nil {
+			return nil, err
+		}
+		m.Peer = peer
+		if len(rest) >= 1 {
+			m.PeerDownReason = rest[0]
+		}
+	case TypeRouteMonitoring:
+		peer, rest, err := parsePerPeer(body)
+		if err != nil {
+			return nil, err
+		}
+		m.Peer = peer
+		msg, err := bgp.Unmarshal(rest)
+		if err != nil {
+			return nil, err
+		}
+		upd, ok := msg.(*bgp.Update)
+		if !ok {
+			return nil, fmt.Errorf("bmp: route monitoring carries %T", msg)
+		}
+		m.Update = upd
+	case TypeStatisticsReport:
+		peer, rest, err := parsePerPeer(body)
+		if err != nil {
+			return nil, err
+		}
+		m.Peer = peer
+		if len(rest) < 4 {
+			return nil, ErrShort
+		}
+		n := binary.BigEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		m.Stats = map[uint16]uint64{}
+		for i := uint32(0); i < n; i++ {
+			if len(rest) < 4 {
+				return nil, ErrShort
+			}
+			typ := binary.BigEndian.Uint16(rest[:2])
+			l := int(binary.BigEndian.Uint16(rest[2:4]))
+			if len(rest) < 4+l {
+				return nil, ErrShort
+			}
+			if l == 8 {
+				m.Stats[typ] = binary.BigEndian.Uint64(rest[4:12])
+			} else if l == 4 {
+				m.Stats[typ] = uint64(binary.BigEndian.Uint32(rest[4:8]))
+			}
+			rest = rest[4+l:]
+		}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, m.Type)
+	}
+	return m, nil
+}
+
+// CanonicalUpdates converts a route-monitoring message into per-prefix
+// update records attributed to the monitored peer.
+func (m *Message) CanonicalUpdates() []*update.Update {
+	if m.Type != TypeRouteMonitoring || m.Update == nil {
+		return nil
+	}
+	vp := fmt.Sprintf("vp%d", m.Peer.AS)
+	at := m.Peer.Timestamp
+	comms := make([]uint32, len(m.Update.Communities))
+	for i, c := range m.Update.Communities {
+		comms[i] = uint32(c)
+	}
+	var out []*update.Update
+	for _, p := range m.Update.NLRI {
+		out = append(out, &update.Update{
+			VP: vp, Time: at, Prefix: p, Path: m.Update.ASPath, Comms: comms,
+		})
+	}
+	for _, p := range m.Update.V6NLRI {
+		out = append(out, &update.Update{
+			VP: vp, Time: at, Prefix: p, Path: m.Update.ASPath, Comms: comms,
+		})
+	}
+	for _, p := range append(append([]netip.Prefix(nil), m.Update.Withdrawn...), m.Update.V6Withdrawn...) {
+		out = append(out, &update.Update{VP: vp, Time: at, Prefix: p, Withdraw: true})
+	}
+	return out
+}

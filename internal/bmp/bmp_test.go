@@ -1,0 +1,200 @@
+package bmp
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/filter"
+	"repro/internal/update"
+)
+
+var ts = time.Date(2023, 9, 1, 12, 0, 0, 0, time.UTC)
+
+func peerHdr() PerPeerHeader {
+	return PerPeerHeader{
+		PeerType:  PeerTypeGlobal,
+		Address:   netip.MustParseAddr("192.0.2.9"),
+		AS:        65001,
+		BGPID:     netip.MustParseAddr("192.0.2.9"),
+		Timestamp: ts,
+	}
+}
+
+func routeMon() *Message {
+	return &Message{
+		Type: TypeRouteMonitoring,
+		Peer: peerHdr(),
+		Update: &bgp.Update{
+			Origin:      bgp.OriginIGP,
+			ASPath:      []uint32{65001, 2, 9},
+			NextHop:     netip.MustParseAddr("192.0.2.9"),
+			Communities: []bgp.Community{7},
+			NLRI:        []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")},
+		},
+	}
+}
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := ReadMessage(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	return got
+}
+
+func TestInitiationRoundTrip(t *testing.T) {
+	m := &Message{Type: TypeInitiation, Info: map[uint16]string{
+		InfoSysName: "gill-station", InfoSysDescr: "test",
+	}}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(got.Info, m.Info) {
+		t.Errorf("info: %v", got.Info)
+	}
+}
+
+func TestRouteMonitoringRoundTrip(t *testing.T) {
+	got := roundTrip(t, routeMon())
+	if got.Peer.AS != 65001 || got.Peer.Address != netip.MustParseAddr("192.0.2.9") {
+		t.Errorf("peer header: %+v", got.Peer)
+	}
+	if !got.Peer.Timestamp.Equal(ts) {
+		t.Errorf("timestamp: %v", got.Peer.Timestamp)
+	}
+	if got.Update == nil || got.Update.NLRI[0] != netip.MustParsePrefix("203.0.113.0/24") {
+		t.Errorf("update: %+v", got.Update)
+	}
+}
+
+func TestIPv6PeerRoundTrip(t *testing.T) {
+	m := routeMon()
+	m.Peer.Address = netip.MustParseAddr("2001:db8::9")
+	m.Peer.Flags = 0x80
+	got := roundTrip(t, m)
+	if got.Peer.Address != m.Peer.Address {
+		t.Errorf("v6 peer address: %v", got.Peer.Address)
+	}
+}
+
+func TestPeerUpDownRoundTrip(t *testing.T) {
+	up := roundTrip(t, &Message{Type: TypePeerUp, Peer: peerHdr()})
+	if up.Peer.AS != 65001 {
+		t.Errorf("peer up: %+v", up.Peer)
+	}
+	down := roundTrip(t, &Message{Type: TypePeerDown, Peer: peerHdr(), PeerDownReason: 2})
+	if down.PeerDownReason != 2 {
+		t.Errorf("peer down reason: %d", down.PeerDownReason)
+	}
+}
+
+func TestStatsReportRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:  TypeStatisticsReport,
+		Peer:  peerHdr(),
+		Stats: map[uint16]uint64{0: 42, 7: 99999},
+	}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(got.Stats, m.Stats) {
+		t.Errorf("stats: %v", got.Stats)
+	}
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	if _, err := ReadMessage(bytes.NewReader([]byte{9, 0, 0, 0, 6, 0})); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := ReadMessage(bytes.NewReader([]byte{3, 0, 0, 0, 7, 99, 0})); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := ReadMessage(bytes.NewReader([]byte{3, 0, 0})); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestCanonicalUpdates(t *testing.T) {
+	m := routeMon()
+	m.Update.Withdrawn = []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")}
+	us := m.CanonicalUpdates()
+	if len(us) != 2 {
+		t.Fatalf("updates: %d", len(us))
+	}
+	if us[0].VP != "vp65001" || !us[0].Time.Equal(ts) {
+		t.Errorf("attribution: %+v", us[0])
+	}
+	if !us[1].Withdraw {
+		t.Error("withdrawal lost")
+	}
+	if got := (&Message{Type: TypePeerUp}).CanonicalUpdates(); got != nil {
+		t.Error("non-route-monitoring produced updates")
+	}
+}
+
+func TestStationEndToEnd(t *testing.T) {
+	// GILL filters applied to a BMP feed, over real TCP.
+	fs := filter.NewSet(filter.GranVPPrefix)
+	fs.AddDropVPPrefix("vp65001", netip.MustParsePrefix("198.51.100.0/24"))
+
+	var mu sync.Mutex
+	var got []*update.Update
+	st := &Station{
+		Filters: fs,
+		Deliver: func(u *update.Update) {
+			mu.Lock()
+			got = append(got, u)
+			mu.Unlock()
+		},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	go func() { _ = st.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	exp, err := NewExporter(conn, "router-under-test")
+	if err != nil {
+		t.Fatalf("NewExporter: %v", err)
+	}
+	if err := exp.Send(&Message{Type: TypePeerUp, Peer: peerHdr()}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := exp.Send(routeMon()); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	dropped := routeMon()
+	dropped.Update.NLRI = []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")}
+	if err := exp.Send(dropped); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	exp.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Stats().Received < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := st.Stats()
+	if s.Received != 2 || s.Filtered != 1 || s.PeersUp != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Prefix != netip.MustParsePrefix("203.0.113.0/24") {
+		t.Errorf("delivered: %+v", got)
+	}
+}

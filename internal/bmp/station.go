@@ -1,0 +1,128 @@
+package bmp
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync/atomic"
+
+	"repro/internal/filter"
+	"repro/internal/update"
+)
+
+// Station accepts BMP sessions from monitored routers and feeds the
+// carried routes into GILL's pipeline — the same filters apply whether the
+// data arrived over a BGP peering or a BMP export (§14).
+type Station struct {
+	// Filters applies GILL's sampling; nil retains everything.
+	Filters *filter.Set
+	// Deliver receives every retained update.
+	Deliver func(*update.Update)
+
+	received atomic.Uint64
+	filtered atomic.Uint64
+	peersUp  atomic.Uint64
+}
+
+// Stats are the station's counters.
+type Stats struct {
+	Received uint64
+	Filtered uint64
+	PeersUp  uint64
+}
+
+// Stats snapshots the counters.
+func (s *Station) Stats() Stats {
+	return Stats{
+		Received: s.received.Load(),
+		Filtered: s.filtered.Load(),
+		PeersUp:  s.peersUp.Load(),
+	}
+}
+
+// Serve accepts BMP sessions on ln until ctx is canceled.
+func (s *Station) Serve(ctx context.Context, ln net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		go func() { _ = s.HandleConn(conn) }()
+	}
+}
+
+// HandleConn processes one BMP session until EOF or error.
+func (s *Station) HandleConn(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		m, err := ReadMessage(br)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case TypePeerUp:
+			s.peersUp.Add(1)
+		case TypeTermination:
+			return nil
+		case TypeRouteMonitoring:
+			for _, u := range m.CanonicalUpdates() {
+				s.received.Add(1)
+				if s.Filters != nil && !s.Filters.Keep(u) {
+					s.filtered.Add(1)
+					continue
+				}
+				if s.Deliver != nil {
+					s.Deliver(u)
+				}
+			}
+		}
+	}
+}
+
+// Exporter is the router side of a BMP session, for tests and synthetic
+// feeds: it sends Initiation, Peer Up, then route-monitoring messages.
+type Exporter struct {
+	conn net.Conn
+}
+
+// NewExporter starts a BMP session on conn by sending Initiation.
+func NewExporter(conn net.Conn, sysName string) (*Exporter, error) {
+	e := &Exporter{conn: conn}
+	init, err := Marshal(&Message{
+		Type: TypeInitiation,
+		Info: map[uint16]string{InfoSysName: sysName},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(init); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Send transmits one message.
+func (e *Exporter) Send(m *Message) error {
+	b, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = e.conn.Write(b)
+	return err
+}
+
+// Close terminates the session.
+func (e *Exporter) Close() error {
+	if b, err := Marshal(&Message{Type: TypeTermination, Info: map[uint16]string{}}); err == nil {
+		_, _ = e.conn.Write(b)
+	}
+	return e.conn.Close()
+}

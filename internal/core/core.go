@@ -1,0 +1,142 @@
+// Package core is GILL's sampling pipeline — the paper's primary
+// contribution. It ties together Component #1 (redundant-update inference
+// via correlation groups and reconstitution power, §17), Component #2
+// (anchor-VP selection via balanced BGP events and topological feature
+// distances, §18), and filter generation (§7) into a single trainable
+// model whose filters drive the collection daemons and whose samplers
+// feed the benchmarks.
+package core
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"repro/internal/anchors"
+	"repro/internal/correlation"
+	"repro/internal/filter"
+	"repro/internal/sampling"
+	"repro/internal/topology"
+	"repro/internal/update"
+)
+
+// Config collects the pipeline's tunables, defaulting to the paper's
+// calibrated values.
+type Config struct {
+	Correlation correlation.Config
+	Select      anchors.SelectConfig
+	Band        anchors.VisibilityBand
+	// EventsPerCell is the per-(category pair, event type) stratification
+	// quota (§18.1: 50, yielding 2250 events at full scale).
+	EventsPerCell int
+	// Granularity of the generated filters (production: VP+prefix).
+	Granularity filter.Granularity
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Correlation:   correlation.DefaultConfig(),
+		Select:        anchors.DefaultSelectConfig(),
+		Band:          anchors.DefaultBand(),
+		EventsPerCell: 50,
+		Granularity:   filter.GranVPPrefix,
+	}
+}
+
+// TrainingData is everything a training run consumes: the (temporarily
+// mirrored, §8) complete update stream of the window, per-VP RIBs at the
+// window start, and the AS categorization for event stratification.
+type TrainingData struct {
+	Updates    []*update.Update
+	Baseline   map[string]map[netip.Prefix][]uint32
+	Categories map[uint32]topology.Category
+	// TotalVPs is the platform's VP count (the §18.1 visibility band
+	// denominator); 0 derives it from the data.
+	TotalVPs int
+}
+
+// Model is a trained GILL sampling model.
+type Model struct {
+	Config Config
+
+	// Correlation is Component #1's outcome.
+	Correlation *correlation.Result
+	// Scores holds pairwise VP redundancy; Anchors the selected VPs.
+	Scores  *anchors.ScoreMatrix
+	Anchors []string
+	// Filters is the compiled production filter set.
+	Filters *filter.Set
+
+	// EventsUsed is the balanced event count that scored the VPs.
+	EventsUsed int
+}
+
+// Train runs the full pipeline on one training window.
+func Train(data TrainingData, cfg Config, r *rand.Rand) *Model {
+	m := &Model{Config: cfg}
+
+	// Component #1: redundant updates.
+	m.Correlation = correlation.Run(data.Updates, cfg.Correlation)
+
+	// Component #2: anchor VPs.
+	totalVPs := data.TotalVPs
+	if totalVPs == 0 {
+		totalVPs = len(VolumeByVP(data.Updates))
+	}
+	events := anchors.DetectEvents(data.Baseline, data.Updates, totalVPs, cfg.Band)
+	if data.Categories != nil {
+		events = anchors.BalancedSelect(events, data.Categories, cfg.EventsPerCell, r)
+	}
+	m.EventsUsed = len(events)
+	if len(events) > 0 {
+		rep := anchors.NewReplayer(data.Baseline, data.Updates)
+		vecs := rep.EventVectors(events)
+		m.Scores = anchors.Scores(rep.VPs(), vecs)
+		m.Anchors = anchors.SelectAnchors(m.Scores, VolumeByVP(data.Updates), cfg.Select)
+	}
+
+	m.Filters = filter.Generate(m.Correlation, m.Anchors, cfg.Granularity)
+	return m
+}
+
+// VolumeByVP counts updates per VP.
+func VolumeByVP(us []*update.Update) map[string]int {
+	out := make(map[string]int)
+	for _, u := range us {
+		out[u.VP]++
+	}
+	return out
+}
+
+// Keep applies the model's filters to one update.
+func (m *Model) Keep(u *update.Update) bool { return m.Filters.Keep(u) }
+
+// Sampler returns the full GILL sampler (components #1 + #2).
+func (m *Model) Sampler() sampling.Sampler {
+	return sampling.Filtered{Label: "gill", Keep: m.Filters.Keep}
+}
+
+// UpdSampler returns GILL-upd: component #1 only (no anchor accept-alls).
+func (m *Model) UpdSampler() sampling.Sampler {
+	fs := filter.Generate(m.Correlation, nil, m.Config.Granularity)
+	return sampling.Filtered{Label: "gill-upd", Keep: fs.Keep}
+}
+
+// VPSampler returns GILL-vp: anchors only (component #2).
+func (m *Model) VPSampler() sampling.Sampler {
+	return sampling.AnchorsOnly(m.Anchors)
+}
+
+// RetainedFraction is the share of the training updates the filters keep.
+func (m *Model) RetainedFraction(us []*update.Update) float64 {
+	if len(us) == 0 {
+		return 0
+	}
+	kept := 0
+	for _, u := range us {
+		if m.Filters.Keep(u) {
+			kept++
+		}
+	}
+	return float64(kept) / float64(len(us))
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/topology"
+	"repro/internal/update"
+)
+
+var t0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func pfx(i int) netip.Prefix { return topology.PrefixFromIndex(i) }
+
+// twinStream builds a stream where vpA and vpB observe identical recurring
+// events and vpC observes a distinct one.
+func twinStream() ([]*update.Update, map[string]map[netip.Prefix][]uint32) {
+	var us []*update.Update
+	for i := 0; i < 8; i++ {
+		at := t0.Add(time.Duration(i) * time.Hour)
+		path := []uint32{1, 2, 9}
+		if i%2 == 1 {
+			path = []uint32{1, 3, 9}
+		}
+		us = append(us,
+			&update.Update{VP: "vpA", Time: at, Prefix: pfx(0), Path: path},
+			&update.Update{VP: "vpB", Time: at.Add(5 * time.Second), Prefix: pfx(0), Path: append([]uint32{7}, path...)},
+			&update.Update{VP: "vpC", Time: at.Add(time.Second), Prefix: pfx(1), Path: []uint32{8, 4, 5}},
+		)
+	}
+	update.Annotate(us)
+	baseline := map[string]map[netip.Prefix][]uint32{
+		"vpA": {pfx(0): {1, 2, 9}, pfx(1): {1, 4, 5}},
+		"vpB": {pfx(0): {7, 1, 2, 9}, pfx(1): {7, 1, 4, 5}},
+		"vpC": {pfx(0): {8, 2, 9}, pfx(1): {8, 4, 5}},
+	}
+	return us, baseline
+}
+
+func TestTrainProducesWorkingModel(t *testing.T) {
+	us, baseline := twinStream()
+	cfg := DefaultConfig()
+	cfg.EventsPerCell = 5
+	m := Train(TrainingData{Updates: us, Baseline: baseline, TotalVPs: 3},
+		cfg, rand.New(rand.NewSource(1)))
+	if m.Correlation == nil || m.Filters == nil {
+		t.Fatal("incomplete model")
+	}
+	// One of the twins must be classified redundant for pfx(0).
+	var redA, redB *bool
+	for _, u := range us {
+		r := m.Correlation.IsRedundant(u)
+		switch u.VP {
+		case "vpA":
+			if redA == nil {
+				redA = &r
+			}
+		case "vpB":
+			if redB == nil {
+				redB = &r
+			}
+		}
+	}
+	if *redA == *redB {
+		t.Errorf("exactly one twin should be redundant: A=%v B=%v", *redA, *redB)
+	}
+	// vpC's unique view must be retained.
+	for _, u := range us {
+		if u.VP == "vpC" && m.Correlation.IsRedundant(u) {
+			t.Error("unique vpC updates classified redundant")
+		}
+	}
+}
+
+func TestTrainWithoutCategoriesStillSelectsAnchors(t *testing.T) {
+	us, baseline := twinStream()
+	m := Train(TrainingData{Updates: us, Baseline: baseline},
+		DefaultConfig(), rand.New(rand.NewSource(2)))
+	if m.EventsUsed == 0 {
+		t.Error("no events detected without categories")
+	}
+	if len(m.Anchors) == 0 {
+		t.Error("no anchors without categories")
+	}
+}
+
+func TestTrainEmptyData(t *testing.T) {
+	m := Train(TrainingData{}, DefaultConfig(), rand.New(rand.NewSource(3)))
+	if m.Filters == nil {
+		t.Fatal("nil filters on empty data")
+	}
+	// Empty model follows the accept-everything default.
+	u := &update.Update{VP: "vpX", Time: t0, Prefix: pfx(9), Path: []uint32{1, 2}}
+	if !m.Keep(u) {
+		t.Error("empty model must accept everything")
+	}
+	if m.RetainedFraction(nil) != 0 {
+		t.Error("RetainedFraction(nil) != 0")
+	}
+}
+
+func TestSamplerRelationships(t *testing.T) {
+	us, baseline := twinStream()
+	m := Train(TrainingData{Updates: us, Baseline: baseline, TotalVPs: 3},
+		DefaultConfig(), rand.New(rand.NewSource(4)))
+
+	full := m.Sampler().Sample(us, 0)
+	upd := m.UpdSampler().Sample(us, 0)
+	vp := m.VPSampler().Sample(us, 0)
+
+	inFull := make(map[*update.Update]bool, len(full))
+	for _, u := range full {
+		inFull[u] = true
+	}
+	for _, u := range upd {
+		if !inFull[u] {
+			t.Fatal("gill-upd selected an update the full sampler dropped")
+		}
+	}
+	for _, u := range vp {
+		if !inFull[u] {
+			t.Fatal("gill-vp selected an update the full sampler dropped")
+		}
+	}
+	names := map[string]bool{
+		m.Sampler().Name():    true,
+		m.UpdSampler().Name(): true,
+		m.VPSampler().Name():  true,
+	}
+	if !names["gill"] || !names["gill-upd"] || !names["gill-vp"] {
+		t.Errorf("sampler names wrong: %v", names)
+	}
+}
+
+func TestGranularityPropagates(t *testing.T) {
+	us, baseline := twinStream()
+	cfg := DefaultConfig()
+	cfg.Granularity = filter.GranVPPrefixPath
+	m := Train(TrainingData{Updates: us, Baseline: baseline, TotalVPs: 3},
+		cfg, rand.New(rand.NewSource(5)))
+	if m.Filters.Granularity != filter.GranVPPrefixPath {
+		t.Errorf("granularity = %v", m.Filters.Granularity)
+	}
+}
+
+func TestVolumeByVP(t *testing.T) {
+	us, _ := twinStream()
+	v := VolumeByVP(us)
+	if v["vpA"] != 8 || v["vpB"] != 8 || v["vpC"] != 8 {
+		t.Errorf("volumes: %v", v)
+	}
+}
+
+func TestRetainedFractionCounts(t *testing.T) {
+	us, baseline := twinStream()
+	m := Train(TrainingData{Updates: us, Baseline: baseline, TotalVPs: 3},
+		DefaultConfig(), rand.New(rand.NewSource(6)))
+	kept := 0
+	for _, u := range us {
+		if m.Keep(u) {
+			kept++
+		}
+	}
+	want := float64(kept) / float64(len(us))
+	if got := m.RetainedFraction(us); got != want {
+		t.Errorf("RetainedFraction = %v, want %v", got, want)
+	}
+}

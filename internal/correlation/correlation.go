@@ -1,0 +1,256 @@
+// Package correlation implements Component #1 of GILL's sampling (§6,
+// §17): finding redundant BGP updates. It builds per-prefix correlation
+// groups of updates that appear together in time, measures how well a
+// subset of updates can reconstitute the full set (the reconstitution
+// power), greedily selects the least redundant per-prefix VP sets, and
+// finally removes redundancy across prefixes subject to identical update
+// sequences.
+package correlation
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/update"
+)
+
+// Config holds the component's parameters, defaulting to the paper's
+// calibrated values.
+type Config struct {
+	// Window is the correlation time window (§17.1, default 100 s).
+	Window time.Duration
+	// StopRP is the reconstitution power at which the greedy selection
+	// stops (§17.2, default 0.94).
+	StopRP float64
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{Window: update.Slack, StopRP: 0.94}
+}
+
+// Group is one correlation group: a set of update attribute keys (VP, AS
+// path, communities — all for the same prefix) that appear together, with
+// the number of times they did.
+type Group struct {
+	Members map[string]bool
+	Weight  int
+}
+
+// sameMembers reports set equality.
+func (g *Group) sameMembers(set map[string]bool) bool {
+	if len(g.Members) != len(set) {
+		return false
+	}
+	for k := range set {
+		if !g.Members[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildGroups clusters one prefix's updates into correlation groups
+// (§17.1): consecutive updates separated by less than window form one
+// occurrence; occurrences with identical member sets accumulate weight.
+func BuildGroups(us []*update.Update, window time.Duration) []*Group {
+	if len(us) == 0 {
+		return nil
+	}
+	sorted := append([]*update.Update(nil), us...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+
+	var groups []*Group
+	flush := func(occ map[string]bool) {
+		if len(occ) == 0 {
+			return
+		}
+		for _, g := range groups {
+			if g.sameMembers(occ) {
+				g.Weight++
+				return
+			}
+		}
+		groups = append(groups, &Group{Members: occ, Weight: 1})
+	}
+
+	occ := map[string]bool{sorted[0].AttrKey(): true}
+	last := sorted[0].Time
+	for _, u := range sorted[1:] {
+		if u.Time.Sub(last) >= window {
+			flush(occ)
+			occ = make(map[string]bool)
+		}
+		occ[u.AttrKey()] = true
+		last = u.Time
+	}
+	flush(occ)
+	return groups
+}
+
+// PrefixAnalysis holds the correlation state for one prefix.
+type PrefixAnalysis struct {
+	Prefix  netip.Prefix
+	Groups  []*Group
+	ByVP    map[string][]*update.Update
+	Updates []*update.Update
+	cfg     Config
+
+	// groupsByKey caches, per attribute key, the highest-weight group
+	// containing it.
+	bestGroup map[string]*Group
+}
+
+// AnalyzePrefix builds the correlation groups and indexes for one prefix's
+// updates.
+func AnalyzePrefix(prefix netip.Prefix, us []*update.Update, cfg Config) *PrefixAnalysis {
+	pa := &PrefixAnalysis{
+		Prefix:  prefix,
+		Groups:  BuildGroups(us, cfg.Window),
+		ByVP:    make(map[string][]*update.Update),
+		Updates: us,
+		cfg:     cfg,
+	}
+	for _, u := range us {
+		pa.ByVP[u.VP] = append(pa.ByVP[u.VP], u)
+	}
+	pa.bestGroup = make(map[string]*Group)
+	for _, g := range pa.Groups {
+		for k := range g.Members {
+			if cur, ok := pa.bestGroup[k]; !ok || g.Weight > cur.Weight {
+				pa.bestGroup[k] = g
+			}
+		}
+	}
+	return pa
+}
+
+// VPs returns the prefix's VPs, sorted for determinism.
+func (pa *PrefixAnalysis) VPs() []string {
+	out := make([]string, 0, len(pa.ByVP))
+	for vp := range pa.ByVP {
+		out = append(out, vp)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReconstitutionPower computes RP(V, U) for U = all updates of the given
+// VPs (§17.2): for every u in U, the highest-weight correlation group
+// containing u's attributes is replayed at u's timestamp; the power is the
+// fraction of V identically reconstituted (same attributes, timestamp
+// within the 100 s slack).
+func (pa *PrefixAnalysis) ReconstitutionPower(vps map[string]bool) float64 {
+	if len(pa.Updates) == 0 {
+		return 1
+	}
+	// Index V by attribute key with sorted times for slack matching.
+	type rec struct {
+		times   []time.Time
+		matched []bool
+	}
+	index := make(map[string]*rec)
+	for _, v := range pa.Updates {
+		k := v.AttrKey()
+		r := index[k]
+		if r == nil {
+			r = &rec{}
+			index[k] = r
+		}
+		r.times = append(r.times, v.Time)
+	}
+	for _, r := range index {
+		sort.Slice(r.times, func(i, j int) bool { return r.times[i].Before(r.times[j]) })
+		r.matched = make([]bool, len(r.times))
+	}
+
+	matchOne := func(k string, t time.Time) {
+		r := index[k]
+		if r == nil {
+			return
+		}
+		lo := sort.Search(len(r.times), func(i int) bool {
+			return r.times[i].After(t.Add(-pa.cfg.Window))
+		})
+		for i := lo; i < len(r.times); i++ {
+			if r.times[i].Sub(t) >= pa.cfg.Window {
+				break
+			}
+			if !r.matched[i] {
+				r.matched[i] = true
+			}
+		}
+	}
+
+	for vp := range vps {
+		for _, u := range pa.ByVP[vp] {
+			g := pa.bestGroup[u.AttrKey()]
+			if g == nil {
+				continue
+			}
+			for k := range g.Members {
+				matchOne(k, u.Time)
+			}
+		}
+	}
+	matched := 0
+	for _, r := range index {
+		for _, m := range r.matched {
+			if m {
+				matched++
+			}
+		}
+	}
+	return float64(matched) / float64(len(pa.Updates))
+}
+
+// TrajectoryPoint records one greedy iteration: the fraction of updates
+// retained (|α|/|β|) and the reconstitution power reached.
+type TrajectoryPoint struct {
+	KeptFraction float64
+	RP           float64
+}
+
+// Greedy selects the per-prefix nonredundant VP set (§17.2): iteratively
+// add the VP (all of its updates, matching the coarse granularity of
+// GILL's filters) that most improves the reconstitution power, stopping at
+// cfg.StopRP. It returns the retained VP set and the greedy trajectory.
+func (pa *PrefixAnalysis) Greedy() (map[string]bool, []TrajectoryPoint) {
+	selected := make(map[string]bool)
+	var traj []TrajectoryPoint
+	total := len(pa.Updates)
+	if total == 0 {
+		return selected, traj
+	}
+	kept := 0
+	remaining := pa.VPs()
+	currentRP := 0.0
+	for len(remaining) > 0 && currentRP < pa.cfg.StopRP {
+		bestVP := ""
+		bestRP := currentRP
+		bestIdx := -1
+		for i, vp := range remaining {
+			selected[vp] = true
+			rp := pa.ReconstitutionPower(selected)
+			delete(selected, vp)
+			// Strictly-better wins; ties prefer the VP with fewer updates
+			// (less data volume), then lexicographic order.
+			if rp > bestRP || (bestIdx >= 0 && rp == bestRP && len(pa.ByVP[vp]) < len(pa.ByVP[bestVP])) {
+				bestRP, bestVP, bestIdx = rp, vp, i
+			}
+		}
+		if bestIdx < 0 {
+			break // no VP improves the power further
+		}
+		selected[bestVP] = true
+		kept += len(pa.ByVP[bestVP])
+		currentRP = bestRP
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		traj = append(traj, TrajectoryPoint{
+			KeptFraction: float64(kept) / float64(total),
+			RP:           currentRP,
+		})
+	}
+	return selected, traj
+}

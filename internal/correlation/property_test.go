@@ -1,0 +1,119 @@
+package correlation
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/update"
+)
+
+// randStream builds a random single-prefix stream with recurring events.
+func randStream(r *rand.Rand, p netip.Prefix) []*update.Update {
+	base := time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+	paths := [][]uint32{{1, 2}, {3, 1, 2}, {4, 2}, {5, 2}}
+	var us []*update.Update
+	events := 2 + r.Intn(6)
+	vps := 2 + r.Intn(4)
+	for e := 0; e < events; e++ {
+		at := base.Add(time.Duration(e) * 20 * time.Minute)
+		pi := r.Intn(len(paths))
+		for v := 0; v < vps; v++ {
+			if r.Intn(4) == 0 {
+				continue // this VP misses the event
+			}
+			us = append(us, &update.Update{
+				VP:     "vp" + string(rune('a'+v)),
+				Time:   at.Add(time.Duration(v) * 3 * time.Second),
+				Prefix: p,
+				Path:   append([]uint32{uint32(10 + v)}, paths[pi]...),
+			})
+		}
+	}
+	return us
+}
+
+// TestRPBoundsProperty: reconstitution power is always within [0, 1], and
+// the full VP set has RP ≥ any subset's (monotonicity under inclusion).
+func TestRPBoundsProperty(t *testing.T) {
+	p := netip.MustParsePrefix("16.0.0.0/24")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		us := randStream(r, p)
+		if len(us) == 0 {
+			return true
+		}
+		pa := AnalyzePrefix(p, us, DefaultConfig())
+		vps := pa.VPs()
+		all := make(map[string]bool, len(vps))
+		sub := make(map[string]bool)
+		for i, vp := range vps {
+			all[vp] = true
+			if i%2 == 0 {
+				sub[vp] = true
+			}
+		}
+		rpAll := pa.ReconstitutionPower(all)
+		rpSub := pa.ReconstitutionPower(sub)
+		if rpAll < 0 || rpAll > 1 || rpSub < 0 || rpSub > 1 {
+			return false
+		}
+		return rpAll >= rpSub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyReachesStopProperty: the greedy either reaches the configured
+// stop RP or exhausts all VPs.
+func TestGreedyReachesStopProperty(t *testing.T) {
+	p := netip.MustParsePrefix("16.0.0.0/24")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		us := randStream(r, p)
+		if len(us) == 0 {
+			return true
+		}
+		cfg := DefaultConfig()
+		pa := AnalyzePrefix(p, us, cfg)
+		retained, traj := pa.Greedy()
+		if len(traj) == 0 {
+			return len(retained) == 0
+		}
+		final := traj[len(traj)-1].RP
+		return final >= cfg.StopRP || len(retained) == len(pa.VPs()) ||
+			final == pa.ReconstitutionPower(allOf(pa.VPs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func allOf(vps []string) map[string]bool {
+	m := make(map[string]bool, len(vps))
+	for _, vp := range vps {
+		m[vp] = true
+	}
+	return m
+}
+
+// TestRunNeverDropsEverythingProperty: whatever the stream, at least one
+// VP per active prefix is retained.
+func TestRunNeverDropsEverythingProperty(t *testing.T) {
+	p := netip.MustParsePrefix("16.0.0.0/24")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		us := randStream(r, p)
+		if len(us) == 0 {
+			return true
+		}
+		res := Run(us, DefaultConfig())
+		return len(res.Retained[p]) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

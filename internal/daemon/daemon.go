@@ -1,0 +1,431 @@
+// Package daemon implements GILL's collection daemon (§8): a lightweight
+// BGP listener tailored to peer with a single router, apply GILL's filters
+// to the received updates, and archive what survives — RIB dumps every
+// eight hours and every retained update in MRT format. The daemon counts
+// received, filtered, written and lost updates so the Table 1 load
+// experiment can measure loss as a function of ingest rate, and a
+// calibrated capacity model extrapolates to peer counts that cannot run
+// on one test machine.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/filter"
+	"repro/internal/mrt"
+	"repro/internal/update"
+	"repro/internal/validity"
+)
+
+// RIBDumpInterval is the paper's RIB snapshot period (§8).
+const RIBDumpInterval = 8 * time.Hour
+
+// Config parameterizes a collection daemon.
+type Config struct {
+	LocalAS  uint32
+	RouterID netip.Addr
+	// Filters is the GILL filter set; nil collects everything.
+	Filters *filter.Set
+	// Out receives the MRT update archive; nil discards.
+	Out io.Writer
+	// RecordSink, when set, receives every archived MRT record (e.g. an
+	// archive.Store's Append); it runs in addition to Out.
+	RecordSink func(*mrt.Record) error
+	// QueueSize bounds the ingest queue between the BGP reader and the
+	// archive writer; overflowing updates are lost (default 4096).
+	QueueSize int
+	// WriteDelay emulates storage latency per archived record, letting
+	// load tests reproduce the disk-bound regime of Table 1.
+	WriteDelay time.Duration
+	// Checker optionally validates received routes (origin validation,
+	// first-hop verification; §14's fake-data defenses). Updates the
+	// checker decides to drop are counted in Stats.Rejected.
+	Checker *validity.Checker
+	// Publish, when set, receives every retained update (the live-feed
+	// tee, §9).
+	Publish func(*update.Update)
+	// Clock for timestamps (defaults to time.Now).
+	Clock func() time.Time
+}
+
+// Stats are the daemon's monotonic counters.
+type Stats struct {
+	Received  uint64 // updates read from peers (per-prefix)
+	Filtered  uint64 // discarded by GILL's filters
+	Written   uint64 // archived to MRT
+	Lost      uint64 // dropped on queue overflow (the Table 1 metric)
+	Withdrawn uint64 // withdrawal records processed
+	Rejected  uint64 // discarded by validity checks (forged or invalid)
+	Forwarded uint64 // delivered to operator forwarding rules (§14)
+}
+
+// LossFraction is Lost / Received.
+func (s Stats) LossFraction() float64 {
+	if s.Received == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(s.Received)
+}
+
+// Daemon is a running collection daemon.
+type Daemon struct {
+	cfg   Config
+	queue chan archiveItem
+
+	received  atomic.Uint64
+	filtered  atomic.Uint64
+	written   atomic.Uint64
+	lost      atomic.Uint64
+	withdrawn atomic.Uint64
+	rejected  atomic.Uint64
+	forwarded atomic.Uint64
+
+	mu       sync.Mutex
+	rib      map[string]map[netip.Prefix]*update.Update // adj-rib-in per peer
+	forwards []forwardRule
+
+	writerOnce sync.Once
+	done       chan struct{}
+}
+
+type archiveItem struct {
+	peerAS uint32
+	peerIP netip.Addr
+	msg    *bgp.Update
+	at     time.Time
+}
+
+// forwardRule is one §14 custom-visibility service: updates for the
+// subscribed prefixes are delivered to the operator before any filtering
+// decision.
+type forwardRule struct {
+	prefixes map[netip.Prefix]bool
+	deliver  func(*update.Update)
+}
+
+// AddForward subscribes an operator to updates for the given prefixes.
+// Matching updates are delivered even when GILL's filters discard them —
+// the §14 incentive: full visibility over one's own prefixes.
+func (d *Daemon) AddForward(prefixes []netip.Prefix, deliver func(*update.Update)) {
+	set := make(map[netip.Prefix]bool, len(prefixes))
+	for _, p := range prefixes {
+		set[p] = true
+	}
+	d.mu.Lock()
+	d.forwards = append(d.forwards, forwardRule{prefixes: set, deliver: deliver})
+	d.mu.Unlock()
+}
+
+// New builds a daemon.
+func New(cfg Config) *Daemon {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 4096
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Daemon{
+		cfg:   cfg,
+		queue: make(chan archiveItem, cfg.QueueSize),
+		rib:   make(map[string]map[netip.Prefix]*update.Update),
+		done:  make(chan struct{}),
+	}
+}
+
+// Stats snapshots the counters.
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		Received:  d.received.Load(),
+		Filtered:  d.filtered.Load(),
+		Written:   d.written.Load(),
+		Lost:      d.lost.Load(),
+		Withdrawn: d.withdrawn.Load(),
+		Rejected:  d.rejected.Load(),
+		Forwarded: d.forwarded.Load(),
+	}
+}
+
+// startWriter launches the archive goroutine once.
+func (d *Daemon) startWriter() {
+	d.writerOnce.Do(func() {
+		go func() {
+			var w *mrt.Writer
+			if d.cfg.Out != nil {
+				w = mrt.NewWriter(d.cfg.Out)
+			}
+			for item := range d.queue {
+				if d.cfg.WriteDelay > 0 {
+					time.Sleep(d.cfg.WriteDelay)
+				}
+				if w != nil || d.cfg.RecordSink != nil {
+					rec := &mrt.Record{
+						Header: mrt.Header{
+							Timestamp: item.at,
+							Type:      mrt.TypeBGP4MP,
+							Subtype:   mrt.SubtypeBGP4MPMessageAS4,
+						},
+						BGP4MP: &mrt.BGP4MPMessage{
+							PeerAS:  item.peerAS,
+							LocalAS: d.cfg.LocalAS,
+							PeerIP:  item.peerIP,
+							LocalIP: addrOr(d.cfg.RouterID),
+							Message: item.msg,
+						},
+					}
+					if w != nil {
+						if err := w.WriteRecord(rec); err != nil {
+							continue
+						}
+					}
+					if d.cfg.RecordSink != nil {
+						if err := d.cfg.RecordSink(rec); err != nil {
+							continue
+						}
+					}
+				}
+				d.written.Add(1)
+			}
+			close(d.done)
+		}()
+	})
+}
+
+func addrOr(a netip.Addr) netip.Addr {
+	if a.IsValid() {
+		return a
+	}
+	return netip.AddrFrom4([4]byte{192, 0, 2, 1})
+}
+
+// Close drains and stops the archive writer.
+func (d *Daemon) Close() {
+	d.startWriter() // ensure the channel has a consumer before closing
+	close(d.queue)
+	<-d.done
+}
+
+// ServeConn runs the passive side of one BGP peering session until the
+// peer disconnects or ctx is canceled.
+func (d *Daemon) ServeConn(ctx context.Context, conn net.Conn) error {
+	d.startWriter()
+	sess, err := bgp.Establish(ctx, conn, bgp.SpeakerConfig{
+		LocalAS:  d.cfg.LocalAS,
+		RouterID: addrOr(d.cfg.RouterID),
+		HoldTime: 180,
+	})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	peerIP := remoteAddr(conn)
+	stop := ctx.Done()
+	for {
+		select {
+		case <-stop:
+			return ctx.Err()
+		case u, ok := <-sess.Updates():
+			if !ok {
+				err := sess.Err()
+				if err == nil || errors.Is(err, io.EOF) {
+					return nil
+				}
+				return err
+			}
+			d.ingest(sess.PeerAS, peerIP, u)
+		}
+	}
+}
+
+func remoteAddr(conn net.Conn) netip.Addr {
+	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
+		return ap.Addr()
+	}
+	return netip.AddrFrom4([4]byte{0, 0, 0, 0})
+}
+
+// ingest filters one BGP update and enqueues survivors for archiving.
+func (d *Daemon) ingest(peerAS uint32, peerIP netip.Addr, u *bgp.Update) {
+	now := d.cfg.Clock()
+	vp := "vp" + strconv.FormatUint(uint64(peerAS), 10)
+
+	keepAny := false
+	d.mu.Lock()
+	ribIn := d.rib[vp]
+	if ribIn == nil {
+		ribIn = make(map[netip.Prefix]*update.Update)
+		d.rib[vp] = ribIn
+	}
+	consider := func(rec *update.Update) {
+		d.received.Add(1)
+		if rec.Withdraw {
+			d.withdrawn.Add(1)
+		}
+		if d.cfg.Checker != nil {
+			if v := d.cfg.Checker.Check(peerAS, rec); v.Drop {
+				d.rejected.Add(1)
+				return
+			}
+		}
+		// Forwarding rules fire before any discard decision (§14).
+		for _, fr := range d.forwards {
+			if fr.prefixes[rec.Prefix] {
+				d.forwarded.Add(1)
+				fr.deliver(rec)
+			}
+		}
+		if d.cfg.Filters != nil && !d.cfg.Filters.Keep(rec) {
+			d.filtered.Add(1)
+			return
+		}
+		if d.cfg.Publish != nil {
+			d.cfg.Publish(rec)
+		}
+		keepAny = true
+		if rec.Withdraw {
+			delete(ribIn, rec.Prefix)
+		} else {
+			ribIn[rec.Prefix] = rec
+		}
+	}
+	for _, p := range u.NLRI {
+		consider(&update.Update{
+			VP: vp, Time: now, Prefix: p,
+			Path:  u.ASPath,
+			Comms: comms(u.Communities),
+		})
+	}
+	for _, p := range u.V6NLRI {
+		consider(&update.Update{
+			VP: vp, Time: now, Prefix: p,
+			Path:  u.ASPath,
+			Comms: comms(u.Communities),
+		})
+	}
+	for _, p := range append(append([]netip.Prefix(nil), u.Withdrawn...), u.V6Withdrawn...) {
+		consider(&update.Update{VP: vp, Time: now, Prefix: p, Withdraw: true})
+	}
+	d.mu.Unlock()
+
+	if !keepAny {
+		return
+	}
+	select {
+	case d.queue <- archiveItem{peerAS: peerAS, peerIP: peerIP, msg: u, at: now}:
+	default:
+		d.lost.Add(1) // writer cannot keep up: the update is gone
+	}
+}
+
+func comms(cs []bgp.Community) []uint32 {
+	out := make([]uint32, len(cs))
+	for i, c := range cs {
+		out[i] = uint32(c)
+	}
+	return out
+}
+
+// DumpRIB writes the daemon's adj-rib-in as a TABLE_DUMP_V2 snapshot: a
+// PEER_INDEX_TABLE followed by one RIB entry set per prefix.
+func (d *Daemon) DumpRIB(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	mw := mrt.NewWriter(w)
+	now := d.cfg.Clock()
+
+	var peers []string
+	for vp := range d.rib {
+		peers = append(peers, vp)
+	}
+	sort.Strings(peers)
+	peerIdx := make(map[string]uint16, len(peers))
+	table := &mrt.PeerIndexTable{
+		CollectorID: addrOr(d.cfg.RouterID),
+		ViewName:    "gill",
+	}
+	for i, vp := range peers {
+		peerIdx[vp] = uint16(i)
+		as := parseVPAS(vp)
+		table.Peers = append(table.Peers, mrt.Peer{
+			BGPID: netip.AddrFrom4([4]byte{10, 0, byte(as >> 8), byte(as)}),
+			IP:    netip.AddrFrom4([4]byte{10, 0, byte(as >> 8), byte(as)}),
+			AS:    as,
+		})
+	}
+	if err := mw.WriteRecord(&mrt.Record{
+		Header:    mrt.Header{Timestamp: now, Type: mrt.TypeTableDumpV2, Subtype: mrt.SubtypePeerIndexTable},
+		PeerIndex: table,
+	}); err != nil {
+		return err
+	}
+
+	// Group entries per prefix.
+	byPrefix := make(map[netip.Prefix][]mrt.RIBEntry)
+	for vp, entries := range d.rib {
+		for p, rec := range entries {
+			byPrefix[p] = append(byPrefix[p], mrt.RIBEntry{
+				PeerIndex:      peerIdx[vp],
+				OriginatedTime: rec.Time,
+				Attrs: bgp.Update{
+					Origin: bgp.OriginIGP,
+					ASPath: rec.Path,
+				},
+			})
+		}
+	}
+	var prefixes []netip.Prefix
+	for p := range byPrefix {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Addr().Less(prefixes[j].Addr()) })
+	for seq, p := range prefixes {
+		sub := uint16(mrt.SubtypeRIBIPv4Unicast)
+		if p.Addr().Is6() {
+			sub = mrt.SubtypeRIBIPv6Unicast
+		}
+		if err := mw.WriteRecord(&mrt.Record{
+			Header: mrt.Header{Timestamp: now, Type: mrt.TypeTableDumpV2, Subtype: sub},
+			RIB: &mrt.RIBEntrySet{
+				Sequence: uint32(seq),
+				Prefix:   p,
+				Entries:  byPrefix[p],
+			},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseVPAS(vp string) uint32 {
+	v, _ := strconv.ParseUint(vp[2:], 10, 32)
+	return uint32(v)
+}
+
+// Serve accepts peering sessions until ctx is canceled.
+func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
+	d.startWriter()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		go func() { _ = d.ServeConn(ctx, conn) }()
+	}
+}

@@ -1,0 +1,133 @@
+package dfoh
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/update"
+)
+
+var (
+	p1 = netip.MustParsePrefix("16.0.0.0/24")
+	t0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func u(vp string, p netip.Prefix, path ...uint32) *update.Update {
+	return &update.Update{VP: vp, Time: t0, Prefix: p, Path: path}
+}
+
+// baseline: a small stable Internet. 1 is a well-connected core; 50/60/70
+// are stubs; 80 and 81 are topologically close (share neighbors 2 and 3).
+func baseline() []*update.Update {
+	return []*update.Update{
+		u("vpA", p1, 10, 1, 2, 50),
+		u("vpA", p1, 10, 1, 3, 60),
+		u("vpB", p1, 11, 1, 2, 50),
+		u("vpB", p1, 11, 1, 3, 60),
+		u("vpA", p1, 10, 1, 2, 80),
+		u("vpA", p1, 10, 1, 3, 80),
+		u("vpB", p1, 11, 2, 81),
+		u("vpB", p1, 11, 3, 81),
+		u("vpA", p1, 10, 1, 4, 70),
+	}
+}
+
+func TestKnownLinksNotFlagged(t *testing.T) {
+	d := New(baseline())
+	cases := d.Inspect(u("vpA", p1, 10, 1, 2, 50))
+	if len(cases) != 0 {
+		t.Errorf("known route produced cases: %+v", cases)
+	}
+}
+
+func TestHijackFlagged(t *testing.T) {
+	d := New(baseline())
+	// Attacker 70 forges origin 60: new link 70-60, no shared neighbors.
+	cases := d.Inspect(u("vpA", p1, 10, 1, 4, 70, 60))
+	if len(cases) != 1 {
+		t.Fatalf("cases = %+v, want 1", cases)
+	}
+	c := cases[0]
+	if c.From != 70 || c.To != 60 {
+		t.Errorf("case link %d-%d, want 70-60", c.From, c.To)
+	}
+	if !c.Suspicious {
+		t.Errorf("hijack case not suspicious: score %.2f", c.Score)
+	}
+}
+
+func TestLegitimateNewPeeringScoresLow(t *testing.T) {
+	d := New(baseline())
+	// 80 and 81 share neighbors 2 and 3: a plausible new peering where 81
+	// becomes the next hop to origin 80's route... i.e. new last link
+	// 81-80 with high proximity.
+	cases := d.Inspect(u("vpB", p1, 11, 2, 81, 80))
+	if len(cases) != 1 {
+		t.Fatalf("cases = %+v, want 1", cases)
+	}
+	hijack := New(baseline()).Inspect(u("vpA", p1, 10, 1, 4, 70, 60))[0]
+	if cases[0].Score >= hijack.Score {
+		t.Errorf("legit peering score %.2f should be below hijack score %.2f",
+			cases[0].Score, hijack.Score)
+	}
+}
+
+func TestMidPathNewLinkIgnored(t *testing.T) {
+	d := New(baseline())
+	// New link 4-9 deep in the path, origin adjacency 9-70... only the
+	// origin-adjacent link is inspected.
+	cases := d.Inspect(u("vpA", p1, 10, 1, 4, 9, 70))
+	for _, c := range cases {
+		if c.From == 4 && c.To == 9 {
+			t.Errorf("mid-path link flagged: %+v", c)
+		}
+	}
+}
+
+func TestSweepAndEvaluate(t *testing.T) {
+	d := New(baseline())
+	sample := []*update.Update{
+		u("vpA", p1, 10, 1, 2, 50),     // known, no case
+		u("vpA", p1, 10, 1, 4, 70, 60), // hijack
+		u("vpB", p1, 11, 2, 81, 80),    // legit new edge
+	}
+	cases := d.Sweep(sample)
+	if len(cases) != 2 {
+		t.Fatalf("sweep found %d cases, want 2", len(cases))
+	}
+	if cases[0].Score < cases[1].Score {
+		t.Error("sweep not sorted by descending score")
+	}
+	isHijack := func(c Case) bool { return c.From == 70 && c.To == 60 }
+	o := d.Evaluate(sample, isHijack, 1) // one hijack invisible
+	if o.TP != 1 {
+		t.Errorf("TP = %d, want 1", o.TP)
+	}
+	if o.FN != 1 {
+		t.Errorf("FN = %d (missed must count), want 1", o.FN)
+	}
+	if o.TPR() != 0.5 {
+		t.Errorf("TPR = %v, want 0.5", o.TPR())
+	}
+	if o.FP+o.TN != 1 {
+		t.Errorf("FP+TN = %d, want 1", o.FP+o.TN)
+	}
+}
+
+func TestOutcomeRatesEmpty(t *testing.T) {
+	var o Outcome
+	if o.TPR() != 0 || o.FPR() != 0 {
+		t.Error("zero outcome rates must be 0")
+	}
+}
+
+func TestWithdrawAndShortPathsIgnored(t *testing.T) {
+	d := New(baseline())
+	if cs := d.Inspect(&update.Update{VP: "x", Prefix: p1, Withdraw: true}); len(cs) != 0 {
+		t.Error("withdrawal inspected")
+	}
+	if cs := d.Inspect(u("vpA", p1, 99)); len(cs) != 0 {
+		t.Error("single-AS path inspected")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+	"net/netip"
+
+	"repro/internal/bgp"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// dialBGP opens an active BGP session (shared by the daemon experiments).
+func dialBGP(ctx context.Context, addr string, as uint32) (*bgp.Session, error) {
+	return bgp.Dial(ctx, addr, bgp.SpeakerConfig{
+		LocalAS:  as,
+		RouterID: ipOfAS(as),
+		HoldTime: 90,
+	})
+}
+
+func ipOfAS(as uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{192, 0, byte(as >> 8), byte(as)})
+}
+
+// Fig2Result reproduces Fig. 2: VP growth (top) against flat coverage
+// (bottom).
+type Fig2Result struct {
+	Points []workload.GrowthPoint
+}
+
+// String renders the series.
+func (r Fig2Result) String() string {
+	t := &metrics.Table{Header: []string{"year", "ASes hosting a VP", "active ASes", "coverage"}}
+	for _, p := range r.Points {
+		t.Add(p.Year, p.VPASes, p.ActiveASes, metrics.Pct1(p.Coverage))
+	}
+	return "Fig. 2 VP growth vs coverage\n" + t.String()
+}
+
+// RunFig2 evaluates the platform-growth model over 2003–2023.
+func RunFig2() Fig2Result {
+	return Fig2Result{Points: workload.PlatformGrowth(2003, 2023)}
+}
+
+// Fig3Result reproduces Fig. 3: per-VP (a) and total (b) hourly update
+// growth.
+type Fig3Result struct {
+	Points []workload.GrowthPoint
+}
+
+// String renders the series.
+func (r Fig3Result) String() string {
+	t := &metrics.Table{Header: []string{"year", "updates/h per VP", "updates/h total"}}
+	for _, p := range r.Points {
+		t.Add(p.Year, p.UpdatesPerVPHour, p.TotalUpdatesPerHour)
+	}
+	return "Fig. 3 update growth\n" + t.String()
+}
+
+// RunFig3 evaluates the same growth model for the update-volume series.
+func RunFig3() Fig3Result {
+	return Fig3Result{Points: workload.PlatformGrowth(2003, 2023)}
+}

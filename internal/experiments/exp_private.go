@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/simulate"
+	"repro/internal/topology"
+	"repro/internal/update"
+)
+
+// Sec3PrivateResult reproduces the §3.1 bgp.tools comparison: two
+// collection platforms with disjoint VP deployments over the same
+// Internet each observe AS links the other misses (the paper: bgp.tools
+// saw 192k links RIS/RV missed; RIS/RV saw 401k bgp.tools missed).
+type Sec3PrivateResult struct {
+	PublicOnly  int
+	PrivateOnly int
+	Shared      int
+	TotalLinks  int
+}
+
+// String renders the comparison.
+func (r Sec3PrivateResult) String() string {
+	t := &metrics.Table{Header: []string{"visibility", "AS links", "share of topology"}}
+	total := float64(r.TotalLinks)
+	t.Add("public only", r.PublicOnly, metrics.Pct1(float64(r.PublicOnly)/total))
+	t.Add("private only", r.PrivateOnly, metrics.Pct1(float64(r.PrivateOnly)/total))
+	t.Add("both platforms", r.Shared, metrics.Pct1(float64(r.Shared)/total))
+	return "§3.1 public vs private collector visibility\n" + t.String()
+}
+
+// RunSec3Private deploys two disjoint VP sets (publicVPs larger, modeling
+// RIS+RV vs a private platform) and compares the AS links visible from
+// their RIBs.
+func RunSec3Private(ases, publicVPs, privateVPs int, seed int64) Sec3PrivateResult {
+	r := rand.New(rand.NewSource(seed))
+	topo := topology.Generate(topology.DefaultGenConfig(ases), r)
+	sim := simulate.New(topo, seed)
+	all := topo.ASes()
+	perm := r.Perm(len(all))
+	if publicVPs+privateVPs > len(all) {
+		publicVPs = len(all) / 2
+		privateVPs = len(all) - publicVPs
+	}
+	pub := make([]uint32, publicVPs)
+	priv := make([]uint32, privateVPs)
+	for i := 0; i < publicVPs; i++ {
+		pub[i] = all[perm[i]]
+	}
+	for i := 0; i < privateVPs; i++ {
+		priv[i] = all[perm[publicVPs+i]]
+	}
+
+	linksOf := func(vps []uint32) map[[2]uint32]bool {
+		coll := simulate.NewCollector(sim, vps, simulate.DefaultCollectorConfig())
+		out := make(map[[2]uint32]bool)
+		for _, vp := range vps {
+			for _, path := range coll.RIB(vp) {
+				for _, l := range update.PathLinks(path) {
+					a, b := l.From, l.To
+					if a > b {
+						a, b = b, a
+					}
+					out[[2]uint32{a, b}] = true
+				}
+			}
+		}
+		return out
+	}
+	pubLinks := linksOf(pub)
+	privLinks := linksOf(priv)
+
+	var res Sec3PrivateResult
+	res.TotalLinks = len(topo.Links)
+	for l := range pubLinks {
+		if privLinks[l] {
+			res.Shared++
+		} else {
+			res.PublicOnly++
+		}
+	}
+	for l := range privLinks {
+		if !pubLinks[l] {
+			res.PrivateOnly++
+		}
+	}
+	return res
+}

@@ -1,0 +1,538 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/anchors"
+	"repro/internal/correlation"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/update"
+)
+
+// Sec4Result reproduces the §4.2 measurements: the share of updates
+// redundant with at least one other update under Definitions 1–3 (paper:
+// 97% / 77% / 70%).
+type Sec4Result struct {
+	Fractions [3]float64
+	Updates   int
+}
+
+// String renders the result.
+func (r Sec4Result) String() string {
+	t := &metrics.Table{Header: []string{"definition", "redundant updates"}}
+	for i, f := range r.Fractions {
+		t.Add(fmt.Sprintf("Def. %d", i+1), metrics.Pct(f))
+	}
+	return fmt.Sprintf("§4.2 update redundancy (%d updates)\n%s", r.Updates, t)
+}
+
+// withTwins duplicates a fraction of the VPs' feeds under co-located twin
+// identities with a small timestamp offset. RIS and RV host roughly two
+// VPs per AS (1537 VPs in 816 ASes, §2); co-located routers export
+// near-identical streams and are the main source of the strict-definition
+// redundancy of §4.2/Fig. 6. The simulator deploys one router per AS, so
+// redundancy measurements add the twins back explicitly.
+func withTwins(us []*update.Update, frac float64) []*update.Update {
+	byVP := make(map[string][]*update.Update)
+	var vps []string
+	for _, u := range us {
+		if byVP[u.VP] == nil {
+			vps = append(vps, u.VP)
+		}
+		byVP[u.VP] = append(byVP[u.VP], u)
+	}
+	sort.Strings(vps)
+	n := int(frac * float64(len(vps)))
+	out := append([]*update.Update(nil), us...)
+	for i := 0; i < n && i < len(vps); i++ {
+		// Even twins mirror the primary exactly; odd twins miss a quarter
+		// of the feed (a co-located router with a slightly different
+		// session history), so they contribute update-level redundancy
+		// without counting as fully redundant VPs.
+		partial := i%2 == 1
+		for j, u := range byVP[vps[i]] {
+			if partial && j%4 == 3 {
+				continue
+			}
+			cp := *u
+			cp.VP = u.VP + "-b"
+			cp.Time = u.Time.Add(time.Duration(1+i%4) * time.Second)
+			out = append(out, &cp)
+		}
+	}
+	update.Annotate(out)
+	return out
+}
+
+// TwinFraction is the share of VP ASes hosting a second co-located VP in
+// the redundancy measurements (§2: ≈1.9 VPs per hosting AS).
+const TwinFraction = 0.5
+
+// RunSec4 measures update redundancy on a scenario stream.
+func RunSec4(cfg ScenarioConfig) Sec4Result {
+	sc := BuildScenario(cfg)
+	us := withTwins(sc.Updates, TwinFraction)
+	var r Sec4Result
+	r.Updates = len(us)
+	for i, def := range []update.Definition{update.Def1, update.Def2, update.Def3} {
+		r.Fractions[i] = update.RedundantFraction(def, us)
+	}
+	return r
+}
+
+// Fig6Result reproduces Fig. 6: the share of VPs redundant with at least
+// one other VP under the three definitions, median over several random VP
+// selections.
+type Fig6Result struct {
+	Fractions [3]float64
+	VPs       int
+	Seeds     int
+}
+
+// String renders the result.
+func (r Fig6Result) String() string {
+	t := &metrics.Table{Header: []string{"definition", "redundant VPs"}}
+	for i, f := range r.Fractions {
+		t.Add(fmt.Sprintf("Def. %d", i+1), metrics.Pct(f))
+	}
+	return fmt.Sprintf("Fig. 6 VP redundancy (%d VPs, median of %d selections)\n%s", r.VPs, r.Seeds, t)
+}
+
+// RunFig6 measures VP redundancy across random VP subsets.
+func RunFig6(cfg ScenarioConfig, subsetSize, seeds int) Fig6Result {
+	sc := BuildScenario(cfg)
+	stream := withTwins(sc.Updates, TwinFraction)
+	byVP := make(map[string][]*update.Update)
+	for _, u := range stream {
+		byVP[u.VP] = append(byVP[u.VP], u)
+	}
+	vps := make([]string, 0, len(byVP))
+	for vp := range byVP {
+		vps = append(vps, vp)
+	}
+	sort.Strings(vps)
+	if subsetSize <= 0 || subsetSize > len(vps) {
+		subsetSize = len(vps)
+	}
+	var res Fig6Result
+	res.VPs = subsetSize
+	res.Seeds = seeds
+	for d, def := range []update.Definition{update.Def1, update.Def2, update.Def3} {
+		var fracs []float64
+		for s := 0; s < seeds; s++ {
+			r := rand.New(rand.NewSource(int64(1000*d + s)))
+			perm := r.Perm(len(vps))
+			var us []*update.Update
+			for _, i := range perm[:subsetSize] {
+				us = append(us, byVP[vps[i]]...)
+			}
+			red := update.RedundantVPs(def, us)
+			fracs = append(fracs, float64(len(red))/float64(subsetSize))
+		}
+		res.Fractions[d] = metrics.Median(fracs)
+	}
+	return res
+}
+
+// Sec6Result reproduces the §6 headline numbers of Component #1: the
+// fraction of updates retained before (paper ≈0.16) and after (≈0.07) the
+// cross-prefix step, at the RP=0.94 stopping point.
+type Sec6Result struct {
+	KeptBeforeCross float64
+	KeptAfterCross  float64
+	Prefixes        int
+	Updates         int
+}
+
+// String renders the result.
+func (r Sec6Result) String() string {
+	return fmt.Sprintf("§6 component #1: |α|/|β| = %.3f before cross-prefix, %.3f after (%d prefixes, %d updates)",
+		r.KeptBeforeCross, r.KeptAfterCross, r.Prefixes, r.Updates)
+}
+
+// RunSec6 runs Component #1 on a scenario stream.
+func RunSec6(cfg ScenarioConfig) Sec6Result {
+	sc := BuildScenario(cfg)
+	res := correlation.Run(sc.Updates, correlation.DefaultConfig())
+	return Sec6Result{
+		KeptBeforeCross: res.KeptBeforeCross,
+		KeptAfterCross:  res.KeptAfterCross,
+		Prefixes:        len(res.PerPrefix),
+		Updates:         len(sc.Updates),
+	}
+}
+
+// Fig11Point is one point of the reconstitution-power curve.
+type Fig11Point struct {
+	KeptFraction float64
+	RP           float64
+}
+
+// Fig11Result reproduces Fig. 11: reconstitution power as a function of
+// the retained fraction |α|/|β|, averaged across prefixes.
+type Fig11Result struct {
+	Curve []Fig11Point
+}
+
+// String renders the curve.
+func (r Fig11Result) String() string {
+	t := &metrics.Table{Header: []string{"|α|/|β|", "reconstitution power"}}
+	for _, p := range r.Curve {
+		t.Add(fmt.Sprintf("%.2f", p.KeptFraction), fmt.Sprintf("%.3f", p.RP))
+	}
+	return "Fig. 11 reconstitution power vs retained fraction\n" + t.String()
+}
+
+// RunFig11 sweeps the greedy trajectory with an RP stop of 1.0 so the full
+// curve is visible, bucketing the per-prefix trajectories onto a grid.
+func RunFig11(cfg ScenarioConfig, buckets int) Fig11Result {
+	sc := BuildScenario(cfg)
+	ccfg := correlation.DefaultConfig()
+	ccfg.StopRP = 1.0 // trace the whole curve
+	byPrefix := make(map[netip.Prefix][]*update.Update)
+	for _, u := range sc.Updates {
+		byPrefix[u.Prefix] = append(byPrefix[u.Prefix], u)
+	}
+	if buckets <= 0 {
+		buckets = 10
+	}
+	sums := make([]float64, buckets+1)
+	counts := make([]int, buckets+1)
+	for p, us := range byPrefix {
+		if len(us) < 4 {
+			continue
+		}
+		pa := correlation.AnalyzePrefix(p, us, ccfg)
+		_, traj := pa.Greedy()
+		for _, pt := range traj {
+			b := int(pt.KeptFraction * float64(buckets))
+			if b > buckets {
+				b = buckets
+			}
+			sums[b] += pt.RP
+			counts[b]++
+		}
+	}
+	var out Fig11Result
+	for b := 0; b <= buckets; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		out.Curve = append(out.Curve, Fig11Point{
+			KeptFraction: float64(b) / float64(buckets),
+			RP:           sums[b] / float64(counts[b]),
+		})
+	}
+	return out
+}
+
+// Sec7Result reproduces the §7 filter-granularity comparison: the share of
+// *future* redundant updates matched by filters of each granularity
+// (paper: 87% coarse, 43% +path, 0% +path+communities).
+type Sec7Result struct {
+	Coarse, ASP, ASPComm float64
+}
+
+// String renders the result.
+func (r Sec7Result) String() string {
+	t := &metrics.Table{Header: []string{"filter granularity", "future redundant updates matched"}}
+	t.Add("GILL (vp, prefix)", metrics.Pct(r.Coarse))
+	t.Add("GILL-asp (+AS path)", metrics.Pct(r.ASP))
+	t.Add("GILL-asp-comm (+communities)", metrics.Pct(r.ASPComm))
+	return "§7 filter granularity generalization\n" + t.String()
+}
+
+// RunSec7 trains the three filter variants on the redundant updates of the
+// first half-window and measures how many redundant updates of the second
+// half they match.
+func RunSec7(cfg ScenarioConfig) Sec7Result {
+	sc := BuildScenario(cfg)
+	train, eval, _ := sc.Split(0.5)
+	ccfg := correlation.DefaultConfig()
+	resTrain := correlation.Run(train, ccfg)
+	resEval := correlation.Run(eval, ccfg)
+
+	// A2: the future redundant updates.
+	var a2 []*update.Update
+	for _, u := range eval {
+		if resEval.IsRedundant(u) {
+			a2 = append(a2, u)
+		}
+	}
+	var out Sec7Result
+	if len(a2) == 0 {
+		return out
+	}
+	for i, g := range []filter.Granularity{
+		filter.GranVPPrefix, filter.GranVPPrefixPath, filter.GranVPPrefixPathComm,
+	} {
+		fs := filter.Generate(resTrain, nil, g)
+		frac := fs.MatchFraction(a2)
+		switch i {
+		case 0:
+			out.Coarse = frac
+		case 1:
+			out.ASP = frac
+		case 2:
+			out.ASPComm = frac
+		}
+	}
+	return out
+}
+
+// Fig7Point is one decay measurement.
+type Fig7Point struct {
+	Days    int
+	Matched float64
+}
+
+// Fig7Result reproduces Fig. 7: how the filters' ability to discard
+// updates decays d days after training, as never-seen prefixes and VPs
+// accumulate (the accept-everything default retains them).
+type Fig7Result struct {
+	Points []Fig7Point
+}
+
+// String renders the decay series.
+func (r Fig7Result) String() string {
+	t := &metrics.Table{Header: []string{"days after training", "updates matched"}}
+	for _, p := range r.Points {
+		t.Add(p.Days, metrics.Pct(p.Matched))
+	}
+	return "Fig. 7 filter decay\n" + t.String()
+}
+
+// DailyPrefixChurn is the modeled share of (VP, prefix) pairs turning over
+// per day (new prefixes, renumbered ASes, churned peers), calibrated so
+// the matched fraction knees around the paper's 16-day refresh period.
+const DailyPrefixChurn = 0.02
+
+// RunFig7 trains filters at day 0 and replays statistically identical
+// event windows at day d with cumulative prefix churn.
+func RunFig7(cfg ScenarioConfig, days []int) Fig7Result {
+	sc := BuildScenario(cfg)
+	res := correlation.Run(sc.Updates, correlation.DefaultConfig())
+	fs := filter.Generate(res, nil, filter.GranVPPrefix)
+
+	// The replay window: same topology, VPs, and hot pools (the Internet's
+	// flappy elements persist); fresh event realization.
+	cfg2 := cfg
+	if cfg2.VPSeed == 0 {
+		cfg2.VPSeed = cfg.Seed
+	}
+	if cfg2.PoolSeed == 0 {
+		cfg2.PoolSeed = cfg.Seed
+	}
+	cfg2.Seed = cfg.Seed + 10_000
+	cfg2.Topo = sc.Topo
+	sc2 := BuildScenario(cfg2)
+
+	var out Fig7Result
+	for _, d := range days {
+		novelFrac := 1 - pow1m(DailyPrefixChurn, d)
+		r := rand.New(rand.NewSource(int64(d) * 77))
+		var matched, total int
+		for _, u := range sc2.Updates {
+			total++
+			cu := *u
+			if r.Float64() < novelFrac {
+				// The pair churned: a prefix never seen at training time.
+				cu.Prefix = novelPrefix(r)
+			}
+			if !fs.Keep(&cu) {
+				matched++
+			}
+		}
+		if total > 0 {
+			out.Points = append(out.Points, Fig7Point{Days: d, Matched: float64(matched) / float64(total)})
+		}
+	}
+	return out
+}
+
+// pow1m computes (1-rate)^d.
+func pow1m(rate float64, d int) float64 {
+	out := 1.0
+	for i := 0; i < d; i++ {
+		out *= 1 - rate
+	}
+	return out
+}
+
+func novelPrefix(r *rand.Rand) netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{48, byte(r.Intn(256)), byte(r.Intn(256)), 0}), 24)
+}
+
+// Fig8Point is one drift measurement.
+type Fig8Point struct {
+	Months      int
+	MedianDrift float64
+}
+
+// Fig8Result reproduces Fig. 8: the drift of pairwise VP redundancy scores
+// as the Internet evolves m months between two runs of Component #2
+// (paper: median < 0.1 within 12 months).
+type Fig8Result struct {
+	Points []Fig8Point
+}
+
+// String renders the drift series.
+func (r Fig8Result) String() string {
+	t := &metrics.Table{Header: []string{"months apart", "median |ΔR|"}}
+	for _, p := range r.Points {
+		t.Add(p.Months, fmt.Sprintf("%.3f", p.MedianDrift))
+	}
+	return "Fig. 8 redundancy-score drift\n" + t.String()
+}
+
+// MonthlyLinkChurn is the modeled share of AS links rewired per month.
+const MonthlyLinkChurn = 0.004
+
+// RunFig8 scores VP redundancy on the present topology and on versions
+// aged by m months of link churn, comparing the score matrices.
+func RunFig8(cfg ScenarioConfig, months []int, eventsPerCell int) Fig8Result {
+	base := BuildScenario(cfg)
+	scoreOf := func(sc *Scenario) *anchors.ScoreMatrix {
+		cats := topology.Categorize(sc.Topo)
+		evs := anchors.DetectEvents(sc.Baseline, sc.Updates, len(sc.VPs), anchors.DefaultBand())
+		evs = anchors.BalancedSelect(evs, cats, eventsPerCell, rand.New(rand.NewSource(cfg.Seed)))
+		rep := anchors.NewReplayer(sc.Baseline, sc.Updates)
+		return anchors.Scores(rep.VPs(), rep.EventVectors(evs))
+	}
+	now := scoreOf(base)
+
+	var out Fig8Result
+	for _, m := range months {
+		aged := ageTopology(base.Topo, m, cfg.Seed+int64(m))
+		cfg2 := cfg
+		cfg2.Topo = aged
+		cfg2.Seed = cfg.Seed // same VP selection and event schedule
+		old := BuildScenario(cfg2)
+		past := scoreOf(old)
+		var drifts []float64
+		for i, a := range now.VPs {
+			for j := i + 1; j < len(now.VPs); j++ {
+				d := now.R[i][j] - past.Score(a, now.VPs[j])
+				if d < 0 {
+					d = -d
+				}
+				drifts = append(drifts, d)
+			}
+		}
+		out.Points = append(out.Points, Fig8Point{Months: m, MedianDrift: metrics.Median(drifts)})
+	}
+	return out
+}
+
+// ageTopology rewires a share of links proportional to the age in months.
+func ageTopology(t *topology.Topology, months int, seed int64) *topology.Topology {
+	r := rand.New(rand.NewSource(seed))
+	churn := 1 - pow1m(MonthlyLinkChurn, months)
+	out := topology.New()
+	ases := t.ASes()
+	for _, l := range t.Links {
+		if r.Float64() < churn {
+			// Rewire one endpoint to a random AS, keeping the relationship.
+			nb := ases[r.Intn(len(ases))]
+			if nb != l.A {
+				out.AddLink(topology.Link{A: l.A, B: nb, Rel: l.Rel})
+				continue
+			}
+		}
+		out.AddLink(l)
+	}
+	out.Tier1s = append([]uint32(nil), t.Tier1s...)
+	for as, ps := range t.Prefixes {
+		out.Prefixes[as] = ps
+	}
+	return out
+}
+
+// Fig12Result reproduces Fig. 12: the category-pair distribution of the
+// balanced event selection versus a random selection.
+type Fig12Result struct {
+	Balanced [topology.NumCategories][topology.NumCategories]float64
+	Random   [topology.NumCategories][topology.NumCategories]float64
+	Events   int
+}
+
+// Spread returns max−min cell mass of a matrix (0 = perfectly flat).
+func Spread(m [topology.NumCategories][topology.NumCategories]float64) float64 {
+	lo, hi := 1.0, 0.0
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] < lo {
+				lo = m[i][j]
+			}
+			if m[i][j] > hi {
+				hi = m[i][j]
+			}
+		}
+	}
+	return hi - lo
+}
+
+// String renders both matrices.
+func (r Fig12Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 12 event selection balance (%d events)\n", r.Events)
+	render := func(name string, m [topology.NumCategories][topology.NumCategories]float64) {
+		fmt.Fprintf(&b, "%s (spread %.3f):\n", name, Spread(m))
+		for i := range m {
+			for j := range m[i] {
+				fmt.Fprintf(&b, " %.2f", m[i][j])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	render("balanced", r.Balanced)
+	render("random", r.Random)
+	return b.String()
+}
+
+// RunFig12 compares balanced and random event selections on a scenario.
+func RunFig12(cfg ScenarioConfig, perCell int) Fig12Result {
+	sc := BuildScenario(cfg)
+	cats := topology.Categorize(sc.Topo)
+	evs := anchors.DetectEvents(sc.Baseline, sc.Updates, len(sc.VPs), anchors.DefaultBand())
+	r := rand.New(rand.NewSource(cfg.Seed))
+	bal := anchors.BalancedSelect(evs, cats, perCell, r)
+	rnd := evs
+	if len(rnd) > len(bal) && len(bal) > 0 {
+		r.Shuffle(len(rnd), func(i, j int) { rnd[i], rnd[j] = rnd[j], rnd[i] })
+		rnd = rnd[:len(bal)]
+	}
+	return Fig12Result{
+		Balanced: anchors.SelectionMatrix(bal, cats),
+		Random:   anchors.SelectionMatrix(rnd, cats),
+		Events:   len(bal),
+	}
+}
+
+// Table5Result reproduces Table 5: the AS category census.
+type Table5Result struct {
+	Census map[topology.Category]int
+	Total  int
+}
+
+// String renders the census.
+func (r Table5Result) String() string {
+	t := &metrics.Table{Header: []string{"category", "ASes", "share"}}
+	for c := topology.CatStub; c <= topology.CatTier1; c++ {
+		t.Add(c.String(), r.Census[c], metrics.Pct1(float64(r.Census[c])/float64(r.Total)))
+	}
+	return "Table 5 AS categories\n" + t.String()
+}
+
+// RunTable5 categorizes a generated topology.
+func RunTable5(ases int, seed int64) Table5Result {
+	topo := topology.Generate(topology.DefaultGenConfig(ases), rand.New(rand.NewSource(seed)))
+	return Table5Result{Census: topology.CategoryCensus(topo), Total: ases}
+}

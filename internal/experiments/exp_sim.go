@@ -1,0 +1,428 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sampling"
+	"repro/internal/simulate"
+	"repro/internal/topology"
+	"repro/internal/update"
+	"repro/internal/usecases"
+)
+
+// Fig4Point is one coverage measurement of the Fig. 4 sweep.
+type Fig4Point struct {
+	CoveragePct float64
+	P2PLinks    float64
+	C2PLinks    float64
+	P2PFailLoc  float64
+	C2PFailLoc  float64
+	Type1Hijack float64
+	Type2Hijack float64
+}
+
+// Fig4Result reproduces Fig. 4: the best-case (all data from deployed VPs)
+// achievable quality of topology mapping, failure localization, and
+// forged-origin hijack detection as VP coverage grows.
+type Fig4Result struct {
+	Points []Fig4Point
+	ASes   int
+}
+
+// String renders the sweep.
+func (r Fig4Result) String() string {
+	t := &metrics.Table{Header: []string{
+		"coverage", "p2p links", "c2p links", "p2p fail-loc", "c2p fail-loc",
+		"type-1 hijacks", "type-2 hijacks",
+	}}
+	for _, p := range r.Points {
+		t.Add(
+			fmt.Sprintf("%.1f%%", p.CoveragePct),
+			metrics.Pct(p.P2PLinks), metrics.Pct(p.C2PLinks),
+			metrics.Pct(p.P2PFailLoc), metrics.Pct(p.C2PFailLoc),
+			metrics.Pct(p.Type1Hijack), metrics.Pct(p.Type2Hijack),
+		)
+	}
+	return fmt.Sprintf("Fig. 4 coverage sweep (%d ASes)\n%s", r.ASes, t)
+}
+
+// Fig4Config sizes the sweep.
+type Fig4Config struct {
+	ASes      int
+	Coverages []float64 // percentages
+	Failures  int       // failures simulated per coverage point
+	Hijacks   int       // victims sampled per coverage point
+	Seed      int64
+}
+
+// DefaultFig4 returns a unit-scale sweep configuration.
+func DefaultFig4() Fig4Config {
+	return Fig4Config{
+		ASes:      200,
+		Coverages: []float64{1, 5, 25, 50, 100},
+		Failures:  30,
+		Hijacks:   30,
+		Seed:      1,
+	}
+}
+
+// RunFig4 executes the sweep. For each coverage it deploys VPs at random,
+// then measures link visibility from their RIBs, failure localization on
+// random link failures, and hijack visibility for random victims.
+func RunFig4(cfg Fig4Config) Fig4Result {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	topo := topology.Generate(topology.DefaultGenConfig(cfg.ASes), r)
+	ases := topo.ASes()
+
+	// Ground-truth link sets.
+	var p2p, c2p int
+	for _, l := range topo.Links {
+		if l.Rel == topology.P2P {
+			p2p++
+		} else {
+			c2p++
+		}
+	}
+
+	// Pre-draw the event samples so every coverage point faces the same
+	// events.
+	type failEv struct{ link topology.Link }
+	var fails []failEv
+	for i := 0; i < cfg.Failures; i++ {
+		fails = append(fails, failEv{topo.Links[r.Intn(len(topo.Links))]})
+	}
+	type hijEv struct {
+		prefix   netip.Prefix
+		victim   uint32
+		attacker uint32
+		typeX    int
+	}
+	var hijacks []hijEv
+	prefixes := allPrefixes(topo)
+	owners := topo.AllPrefixes()
+	for i := 0; i < cfg.Hijacks; i++ {
+		p := prefixes[r.Intn(len(prefixes))]
+		victim := owners[p]
+		attacker := ases[r.Intn(len(ases))]
+		for attacker == victim {
+			attacker = ases[r.Intn(len(ases))]
+		}
+		hijacks = append(hijacks, hijEv{p, victim, attacker, 1 + i%2})
+	}
+
+	out := Fig4Result{ASes: cfg.ASes}
+	for _, cov := range cfg.Coverages {
+		n := int(cov / 100 * float64(len(ases)))
+		if n < 1 {
+			n = 1
+		}
+		perm := rand.New(rand.NewSource(cfg.Seed + int64(cov*10))).Perm(len(ases))
+		vps := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			vps[i] = ases[perm[i]]
+		}
+		pt := Fig4Point{CoveragePct: cov}
+
+		sim := simulate.New(topo, cfg.Seed)
+		coll := simulate.NewCollector(sim, vps, simulate.DefaultCollectorConfig())
+
+		// Topology mapping from the VPs' RIBs.
+		seen := make(map[[2]uint32]bool)
+		for _, vp := range vps {
+			for _, path := range coll.RIB(vp) {
+				for _, l := range update.PathLinks(path) {
+					a, b := l.From, l.To
+					if a > b {
+						a, b = b, a
+					}
+					seen[[2]uint32{a, b}] = true
+				}
+			}
+		}
+		var sp2p, sc2p int
+		for k := range seen {
+			if l, ok := topo.HasLink(k[0], k[1]); ok {
+				if l.Rel == topology.P2P {
+					sp2p++
+				} else {
+					sc2p++
+				}
+			}
+		}
+		if p2p > 0 {
+			pt.P2PLinks = float64(sp2p) / float64(p2p)
+		}
+		if c2p > 0 {
+			pt.C2PLinks = float64(sc2p) / float64(c2p)
+		}
+
+		// Failure localization.
+		var locP2P, locC2P, nP2P, nC2P int
+		for i, f := range fails {
+			at := T0.Add(time.Duration(i) * 24 * time.Hour)
+			ups := coll.Apply(simulate.Event{At: at, Kind: simulate.LinkFail, A: f.link.A, B: f.link.B})
+			pre := coll.LastOldPaths()
+			ok := usecases.FailureLocalized(pre, ups, f.link.A, f.link.B)
+			coll.Apply(simulate.Event{At: at.Add(30 * time.Minute), Kind: simulate.LinkRestore, A: f.link.A, B: f.link.B})
+			if f.link.Rel == topology.P2P {
+				nP2P++
+				if ok {
+					locP2P++
+				}
+			} else {
+				nC2P++
+				if ok {
+					locC2P++
+				}
+			}
+		}
+		if nP2P > 0 {
+			pt.P2PFailLoc = float64(locP2P) / float64(nP2P)
+		}
+		if nC2P > 0 {
+			pt.C2PFailLoc = float64(locC2P) / float64(nC2P)
+		}
+
+		// Hijack visibility: the hijacked route must reach ≥1 VP.
+		var det1, det2, n1, n2 int
+		for _, h := range hijacks {
+			tail := []uint32{h.victim}
+			if h.typeX == 2 {
+				nbrs := topo.Neighbors(h.victim)
+				mid := h.victim
+				if len(nbrs) > 0 {
+					mid = nbrs[0]
+				}
+				tail = []uint32{mid, h.victim}
+			}
+			routes := sim.ComputeRoutes([]simulate.Origin{
+				{AS: h.victim},
+				{AS: h.attacker, Tail: tail},
+			})
+			visible := false
+			for _, vp := range vps {
+				if o := routes.OriginOf(vp); o != nil && o.AS == h.attacker {
+					visible = true
+					break
+				}
+			}
+			if h.typeX == 1 {
+				n1++
+				if visible {
+					det1++
+				}
+			} else {
+				n2++
+				if visible {
+					det2++
+				}
+			}
+		}
+		if n1 > 0 {
+			pt.Type1Hijack = float64(det1) / float64(n1)
+		}
+		if n2 > 0 {
+			pt.Type2Hijack = float64(det2) / float64(n2)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out
+}
+
+// Table3Point is one coverage column of Table 3.
+type Table3Point struct {
+	CoveragePct float64
+	RetainedPct float64 // updates GILL keeps
+	AnchorPct   float64 // VPs selected as anchors
+	TopoGILL    float64
+	TopoRnd     float64
+	TopoBest    float64
+	FailLocGILL float64
+	FailLocRnd  float64
+	FailLocBest float64
+	HijackGILL  float64
+	HijackRnd   float64
+	HijackBest  float64
+}
+
+// Table3Result reproduces Table 3: GILL vs random-VP vs best-case across
+// coverages, with GILL's retained-update and anchor fractions.
+type Table3Result struct {
+	Points []Table3Point
+	ASes   int
+}
+
+// String renders the table.
+func (r Table3Result) String() string {
+	t := &metrics.Table{Header: []string{
+		"coverage", "retained/anchors",
+		"topo G/R/B", "fail-loc G/R/B", "hijack G/R/B",
+	}}
+	for _, p := range r.Points {
+		t.Add(
+			fmt.Sprintf("%.0f%%", p.CoveragePct),
+			fmt.Sprintf("%s / %s", metrics.Pct1(p.RetainedPct), metrics.Pct1(p.AnchorPct)),
+			fmt.Sprintf("%s/%s/%s", metrics.Pct(p.TopoGILL), metrics.Pct(p.TopoRnd), metrics.Pct(p.TopoBest)),
+			fmt.Sprintf("%s/%s/%s", metrics.Pct(p.FailLocGILL), metrics.Pct(p.FailLocRnd), metrics.Pct(p.FailLocBest)),
+			fmt.Sprintf("%s/%s/%s", metrics.Pct(p.HijackGILL), metrics.Pct(p.HijackRnd), metrics.Pct(p.HijackBest)),
+		)
+	}
+	return fmt.Sprintf("Table 3 long-term impact (%d ASes)\n%s", r.ASes, t)
+}
+
+// Table3Config sizes the long-term-impact simulation.
+type Table3Config struct {
+	ASes          int
+	Coverages     []float64
+	TrainFailures int // §11: 500 at paper scale
+	EvalFailures  int
+	EvalHijacks   int
+	EventsPerCell int
+	Seed          int64
+}
+
+// DefaultTable3 returns a unit-scale configuration.
+func DefaultTable3() Table3Config {
+	return Table3Config{
+		ASes:          200,
+		Coverages:     []float64{10, 50, 100},
+		TrainFailures: 20,
+		EvalFailures:  12,
+		EvalHijacks:   12,
+		EventsPerCell: 4,
+		Seed:          3,
+	}
+}
+
+// RunTable3 runs the long-term-impact simulation: per coverage, train GILL
+// on failure-induced updates, then compare GILL / random-VP / best-case on
+// topology mapping (p2p links), failure localization and Type-1 hijack
+// detection at equal update budgets.
+func RunTable3(cfg Table3Config) Table3Result {
+	rTop := rand.New(rand.NewSource(cfg.Seed))
+	topo := topology.Generate(topology.DefaultGenConfig(cfg.ASes), rTop)
+
+	out := Table3Result{ASes: cfg.ASes}
+	for ci, cov := range cfg.Coverages {
+		scCfg := ScenarioConfig{
+			ASes: cfg.ASes,
+			VPs:  max(1, int(cov/100*float64(cfg.ASes))),
+			Seed: cfg.Seed + int64(ci),
+			Topo: topo,
+			// Training failures in the first half, evaluation events after.
+			Failures: cfg.TrainFailures + cfg.EvalFailures,
+			Hijacks:  cfg.EvalHijacks * 2,
+		}
+		sc := BuildScenario(scCfg)
+		train, eval, cut := sc.Split(0.5)
+
+		ccfg := core.DefaultConfig()
+		ccfg.EventsPerCell = cfg.EventsPerCell
+		model := core.Train(core.TrainingData{
+			Updates:    train,
+			Baseline:   sc.Baseline,
+			Categories: topology.Categorize(topo),
+			TotalVPs:   len(sc.VPs),
+		}, ccfg, rand.New(rand.NewSource(cfg.Seed+100)))
+
+		gillSample := model.Sampler().Sample(eval, 0)
+		budget := len(gillSample)
+		rndSample := sampling.RandomVPs{
+			Rand: rand.New(rand.NewSource(cfg.Seed + 7)),
+		}.Sample(eval, budget)
+		best := eval
+
+		pt := Table3Point{
+			CoveragePct: cov,
+			RetainedPct: model.RetainedFraction(sc.Updates),
+			AnchorPct:   float64(len(model.Anchors)) / float64(len(sc.VPs)),
+		}
+
+		// Topology mapping: p2p links visible in sample + anchor RIBs
+		// (GILL keeps anchor RIBs; the baselines keep their VPs' RIBs).
+		groundP2P := make(map[[2]uint32]bool)
+		for _, l := range topo.Links {
+			if l.Rel == topology.P2P {
+				a, b := l.A, l.B
+				if a > b {
+					a, b = b, a
+				}
+				groundP2P[[2]uint32{a, b}] = true
+			}
+		}
+		// Links are counted from the collected update streams only — the
+		// quantity all three schemes are budgeted on (§11 collects "the
+		// updates that it exports until the total number ... reached the
+		// number of updates retained by GILL").
+		topoScore := func(sample []*update.Update) float64 {
+			seen := make(map[[2]uint32]bool)
+			for _, u := range sample {
+				for _, l := range update.PathLinks(u.Path) {
+					a, b := l.From, l.To
+					if a > b {
+						a, b = b, a
+					}
+					k := [2]uint32{a, b}
+					if groundP2P[k] {
+						seen[k] = true
+					}
+				}
+			}
+			if len(groundP2P) == 0 {
+				return 1
+			}
+			return float64(len(seen)) / float64(len(groundP2P))
+		}
+		pt.TopoGILL = topoScore(gillSample)
+		pt.TopoRnd = topoScore(rndSample)
+		pt.TopoBest = topoScore(best)
+
+		// Failure localization on eval failures.
+		evalFails := sc.EvalFailures(cut)
+		locScore := func(sample []*update.Update) float64 {
+			if len(evalFails) == 0 {
+				return 0
+			}
+			ok := 0
+			for _, f := range evalFails {
+				if usecases.FailureLocalized(f.Pre, InSample(sample, f.Updates), f.A, f.B) {
+					ok++
+				}
+			}
+			return float64(ok) / float64(len(evalFails))
+		}
+		pt.FailLocGILL = locScore(gillSample)
+		pt.FailLocRnd = locScore(rndSample)
+		pt.FailLocBest = locScore(best)
+
+		// Type-1 hijack detection on eval hijacks.
+		evalHijacks := sc.EvalHijacks(cut)
+		hijScore := func(sample []*update.Update) float64 {
+			n, det := 0, 0
+			for _, h := range evalHijacks {
+				if h.Type != 1 {
+					continue
+				}
+				n++
+				if usecases.HijackVisible(sample, h.Prefix, h.Attacker, h.Tail) {
+					det++
+				}
+			}
+			if n == 0 {
+				return 0
+			}
+			return float64(det) / float64(n)
+		}
+		pt.HijackGILL = hijScore(gillSample)
+		pt.HijackRnd = hijScore(rndSample)
+		pt.HijackBest = hijScore(best)
+
+		out.Points = append(out.Points, pt)
+	}
+	return out
+}

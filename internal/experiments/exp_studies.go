@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfoh"
+	"repro/internal/metrics"
+	"repro/internal/relationships"
+	"repro/internal/sampling"
+	"repro/internal/simulate"
+	"repro/internal/topology"
+	"repro/internal/update"
+)
+
+// studyContext bundles a trained model and budget-matched samples shared
+// by the three §12 replications.
+type studyContext struct {
+	sc     *Scenario
+	model  *core.Model
+	eval   []*update.Update
+	gill   []*update.Update
+	random []*update.Update
+	budget int
+	cut    time.Time
+}
+
+func buildStudy(cfg ScenarioConfig, eventsPerCell int) *studyContext {
+	sc := BuildScenario(cfg)
+	train, eval, cut := sc.Split(0.5)
+	ccfg := core.DefaultConfig()
+	ccfg.EventsPerCell = eventsPerCell
+	model := core.Train(core.TrainingData{
+		Updates:    train,
+		Baseline:   sc.Baseline,
+		Categories: topology.Categorize(sc.Topo),
+		TotalVPs:   len(sc.VPs),
+	}, ccfg, rand.New(rand.NewSource(cfg.Seed+11)))
+	gill := model.Sampler().Sample(eval, 0)
+	budget := len(gill)
+	random := sampling.RandomVPs{Rand: rand.New(rand.NewSource(cfg.Seed + 13))}.Sample(eval, budget)
+	return &studyContext{
+		sc: sc, model: model, eval: eval,
+		gill: gill, random: random, budget: budget,
+		cut: cut,
+	}
+}
+
+// ribPaths collects RIB paths of the given VPs plus a sample's paths — the
+// dataset a relationship inference consumes.
+func (s *studyContext) pathsOf(sample []*update.Update, ribVPs []uint32) [][]uint32 {
+	var paths [][]uint32
+	for _, vp := range ribVPs {
+		for _, p := range s.sc.Coll.RIB(vp) {
+			paths = append(paths, p)
+		}
+	}
+	paths = append(paths, relationships.PathsFromUpdates(sample)...)
+	return paths
+}
+
+// gillPaths assembles GILL's path dataset under a path budget, the way the
+// §12 replications compare against the fixed-VP baseline: anchors'
+// complete tables come first, then the remaining budget is spread
+// round-robin across *all* VPs' filter-retained routes — GILL's advantage
+// is precisely that its budget buys diverse slices of many VPs instead of
+// complete feeds from a few.
+func (s *studyContext) gillPaths(budget int) [][]uint32 {
+	anchorSet := make(map[string]bool)
+	for _, a := range s.model.Anchors {
+		anchorSet[a] = true
+	}
+	// Per-VP queues: RIB paths first (filter-retained for non-anchors),
+	// then sampled update paths.
+	queues := make(map[string][][]uint32)
+	var vpNames []string
+	for _, vp := range s.sc.VPs {
+		name := simulate.VPName(vp)
+		vpNames = append(vpNames, name)
+		for p, path := range s.sc.Coll.RIB(vp) {
+			if !anchorSet[name] {
+				rec := update.Update{VP: name, Prefix: p, Path: path}
+				if !s.model.Keep(&rec) {
+					continue
+				}
+			}
+			queues[name] = append(queues[name], path)
+		}
+	}
+	for _, u := range s.gill {
+		if len(u.Path) >= 2 && !u.Withdraw {
+			queues[u.VP] = append(queues[u.VP], u.Path)
+		}
+	}
+	sort.Strings(vpNames)
+	// Anchors drain first (complete tables), then round-robin everyone.
+	var out [][]uint32
+	for _, name := range vpNames {
+		if anchorSet[name] {
+			n := len(queues[name])
+			if budget > 0 && len(out)+n > budget {
+				n = budget - len(out)
+			}
+			out = append(out, queues[name][:n]...)
+			queues[name] = queues[name][n:]
+		}
+	}
+	for budget <= 0 || len(out) < budget {
+		progress := false
+		for _, name := range vpNames {
+			if len(queues[name]) == 0 {
+				continue
+			}
+			if budget > 0 && len(out) >= budget {
+				break
+			}
+			out = append(out, queues[name][0])
+			queues[name] = queues[name][1:]
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return out
+}
+
+// Sec12aResult replicates the §12 AS-relationship study: relationships
+// inferred from a fixed "CAIDA-like" VP subset versus from GILL-sampled
+// data at the same budget.
+type Sec12aResult struct {
+	BaselineCount int
+	GILLCount     int
+	BaselineTPR   float64
+	GILLTPR       float64
+	GainPct       float64
+}
+
+// String renders the comparison.
+func (r Sec12aResult) String() string {
+	t := &metrics.Table{Header: []string{"dataset", "relationships", "validation TPR"}}
+	t.Add("CAIDA-like subset", r.BaselineCount, metrics.Pct1(r.BaselineTPR))
+	t.Add("GILL sample", r.GILLCount, metrics.Pct1(r.GILLTPR))
+	return fmt.Sprintf("§12 AS relationships (GILL %+.0f%%)\n%s", r.GainPct, t)
+}
+
+// RunSec12a runs the relationship replication.
+func RunSec12a(cfg ScenarioConfig, eventsPerCell int) Sec12aResult {
+	s := buildStudy(cfg, eventsPerCell)
+
+	// The "CAIDA" dataset: a fixed subset of VPs (648 of ≈2500 at paper
+	// scale → roughly a quarter), full feeds, budget-matched.
+	quarter := len(s.sc.VPs) / 4
+	if quarter < 2 {
+		quarter = 2
+	}
+	fixed := append([]uint32(nil), s.sc.VPs...)
+	sort.Slice(fixed, func(i, j int) bool { return fixed[i] < fixed[j] })
+	fixed = fixed[:quarter]
+	var baseSample []*update.Update
+	fixedSet := make(map[string]bool)
+	for _, vp := range fixed {
+		fixedSet[simulate.VPName(vp)] = true
+	}
+	for _, u := range s.eval {
+		if fixedSet[u.VP] {
+			baseSample = append(baseSample, u)
+		}
+	}
+
+	// Both datasets get the same number of AS paths (the §12 equal-budget
+	// rule); GILL spreads its budget across all VPs.
+	basePaths := s.pathsOf(baseSample, fixed)
+	gillInf := relationships.Infer(s.gillPaths(len(basePaths)))
+	baseInf := relationships.Infer(basePaths)
+	baseTPR, _ := baseInf.Validate(s.sc.Topo)
+	gillTPR, _ := gillInf.Validate(s.sc.Topo)
+
+	out := Sec12aResult{
+		BaselineCount: baseInf.Count(),
+		GILLCount:     gillInf.Count(),
+		BaselineTPR:   baseTPR,
+		GILLTPR:       gillTPR,
+	}
+	if out.BaselineCount > 0 {
+		out.GainPct = 100 * float64(out.GILLCount-out.BaselineCount) / float64(out.BaselineCount)
+	}
+	return out
+}
+
+// Sec12bResult replicates the ASRank customer-cone study: ASes whose CCS
+// differs between the baseline and GILL datasets, and which dataset is
+// closer to the ground-truth cone. The paper validates a handful of
+// substantial changes (e.g. AS132337's cone corrected from 1 to 18k);
+// Substantial* restricts to |ΔCCS| ≥ 3 accordingly.
+type Sec12bResult struct {
+	Changed        int
+	GILLCloser     int
+	BaselineCloser int
+
+	Substantial           int
+	SubstantialGILLCloser int
+	// Corrected lists example ASes whose substantial CCS change moved
+	// toward the ground truth under GILL.
+	Corrected []uint32
+}
+
+// String renders the comparison.
+func (r Sec12bResult) String() string {
+	return fmt.Sprintf("§12 customer cones: %d ASes changed CCS (GILL closer for %d, baseline for %d); "+
+		"%d substantial changes, %d corrected by GILL (e.g. ASes %v)",
+		r.Changed, r.GILLCloser, r.BaselineCloser,
+		r.Substantial, r.SubstantialGILLCloser, r.Corrected)
+}
+
+// RunSec12b compares customer-cone sizes.
+func RunSec12b(cfg ScenarioConfig, eventsPerCell int) Sec12bResult {
+	s := buildStudy(cfg, eventsPerCell)
+	quarter := len(s.sc.VPs) / 4
+	if quarter < 2 {
+		quarter = 2
+	}
+	fixed := append([]uint32(nil), s.sc.VPs...)
+	sort.Slice(fixed, func(i, j int) bool { return fixed[i] < fixed[j] })
+	fixed = fixed[:quarter]
+	fixedSet := make(map[string]bool)
+	for _, vp := range fixed {
+		fixedSet[simulate.VPName(vp)] = true
+	}
+	var baseSample []*update.Update
+	for _, u := range s.eval {
+		if fixedSet[u.VP] {
+			baseSample = append(baseSample, u)
+		}
+	}
+	basePaths := s.pathsOf(baseSample, fixed)
+	baseCCS := relationships.Infer(basePaths).CustomerConeSizes()
+	gillCCS := relationships.Infer(s.gillPaths(len(basePaths))).CustomerConeSizes()
+
+	var out Sec12bResult
+	for _, as := range s.sc.Topo.ASes() {
+		b, g := baseCCS[as], gillCCS[as]
+		if b == 0 && g == 0 {
+			continue
+		}
+		if b == g {
+			continue
+		}
+		out.Changed++
+		substantial := abs(b-g) >= 3
+		if substantial {
+			out.Substantial++
+		}
+		truth := len(s.sc.Topo.CustomerCone(as))
+		db, dg := abs(truth-b), abs(truth-g)
+		switch {
+		case dg < db:
+			out.GILLCloser++
+			if substantial {
+				out.SubstantialGILLCloser++
+				if len(out.Corrected) < 5 {
+					out.Corrected = append(out.Corrected, as)
+				}
+			}
+		case db < dg:
+			out.BaselineCloser++
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Sec12cResult replicates the DFOH study: forged-origin hijack inference
+// on GILL-sampled data (DFOH_GILL) versus a random sample (DFOH_R),
+// ground-truthed against the full data (DFOH_ALL plus the simulation's
+// hijack schedule).
+type Sec12cResult struct {
+	GILL   metrics.Confusion
+	Random metrics.Confusion
+	Cases  int
+}
+
+// String renders the comparison.
+func (r Sec12cResult) String() string {
+	t := &metrics.Table{Header: []string{"detector", "TPR", "FPR"}}
+	t.Add("DFOH-GILL", metrics.Pct1(r.GILL.TPR()), metrics.Pct1(r.GILL.FPR()))
+	t.Add("DFOH-Rnd", metrics.Pct1(r.Random.TPR()), metrics.Pct1(r.Random.FPR()))
+	return fmt.Sprintf("§12 forged-origin hijack inference (%d hijack cases)\n%s", r.Cases, t)
+}
+
+// RunSec12c runs the DFOH replication.
+func RunSec12c(cfg ScenarioConfig, eventsPerCell int) Sec12cResult {
+	s := buildStudy(cfg, eventsPerCell)
+
+	// Train the detector on the training window plus baseline RIBs.
+	var trainData []*update.Update
+	for _, vp := range s.sc.VPs {
+		trainData = append(trainData, s.sc.Coll.RIBUpdates(vp, T0)...)
+	}
+	for _, u := range s.sc.Updates {
+		if u.Time.Before(s.cut) {
+			trainData = append(trainData, u)
+		}
+	}
+	// Hijack ground truth: forged links of the scenario's hijack cases.
+	forged := make(map[[2]uint32]bool)
+	hijackCount := 0
+	for _, h := range s.sc.Hijacks {
+		if h.At.Before(s.cut) {
+			continue
+		}
+		hijackCount++
+		forged[[2]uint32{h.Attacker, h.Tail[0]}] = true
+	}
+	isHijack := func(c dfoh.Case) bool { return forged[[2]uint32{c.From, c.To}] }
+
+	evalOn := func(sample []*update.Update) metrics.Confusion {
+		det := dfoh.New(trainData)
+		// Hijacks invisible in this sample count as misses.
+		missed := 0
+		for _, h := range s.sc.Hijacks {
+			if h.At.Before(s.cut) {
+				continue
+			}
+			if len(InSample(sample, h.Updates)) == 0 {
+				missed++
+			}
+		}
+		o := det.Evaluate(sample, isHijack, missed)
+		return metrics.Confusion{TP: o.TP, FP: o.FP, TN: o.TN, FN: o.FN}
+	}
+	return Sec12cResult{
+		GILL:   evalOn(s.gill),
+		Random: evalOn(s.random),
+		Cases:  hijackCount,
+	}
+}

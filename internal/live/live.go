@@ -1,0 +1,247 @@
+// Package live implements a RIS-Live-style streaming service (§9: GILL
+// consumes RIS Live and publishes its own data in near real time): a TCP
+// server broadcasting retained BGP updates as JSON lines, with optional
+// per-client prefix/VP subscriptions, and a matching client.
+package live
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/update"
+)
+
+// Message is one streamed update, wire-compatible across versions.
+type Message struct {
+	Type        string   `json:"type"` // "UPDATE"
+	VP          string   `json:"vp"`
+	Timestamp   int64    `json:"timestamp"`
+	Prefix      string   `json:"prefix"`
+	Path        []uint32 `json:"path,omitempty"`
+	Communities []uint32 `json:"communities,omitempty"`
+	Withdraw    bool     `json:"withdraw,omitempty"`
+}
+
+// Subscription filters a client's stream; zero values match everything.
+type Subscription struct {
+	// Prefix restricts to one prefix (exact match).
+	Prefix string `json:"prefix,omitempty"`
+	// VP restricts to one vantage point.
+	VP string `json:"vp,omitempty"`
+}
+
+func (s Subscription) matches(m *Message) bool {
+	if s.Prefix != "" && s.Prefix != m.Prefix {
+		return false
+	}
+	if s.VP != "" && s.VP != m.VP {
+		return false
+	}
+	return true
+}
+
+// ToMessage converts a canonical update.
+func ToMessage(u *update.Update) *Message {
+	return &Message{
+		Type:        "UPDATE",
+		VP:          u.VP,
+		Timestamp:   u.Time.Unix(),
+		Prefix:      u.Prefix.String(),
+		Path:        u.Path,
+		Communities: u.Comms,
+		Withdraw:    u.Withdraw,
+	}
+}
+
+// ToUpdate converts a message back to the canonical form.
+func (m *Message) ToUpdate() (*update.Update, error) {
+	p, err := netip.ParsePrefix(m.Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("live: bad prefix %q: %w", m.Prefix, err)
+	}
+	return &update.Update{
+		VP:       m.VP,
+		Time:     time.Unix(m.Timestamp, 0).UTC(),
+		Prefix:   p,
+		Path:     m.Path,
+		Comms:    m.Communities,
+		Withdraw: m.Withdraw,
+	}, nil
+}
+
+// Server broadcasts updates to subscribed clients. Slow clients are
+// disconnected rather than allowed to stall the feed.
+type Server struct {
+	mu      sync.Mutex
+	clients map[*client]bool
+	closed  bool
+	ln      net.Listener
+}
+
+type client struct {
+	conn net.Conn
+	sub  Subscription
+	out  chan *Message
+}
+
+// NewServer returns an idle server; call Serve to accept clients.
+func NewServer() *Server {
+	return &Server{clients: make(map[*client]bool)}
+}
+
+// Serve accepts clients on ln until ctx is canceled.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// handle reads the optional subscription line then streams.
+func (s *Server) handle(conn net.Conn) {
+	c := &client{conn: conn, out: make(chan *Message, 256)}
+	// The first line, if it arrives within a short grace period, is a
+	// subscription; otherwise the client gets the firehose.
+	_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	br := bufio.NewReader(conn)
+	if line, err := br.ReadBytes('\n'); err == nil {
+		_ = json.Unmarshal(line, &c.sub)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.clients[c] = true
+	s.mu.Unlock()
+
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	for m := range c.out {
+		if err := enc.Encode(m); err != nil {
+			break
+		}
+		if len(c.out) == 0 {
+			if err := w.Flush(); err != nil {
+				break
+			}
+		}
+	}
+	s.drop(c)
+}
+
+func (s *Server) drop(c *client) {
+	s.mu.Lock()
+	if s.clients[c] {
+		delete(s.clients, c)
+		close(c.out)
+	}
+	s.mu.Unlock()
+	c.conn.Close()
+}
+
+// Publish broadcasts one update to all matching clients. Clients whose
+// buffers are full are disconnected.
+func (s *Server) Publish(u *update.Update) {
+	m := ToMessage(u)
+	s.mu.Lock()
+	var evict []*client
+	for c := range s.clients {
+		if !c.sub.matches(m) {
+			continue
+		}
+		select {
+		case c.out <- m:
+		default:
+			evict = append(evict, c)
+		}
+	}
+	for _, c := range evict {
+		delete(s.clients, c)
+		close(c.out)
+		c.conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Clients returns the number of connected clients.
+func (s *Server) Clients() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// Close disconnects every client.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.clients {
+		delete(s.clients, c)
+		close(c.out)
+		c.conn.Close()
+	}
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// Client consumes a live feed.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+}
+
+// Dial connects and sends the subscription.
+func Dial(ctx context.Context, addr string, sub Subscription) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(sub)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Write(append(line, '\n')); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, dec: json.NewDecoder(conn)}, nil
+}
+
+// Next blocks for the next message.
+func (c *Client) Next() (*Message, error) {
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Close terminates the client.
+func (c *Client) Close() error { return c.conn.Close() }

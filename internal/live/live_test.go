@@ -1,0 +1,176 @@
+package live
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/update"
+)
+
+var t0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func sampleUpdate(vp string, pfx string) *update.Update {
+	return &update.Update{
+		VP:     vp,
+		Time:   t0,
+		Prefix: netip.MustParsePrefix(pfx),
+		Path:   []uint32{65001, 2, 3},
+		Comms:  []uint32{7},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	u := sampleUpdate("vp65001", "203.0.113.0/24")
+	m := ToMessage(u)
+	got, err := m.ToUpdate()
+	if err != nil {
+		t.Fatalf("ToUpdate: %v", err)
+	}
+	if got.VP != u.VP || got.Prefix != u.Prefix || !got.Time.Equal(u.Time) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if len(got.Path) != 3 || got.Path[0] != 65001 {
+		t.Errorf("path mismatch: %v", got.Path)
+	}
+	// Withdrawals round-trip too.
+	w := &update.Update{VP: "vpX", Time: t0, Prefix: u.Prefix, Withdraw: true}
+	m2 := ToMessage(w)
+	got2, err := m2.ToUpdate()
+	if err != nil || !got2.Withdraw {
+		t.Errorf("withdraw round trip: %+v err=%v", got2, err)
+	}
+	// Bad prefix rejected.
+	if _, err := (&Message{Prefix: "junk"}).ToUpdate(); err == nil {
+		t.Error("junk prefix accepted")
+	}
+}
+
+// startServer spins a live server on loopback.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	s := NewServer()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(func() { cancel(); s.Close() })
+	go func() { _ = s.Serve(ctx, ln) }()
+	return s, ln.Addr().String()
+}
+
+func waitClients(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Clients() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d clients connected, want %d", s.Clients(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServerBroadcast(t *testing.T) {
+	s, addr := startServer(t)
+	ctx := context.Background()
+	c, err := Dial(ctx, addr, Subscription{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+
+	s.Publish(sampleUpdate("vp65001", "203.0.113.0/24"))
+	m, err := c.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if m.VP != "vp65001" || m.Prefix != "203.0.113.0/24" || m.Type != "UPDATE" {
+		t.Errorf("message: %+v", m)
+	}
+}
+
+func TestServerSubscriptionFiltering(t *testing.T) {
+	s, addr := startServer(t)
+	ctx := context.Background()
+	cPfx, err := Dial(ctx, addr, Subscription{Prefix: "203.0.113.0/24"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cPfx.Close()
+	cVP, err := Dial(ctx, addr, Subscription{VP: "vpB"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cVP.Close()
+	waitClients(t, s, 2)
+
+	s.Publish(sampleUpdate("vpA", "203.0.113.0/24"))  // matches cPfx only
+	s.Publish(sampleUpdate("vpB", "198.51.100.0/24")) // matches cVP only
+	s.Publish(sampleUpdate("vpB", "203.0.113.0/24"))  // matches both
+
+	m1, err := cPfx.Next()
+	if err != nil || m1.VP != "vpA" {
+		t.Fatalf("cPfx first: %+v err=%v", m1, err)
+	}
+	m2, err := cPfx.Next()
+	if err != nil || m2.VP != "vpB" || m2.Prefix != "203.0.113.0/24" {
+		t.Fatalf("cPfx second: %+v err=%v", m2, err)
+	}
+	v1, err := cVP.Next()
+	if err != nil || v1.Prefix != "198.51.100.0/24" {
+		t.Fatalf("cVP first: %+v err=%v", v1, err)
+	}
+	v2, err := cVP.Next()
+	if err != nil || v2.Prefix != "203.0.113.0/24" {
+		t.Fatalf("cVP second: %+v err=%v", v2, err)
+	}
+}
+
+func TestServerEvictsSlowClient(t *testing.T) {
+	s, addr := startServer(t)
+	// A raw connection that never reads.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("{}\n"))
+	waitClients(t, s, 1)
+	// Flood far past the buffer.
+	for i := 0; i < 100000; i++ {
+		s.Publish(sampleUpdate("vpA", "203.0.113.0/24"))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Clients() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow client never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServerCloseDisconnects(t *testing.T) {
+	s, addr := startServer(t)
+	c, err := Dial(context.Background(), addr, Subscription{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+	s.Close()
+	if _, err := c.Next(); err == nil {
+		t.Error("client survived server close")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, "127.0.0.1:1", Subscription{}); err == nil {
+		t.Error("Dial to a closed port succeeded")
+	}
+}

@@ -1,0 +1,65 @@
+package mrt
+
+import (
+	"net/netip"
+
+	"repro/internal/bgp"
+	"repro/internal/update"
+)
+
+// CanonicalUpdates converts a BGP4MP record into the canonical per-prefix
+// update records the sampling pipeline consumes. Non-update messages yield
+// nothing.
+func (r *Record) CanonicalUpdates() []*update.Update {
+	if r.BGP4MP == nil {
+		return nil
+	}
+	msg, ok := r.BGP4MP.Message.(*bgp.Update)
+	if !ok {
+		return nil
+	}
+	vp := "vp" + utoa(r.BGP4MP.PeerAS)
+	var out []*update.Update
+	comms := make([]uint32, len(msg.Communities))
+	for i, c := range msg.Communities {
+		comms[i] = uint32(c)
+	}
+	announce := func(p netip.Prefix) {
+		out = append(out, &update.Update{
+			VP: vp, Time: r.Header.Timestamp, Prefix: p,
+			Path: msg.ASPath, Comms: comms,
+		})
+	}
+	withdraw := func(p netip.Prefix) {
+		out = append(out, &update.Update{
+			VP: vp, Time: r.Header.Timestamp, Prefix: p, Withdraw: true,
+		})
+	}
+	for _, p := range msg.NLRI {
+		announce(p)
+	}
+	for _, p := range msg.V6NLRI {
+		announce(p)
+	}
+	for _, p := range msg.Withdrawn {
+		withdraw(p)
+	}
+	for _, p := range msg.V6Withdrawn {
+		withdraw(p)
+	}
+	return out
+}
+
+func utoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

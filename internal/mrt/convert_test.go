@@ -1,0 +1,78 @@
+package mrt
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/bgp"
+)
+
+func TestCanonicalUpdates(t *testing.T) {
+	rec := sampleBGP4MP()
+	msg := rec.BGP4MP.Message.(*bgp.Update)
+	msg.Withdrawn = []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")}
+	msg.V6NLRI = []netip.Prefix{netip.MustParsePrefix("2001:db8::/32")}
+	msg.V6NextHop = netip.MustParseAddr("2001:db8::1")
+
+	us := rec.CanonicalUpdates()
+	if len(us) != 3 { // 1 v4 NLRI + 1 v6 NLRI + 1 withdrawal
+		t.Fatalf("updates = %d, want 3", len(us))
+	}
+	var announce, v6, withdraw int
+	for _, u := range us {
+		if u.VP != "vp65001" {
+			t.Errorf("VP = %q", u.VP)
+		}
+		if !u.Time.Equal(ts) {
+			t.Errorf("time = %v", u.Time)
+		}
+		switch {
+		case u.Withdraw:
+			withdraw++
+			if len(u.Path) != 0 {
+				t.Error("withdrawal carries a path")
+			}
+		case u.Prefix.Addr().Is6():
+			v6++
+		default:
+			announce++
+			if len(u.Comms) != 1 {
+				t.Errorf("comms = %v", u.Comms)
+			}
+			if u.Origin() != 400001 {
+				t.Errorf("origin = %d", u.Origin())
+			}
+		}
+	}
+	if announce != 1 || v6 != 1 || withdraw != 1 {
+		t.Errorf("mix: %d/%d/%d", announce, v6, withdraw)
+	}
+}
+
+func TestCanonicalUpdatesNonUpdate(t *testing.T) {
+	rec := &Record{
+		Header: Header{Type: TypeBGP4MP, Subtype: SubtypeBGP4MPMessageAS4},
+		BGP4MP: &BGP4MPMessage{
+			PeerAS: 1, LocalAS: 2,
+			PeerIP:  netip.MustParseAddr("10.0.0.1"),
+			LocalIP: netip.MustParseAddr("10.0.0.2"),
+			Message: &bgp.Keepalive{},
+		},
+	}
+	if got := rec.CanonicalUpdates(); got != nil {
+		t.Errorf("keepalive produced updates: %v", got)
+	}
+	empty := &Record{Header: Header{Type: TypeTableDumpV2}}
+	if got := empty.CanonicalUpdates(); got != nil {
+		t.Errorf("non-BGP4MP produced updates: %v", got)
+	}
+}
+
+func TestUtoa(t *testing.T) {
+	cases := map[uint32]string{0: "0", 7: "7", 65001: "65001", 4294967295: "4294967295"}
+	for in, want := range cases {
+		if got := utoa(in); got != want {
+			t.Errorf("utoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

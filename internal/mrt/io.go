@@ -1,0 +1,146 @@
+package mrt
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Writer serializes MRT records to an underlying stream.
+type Writer struct {
+	w io.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteRecord writes one MRT record (header + body).
+func (w *Writer) WriteRecord(r *Record) error {
+	body, err := r.marshalBody()
+	if err != nil {
+		return err
+	}
+	hdrLen := 12
+	et := r.Header.Type == TypeBGP4MPET
+	if et {
+		hdrLen = 16
+	}
+	buf := make([]byte, hdrLen, hdrLen+len(body))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(r.Header.Timestamp.Unix()))
+	binary.BigEndian.PutUint16(buf[4:6], r.Header.Type)
+	binary.BigEndian.PutUint16(buf[6:8], r.Header.Subtype)
+	length := uint32(len(body))
+	if et {
+		length += 4
+		binary.BigEndian.PutUint32(buf[12:16], r.Header.Microseconds)
+	}
+	binary.BigEndian.PutUint32(buf[8:12], length)
+	buf = append(buf, body...)
+	_, err = w.w.Write(buf)
+	return err
+}
+
+// Reader deserializes MRT records from an underlying stream.
+type Reader struct {
+	r io.Reader
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadRecord reads one MRT record, or io.EOF at a clean end of stream.
+func (r *Reader) ReadRecord() (*Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, ErrShortRecord
+		}
+		return nil, err
+	}
+	rec := &Record{Header: Header{
+		Timestamp: time.Unix(int64(binary.BigEndian.Uint32(hdr[0:4])), 0).UTC(),
+		Type:      binary.BigEndian.Uint16(hdr[4:6]),
+		Subtype:   binary.BigEndian.Uint16(hdr[6:8]),
+		Length:    binary.BigEndian.Uint32(hdr[8:12]),
+	}}
+	body := make([]byte, rec.Header.Length)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, ErrShortRecord
+	}
+	if rec.Header.Type == TypeBGP4MPET {
+		if len(body) < 4 {
+			return nil, ErrShortRecord
+		}
+		rec.Header.Microseconds = binary.BigEndian.Uint32(body[:4])
+		body = body[4:]
+	}
+	var err error
+	switch rec.Header.Type {
+	case TypeBGP4MP, TypeBGP4MPET:
+		switch rec.Header.Subtype {
+		case SubtypeBGP4MPMessage, SubtypeBGP4MPMessageAS4:
+			rec.BGP4MP, err = parseBGP4MP(body)
+		default:
+			return nil, fmt.Errorf("%w: BGP4MP subtype %d", ErrUnknownSubtype, rec.Header.Subtype)
+		}
+	case TypeTableDumpV2:
+		switch rec.Header.Subtype {
+		case SubtypePeerIndexTable:
+			rec.PeerIndex, err = parsePeerIndexTable(body)
+		case SubtypeRIBIPv4Unicast:
+			rec.RIB, err = parseRIBEntrySet(body, false)
+		case SubtypeRIBIPv6Unicast:
+			rec.RIB, err = parseRIBEntrySet(body, true)
+		default:
+			return nil, fmt.Errorf("%w: TABLE_DUMP_V2 subtype %d", ErrUnknownSubtype, rec.Header.Subtype)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, rec.Header.Type)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ArchiveWriter writes gzip-compressed MRT archives, the GILL equivalent of
+// the paper's bzip2-compressed dumps (stdlib bzip2 is decompress-only; see
+// DESIGN.md).
+type ArchiveWriter struct {
+	*Writer
+	gz  *gzip.Writer
+	dst io.Closer
+}
+
+// NewArchiveWriter layers gzip compression over w. If w is an io.Closer it
+// is closed by Close.
+func NewArchiveWriter(w io.Writer) *ArchiveWriter {
+	gz := gzip.NewWriter(w)
+	aw := &ArchiveWriter{Writer: NewWriter(gz), gz: gz}
+	if c, ok := w.(io.Closer); ok {
+		aw.dst = c
+	}
+	return aw
+}
+
+// Close flushes the compressor and closes the destination if it is a Closer.
+func (a *ArchiveWriter) Close() error {
+	if err := a.gz.Close(); err != nil {
+		return err
+	}
+	if a.dst != nil {
+		return a.dst.Close()
+	}
+	return nil
+}
+
+// NewArchiveReader layers gzip decompression over r.
+func NewArchiveReader(r io.Reader) (*Reader, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(gz), nil
+}

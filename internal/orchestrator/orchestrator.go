@@ -1,0 +1,247 @@
+// Package orchestrator implements GILL's control plane (§8, §9): the
+// automated peering workflow with two-step ownership verification, the
+// scheduled refresh of the sampling components (component #1 every 16
+// days, component #2 yearly), the temporary mirroring scheme that feeds
+// the sampling algorithms all data for bounded windows, and filter
+// distribution to the collection daemons.
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/update"
+)
+
+// Refresh periods (§7).
+const (
+	// Component1Period is how often redundant-update inference reruns.
+	Component1Period = 16 * 24 * time.Hour
+	// Component2Period is how often anchor-VP selection reruns.
+	Component2Period = 365 * 24 * time.Hour
+)
+
+// PeeringRequest is the §9 web-form submission.
+type PeeringRequest struct {
+	ASN      uint32
+	Email    string
+	RouterIP netip.Addr
+	// MD5Secret etc. would ride along here; omitted.
+}
+
+// OwnershipVerifier answers whether an email address is authoritative for
+// an ASN — GILL cross-checks against PeeringDB (§9); tests and the demo
+// deployment plug in a simulated registry.
+type OwnershipVerifier interface {
+	Owns(email string, asn uint32) bool
+}
+
+// VerifierFunc adapts a function to OwnershipVerifier.
+type VerifierFunc func(email string, asn uint32) bool
+
+// Owns implements OwnershipVerifier.
+func (f VerifierFunc) Owns(email string, asn uint32) bool { return f(email, asn) }
+
+// Peer is an activated peering session.
+type Peer struct {
+	ASN       uint32
+	RouterIP  netip.Addr
+	AddedAt   time.Time
+	Confirmed bool
+}
+
+// Errors of the peering workflow.
+var (
+	ErrUnverified    = errors.New("orchestrator: email does not own the ASN")
+	ErrAlreadyPeered = errors.New("orchestrator: ASN already has a session")
+	ErrNoSuchPeer    = errors.New("orchestrator: unknown peer")
+)
+
+// Orchestrator is GILL's control plane.
+type Orchestrator struct {
+	mu       sync.Mutex
+	verifier OwnershipVerifier
+	clock    func() time.Time
+
+	peers   map[uint32]*Peer
+	pending map[uint32]PeeringRequest
+
+	filters *filter.Set
+
+	lastComponent1 time.Time
+	lastComponent2 time.Time
+
+	// subscribers receive new filter sets (the daemons' loading hook).
+	subscribers []func(*filter.Set)
+}
+
+// New builds an orchestrator.
+func New(verifier OwnershipVerifier, clock func() time.Time) *Orchestrator {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Orchestrator{
+		verifier: verifier,
+		clock:    clock,
+		peers:    make(map[uint32]*Peer),
+		pending:  make(map[uint32]PeeringRequest),
+		filters:  filter.NewSet(filter.GranVPPrefix),
+	}
+}
+
+// SubmitPeering registers a web-form request; the session activates only
+// after ConfirmEmail (the §9 two-step scheme).
+func (o *Orchestrator) SubmitPeering(req PeeringRequest) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.peers[req.ASN]; ok {
+		return ErrAlreadyPeered
+	}
+	o.pending[req.ASN] = req
+	return nil
+}
+
+// ConfirmEmail completes the two-step verification: the sender's address
+// must be authoritative for the ASN per the registry.
+func (o *Orchestrator) ConfirmEmail(asn uint32, senderEmail string) (*Peer, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	req, ok := o.pending[asn]
+	if !ok {
+		return nil, fmt.Errorf("%w: no pending request for AS%d", ErrNoSuchPeer, asn)
+	}
+	if o.verifier != nil && !o.verifier.Owns(senderEmail, asn) {
+		return nil, ErrUnverified
+	}
+	delete(o.pending, asn)
+	p := &Peer{ASN: asn, RouterIP: req.RouterIP, AddedAt: o.clock(), Confirmed: true}
+	o.peers[asn] = p
+	return p, nil
+}
+
+// Peers lists active sessions sorted by ASN.
+func (o *Orchestrator) Peers() []*Peer {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Peer, 0, len(o.peers))
+	for _, p := range o.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// RemovePeer tears a session down.
+func (o *Orchestrator) RemovePeer(asn uint32) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.peers[asn]; !ok {
+		return ErrNoSuchPeer
+	}
+	delete(o.peers, asn)
+	return nil
+}
+
+// Subscribe registers a filter-loading hook called with every refreshed
+// filter set (and immediately with the current one).
+func (o *Orchestrator) Subscribe(fn func(*filter.Set)) {
+	o.mu.Lock()
+	o.subscribers = append(o.subscribers, fn)
+	cur := o.filters
+	o.mu.Unlock()
+	fn(cur)
+}
+
+// LoadFilters installs a freshly generated filter set and fans it out.
+func (o *Orchestrator) LoadFilters(fs *filter.Set, component int) {
+	o.mu.Lock()
+	o.filters = fs
+	now := o.clock()
+	switch component {
+	case 1:
+		o.lastComponent1 = now
+	case 2:
+		o.lastComponent2 = now
+	}
+	subs := make([]func(*filter.Set), len(o.subscribers))
+	copy(subs, o.subscribers)
+	o.mu.Unlock()
+	for _, fn := range subs {
+		fn(fs)
+	}
+}
+
+// Filters returns the current filter set.
+func (o *Orchestrator) Filters() *filter.Set {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.filters
+}
+
+// Due reports which components need refreshing (§7 periods). A component
+// that never ran is always due.
+func (o *Orchestrator) Due() (component1, component2 bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.clock()
+	component1 = o.lastComponent1.IsZero() || now.Sub(o.lastComponent1) >= Component1Period
+	component2 = o.lastComponent2.IsZero() || now.Sub(o.lastComponent2) >= Component2Period
+	return
+}
+
+// Mirror is the §8 temporary mirroring scheme: the orchestrator briefly
+// retains *all* updates (pre-filtering) inside a bounded time window so
+// the sampling algorithms can train on complete data, then discards them.
+type Mirror struct {
+	mu     sync.Mutex
+	window time.Duration
+	buf    []*update.Update
+}
+
+// NewMirror retains updates for the given window.
+func NewMirror(window time.Duration) *Mirror {
+	return &Mirror{window: window}
+}
+
+// Offer appends an update and evicts everything older than the window
+// relative to the newest timestamp.
+func (m *Mirror) Offer(u *update.Update) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = append(m.buf, u)
+	cutoff := u.Time.Add(-m.window)
+	// The buffer is near-sorted; find the first survivor.
+	i := 0
+	for i < len(m.buf) && m.buf[i].Time.Before(cutoff) {
+		i++
+	}
+	if i > 0 {
+		m.buf = append([]*update.Update(nil), m.buf[i:]...)
+	}
+}
+
+// Snapshot returns the retained updates.
+func (m *Mirror) Snapshot() []*update.Update {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*update.Update(nil), m.buf...)
+}
+
+// Len returns the retained count.
+func (m *Mirror) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.buf)
+}
+
+// Drop empties the mirror (after a sampling run consumed it).
+func (m *Mirror) Drop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = nil
+}

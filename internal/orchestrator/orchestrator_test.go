@@ -1,0 +1,134 @@
+package orchestrator
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/update"
+)
+
+var t0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// fixedClock returns a controllable clock.
+type fixedClock struct{ now time.Time }
+
+func (c *fixedClock) Now() time.Time { return c.now }
+
+func registry(owned map[string]uint32) OwnershipVerifier {
+	return VerifierFunc(func(email string, asn uint32) bool {
+		return owned[email] == asn
+	})
+}
+
+func TestPeeringWorkflow(t *testing.T) {
+	clk := &fixedClock{now: t0}
+	o := New(registry(map[string]uint32{"noc@example.net": 65001}), clk.Now)
+
+	req := PeeringRequest{ASN: 65001, Email: "noc@example.net", RouterIP: netip.MustParseAddr("192.0.2.9")}
+	if err := o.SubmitPeering(req); err != nil {
+		t.Fatalf("SubmitPeering: %v", err)
+	}
+	// Wrong sender: rejected.
+	if _, err := o.ConfirmEmail(65001, "attacker@evil.example"); !errors.Is(err, ErrUnverified) {
+		t.Fatalf("ConfirmEmail wrong sender: %v", err)
+	}
+	// Right sender: activated.
+	p, err := o.ConfirmEmail(65001, "noc@example.net")
+	if err != nil {
+		t.Fatalf("ConfirmEmail: %v", err)
+	}
+	if !p.Confirmed || p.ASN != 65001 || !p.AddedAt.Equal(t0) {
+		t.Errorf("peer = %+v", p)
+	}
+	if got := o.Peers(); len(got) != 1 {
+		t.Errorf("Peers = %v", got)
+	}
+	// Duplicate submission rejected.
+	if err := o.SubmitPeering(req); !errors.Is(err, ErrAlreadyPeered) {
+		t.Errorf("duplicate submit: %v", err)
+	}
+	// Removal.
+	if err := o.RemovePeer(65001); err != nil {
+		t.Fatalf("RemovePeer: %v", err)
+	}
+	if err := o.RemovePeer(65001); !errors.Is(err, ErrNoSuchPeer) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestConfirmWithoutSubmit(t *testing.T) {
+	o := New(nil, nil)
+	if _, err := o.ConfirmEmail(99, "x@example.net"); !errors.Is(err, ErrNoSuchPeer) {
+		t.Errorf("confirm without submit: %v", err)
+	}
+}
+
+func TestRefreshScheduling(t *testing.T) {
+	clk := &fixedClock{now: t0}
+	o := New(nil, clk.Now)
+	c1, c2 := o.Due()
+	if !c1 || !c2 {
+		t.Fatal("both components due initially")
+	}
+	o.LoadFilters(filter.NewSet(filter.GranVPPrefix), 1)
+	o.LoadFilters(filter.NewSet(filter.GranVPPrefix), 2)
+	c1, c2 = o.Due()
+	if c1 || c2 {
+		t.Fatal("nothing should be due right after refresh")
+	}
+	// 16 days later: component 1 due, component 2 not.
+	clk.now = t0.Add(Component1Period)
+	c1, c2 = o.Due()
+	if !c1 || c2 {
+		t.Errorf("at +16d: c1=%v c2=%v, want true/false", c1, c2)
+	}
+	// One year later: both due.
+	clk.now = t0.Add(Component2Period)
+	c1, c2 = o.Due()
+	if !c1 || !c2 {
+		t.Errorf("at +1y: c1=%v c2=%v, want true/true", c1, c2)
+	}
+}
+
+func TestFilterFanout(t *testing.T) {
+	o := New(nil, nil)
+	var got []*filter.Set
+	o.Subscribe(func(fs *filter.Set) { got = append(got, fs) })
+	if len(got) != 1 {
+		t.Fatal("subscriber must receive the current set immediately")
+	}
+	fs := filter.NewSet(filter.GranVPPrefix)
+	fs.AddAnchor("vp1")
+	o.LoadFilters(fs, 1)
+	if len(got) != 2 || !got[1].IsAnchor("vp1") {
+		t.Fatalf("fanout failed: %d sets", len(got))
+	}
+	if o.Filters() != fs {
+		t.Error("Filters() does not return the loaded set")
+	}
+}
+
+func TestMirrorWindow(t *testing.T) {
+	m := NewMirror(10 * time.Minute)
+	p := netip.MustParsePrefix("16.0.0.0/24")
+	for i := 0; i < 30; i++ {
+		m.Offer(&update.Update{VP: "v", Prefix: p, Time: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	// Only the last 10 minutes survive.
+	if n := m.Len(); n < 10 || n > 11 {
+		t.Errorf("mirror retains %d, want ≈10", n)
+	}
+	snap := m.Snapshot()
+	for _, u := range snap {
+		if u.Time.Before(t0.Add(19 * time.Minute)) {
+			t.Errorf("stale update retained: %v", u.Time)
+		}
+	}
+	m.Drop()
+	if m.Len() != 0 {
+		t.Error("Drop did not empty the mirror")
+	}
+}

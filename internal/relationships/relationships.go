@@ -1,0 +1,249 @@
+// Package relationships infers AS business relationships and customer
+// cones from collected AS paths, replicating the methodology GILL is
+// evaluated against in §12: the AS-relationship inference of Luckie et
+// al. [31] (in its degree-based Gao form) used to build CAIDA's
+// AS-relationship dataset, and the ASRank customer-cone size (CCS)
+// computation [11].
+package relationships
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+	"repro/internal/update"
+)
+
+// Inference holds inferred relationships for canonical AS pairs.
+type Inference struct {
+	// Rel maps the unordered pair to its inferred relationship.
+	Rel map[[2]uint32]topology.Relationship
+	// customer maps a C2P pair to the ASN inferred as the customer.
+	customer map[[2]uint32]uint32
+}
+
+// pairOf returns the unordered key of a link.
+func pairOf(a, b uint32) [2]uint32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]uint32{a, b}
+}
+
+// Infer runs the degree-based relationship inference over a set of AS
+// paths: (1) compute each AS's transit degree; (2) for every path, locate
+// the top provider (highest transit degree) — links climbing toward it
+// vote customer-to-provider, links after it vote provider-to-customer;
+// (3) pairs voted in both directions are peers, as are top-of-path links
+// between ASes of comparable transit degree.
+func Infer(paths [][]uint32) *Inference {
+	transitNbrs := make(map[uint32]map[uint32]bool)
+	addNbr := func(m map[uint32]map[uint32]bool, a, b uint32) {
+		s := m[a]
+		if s == nil {
+			s = make(map[uint32]bool)
+			m[a] = s
+		}
+		s[b] = true
+	}
+	deduped := make([][]uint32, 0, len(paths))
+	for _, p := range paths {
+		path := dedupPath(p)
+		if len(path) < 2 {
+			continue
+		}
+		deduped = append(deduped, path)
+		for i := 1; i+1 < len(path); i++ {
+			addNbr(transitNbrs, path[i], path[i-1])
+			addNbr(transitNbrs, path[i], path[i+1])
+		}
+	}
+	tdeg := func(as uint32) int { return len(transitNbrs[as]) }
+	topOf := func(path []uint32) int {
+		top := 0
+		for i := range path {
+			if tdeg(path[i]) > tdeg(path[top]) {
+				top = i
+			}
+		}
+		return top
+	}
+
+	// Voting. In a valley-free path the (at most one) p2p link sits at the
+	// peak; c2p links appear strictly below it in the ascent or descent.
+	// We therefore record, per link: directional customer→provider votes
+	// from the path segments below the peak, and whether the link ever
+	// appears strictly below a peak (which rules out p2p).
+	type vote struct{ cust, prov uint32 }
+	votes := make(map[vote]int)
+	belowPeak := make(map[[2]uint32]bool)
+	for _, path := range deduped {
+		top := topOf(path)
+		for i := 0; i+1 < len(path); i++ {
+			k := pairOf(path[i], path[i+1])
+			switch {
+			case i+1 < top: // strict ascent below the peak
+				votes[vote{path[i], path[i+1]}]++
+				belowPeak[k] = true
+			case i > top: // strict descent below the peak
+				votes[vote{path[i+1], path[i]}]++
+				belowPeak[k] = true
+			case i+1 == top: // climbs into the peak
+				votes[vote{path[i], path[i+1]}]++
+			case i == top: // leaves the peak
+				votes[vote{path[i+1], path[i]}]++
+			}
+		}
+	}
+
+	inf := &Inference{
+		Rel:      make(map[[2]uint32]topology.Relationship),
+		customer: make(map[[2]uint32]uint32),
+	}
+	// PeerDegreeRatio bounds the transit-degree imbalance of an inferred
+	// p2p link: peers exchange traffic settlement-free, which only makes
+	// economic sense between networks of comparable size.
+	const peerDegreeRatio = 3.0
+	for v := range votes {
+		k := pairOf(v.cust, v.prov)
+		if _, done := inf.Rel[k]; done {
+			continue
+		}
+		ab := votes[vote{k[0], k[1]}] // k[0] customer of k[1]
+		ba := votes[vote{k[1], k[0]}]
+		da, db := tdeg(k[0]), tdeg(k[1])
+		peakOnly := !belowPeak[k]
+		comparable := false
+		if da > 0 && db > 0 {
+			lo, hi := da, db
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			comparable = float64(hi)/float64(lo) <= peerDegreeRatio
+		}
+		switch {
+		case peakOnly && comparable:
+			// Seen only at path peaks, between two transit networks of
+			// similar size, crossed in both directions: peer-to-peer.
+			inf.Rel[k] = topology.P2P
+		case ab > ba || (ab == ba && da <= db):
+			inf.Rel[k] = topology.C2P
+			inf.customer[k] = k[0]
+		default:
+			inf.Rel[k] = topology.C2P
+			inf.customer[k] = k[1]
+		}
+	}
+	return inf
+}
+
+// Link returns the inferred link in topology orientation (customer first
+// for C2P), and whether the pair was inferred at all.
+func (inf *Inference) Link(a, b uint32) (topology.Link, bool) {
+	k := pairOf(a, b)
+	rel, ok := inf.Rel[k]
+	if !ok {
+		return topology.Link{}, false
+	}
+	l := topology.Link{A: k[0], B: k[1], Rel: rel}
+	if rel == topology.C2P && inf.customer[k] == k[1] {
+		l.A, l.B = k[1], k[0]
+	}
+	return l, true
+}
+
+// Count returns the number of inferred relationships.
+func (inf *Inference) Count() int { return len(inf.Rel) }
+
+// Pairs returns all inferred pairs, sorted.
+func (inf *Inference) Pairs() [][2]uint32 {
+	out := make([][2]uint32, 0, len(inf.Rel))
+	for k := range inf.Rel {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Validate compares the inference against ground truth, returning the
+// true-positive rate over pairs that exist in the truth (the validation
+// metric of [31]) and the number of inferred pairs absent from it.
+func (inf *Inference) Validate(truth *topology.Topology) (tpr float64, unknown int) {
+	correct, total := 0, 0
+	for _, k := range inf.Pairs() {
+		tl, ok := truth.HasLink(k[0], k[1])
+		if !ok {
+			unknown++
+			continue
+		}
+		total++
+		il, _ := inf.Link(k[0], k[1])
+		if il.Rel != tl.Rel {
+			continue
+		}
+		if il.Rel == topology.P2P || il.A == tl.A {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0, unknown
+	}
+	return float64(correct) / float64(total), unknown
+}
+
+// CustomerConeSizes computes each AS's customer cone size (CCS) from the
+// inferred c2p links, the ASRank metric of §12.
+func (inf *Inference) CustomerConeSizes() map[uint32]int {
+	customers := make(map[uint32][]uint32)
+	ases := make(map[uint32]bool)
+	for _, k := range inf.Pairs() {
+		l, _ := inf.Link(k[0], k[1])
+		ases[l.A], ases[l.B] = true, true
+		if l.Rel == topology.C2P {
+			customers[l.B] = append(customers[l.B], l.A)
+		}
+	}
+	out := make(map[uint32]int, len(ases))
+	for as := range ases {
+		cone := map[uint32]bool{as: true}
+		stack := []uint32{as}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, c := range customers[cur] {
+				if !cone[c] {
+					cone[c] = true
+					stack = append(stack, c)
+				}
+			}
+		}
+		out[as] = len(cone)
+	}
+	return out
+}
+
+// PathsFromUpdates extracts the AS paths of an update sample.
+func PathsFromUpdates(us []*update.Update) [][]uint32 {
+	out := make([][]uint32, 0, len(us))
+	for _, u := range us {
+		if len(u.Path) >= 2 && !u.Withdraw {
+			out = append(out, u.Path)
+		}
+	}
+	return out
+}
+
+func dedupPath(p []uint32) []uint32 {
+	out := make([]uint32, 0, len(p))
+	for i, as := range p {
+		if i > 0 && p[i-1] == as {
+			continue
+		}
+		out = append(out, as)
+	}
+	return out
+}

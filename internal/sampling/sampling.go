@@ -1,0 +1,197 @@
+// Package sampling implements GILL's sampling scheme and every baseline it
+// is benchmarked against in §10: the simplified GILL variants (GILL-upd,
+// GILL-vp), the naive schemes (Rnd.-Upd., Rnd.-VP, AS-Dist., Unbiased),
+// the redundancy-definition-based specifics (Def. 1/2/3), and the
+// use-case-based specifics. Every sampler selects a subset of an update
+// stream under an update-count budget, so schemes are compared at equal
+// data volume.
+package sampling
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/update"
+)
+
+// Sampler selects at most budget updates from a stream.
+type Sampler interface {
+	Name() string
+	Sample(us []*update.Update, budget int) []*update.Update
+}
+
+// byVP groups updates per VP, with VP names sorted for determinism.
+func byVP(us []*update.Update) (map[string][]*update.Update, []string) {
+	groups := make(map[string][]*update.Update)
+	for _, u := range us {
+		groups[u.VP] = append(groups[u.VP], u)
+	}
+	vps := make([]string, 0, len(groups))
+	for vp := range groups {
+		vps = append(vps, vp)
+	}
+	sort.Strings(vps)
+	return groups, vps
+}
+
+// trim caps a sample at the budget, keeping the earliest updates (a user
+// with a fixed processing budget reads the stream in order).
+func trim(us []*update.Update, budget int) []*update.Update {
+	if budget <= 0 || len(us) <= budget {
+		return us
+	}
+	sorted := append([]*update.Update(nil), us...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+	return sorted[:budget]
+}
+
+// takeVPsUntilBudget accumulates whole VP feeds in the given order until
+// the budget is reached (partial last feed allowed).
+func takeVPsUntilBudget(groups map[string][]*update.Update, order []string, budget int) []*update.Update {
+	var out []*update.Update
+	for _, vp := range order {
+		if budget > 0 && len(out) >= budget {
+			break
+		}
+		out = append(out, groups[vp]...)
+	}
+	return trim(out, budget)
+}
+
+// RandomUpdates is the Rnd.-Upd. baseline: updates sampled uniformly at
+// random regardless of VP.
+type RandomUpdates struct {
+	Rand *rand.Rand
+}
+
+// Name implements Sampler.
+func (RandomUpdates) Name() string { return "rnd-upd" }
+
+// Sample implements Sampler.
+func (s RandomUpdates) Sample(us []*update.Update, budget int) []*update.Update {
+	if budget <= 0 || len(us) <= budget {
+		return us
+	}
+	idx := s.Rand.Perm(len(us))[:budget]
+	sort.Ints(idx)
+	out := make([]*update.Update, 0, budget)
+	for _, i := range idx {
+		out = append(out, us[i])
+	}
+	return out
+}
+
+// RandomVPs is the Rnd.-VP baseline: whole feeds from a random VP order —
+// the most common sampling practice reported by the survey (§16).
+type RandomVPs struct {
+	Rand *rand.Rand
+}
+
+// Name implements Sampler.
+func (RandomVPs) Name() string { return "rnd-vp" }
+
+// Sample implements Sampler.
+func (s RandomVPs) Sample(us []*update.Update, budget int) []*update.Update {
+	groups, vps := byVP(us)
+	s.Rand.Shuffle(len(vps), func(i, j int) { vps[i], vps[j] = vps[j], vps[i] })
+	return takeVPsUntilBudget(groups, vps, budget)
+}
+
+// ASDistance is the AS-Dist. baseline: a first random VP, then VPs
+// greedily maximizing the AS-level (hop) distance to the selected set.
+// Dist returns the AS-hop distance between two VPs' ASes.
+type ASDistance struct {
+	Rand *rand.Rand
+	Dist func(vp1, vp2 string) int
+}
+
+// Name implements Sampler.
+func (ASDistance) Name() string { return "as-dist" }
+
+// Sample implements Sampler.
+func (s ASDistance) Sample(us []*update.Update, budget int) []*update.Update {
+	groups, vps := byVP(us)
+	if len(vps) == 0 {
+		return nil
+	}
+	first := vps[s.Rand.Intn(len(vps))]
+	order := []string{first}
+	chosen := map[string]bool{first: true}
+	taken := len(groups[first])
+	for taken < budget && len(order) < len(vps) {
+		best, bestD := "", -1
+		for _, vp := range vps {
+			if chosen[vp] {
+				continue
+			}
+			// Distance to the selected set = min over members.
+			d := 1 << 30
+			for _, sel := range order {
+				if dd := s.Dist(vp, sel); dd < d {
+					d = dd
+				}
+			}
+			if d > bestD || (d == bestD && best != "" && vp < best) {
+				best, bestD = vp, d
+			}
+		}
+		if best == "" {
+			break
+		}
+		chosen[best] = true
+		order = append(order, best)
+		taken += len(groups[best])
+	}
+	return takeVPsUntilBudget(groups, order, budget)
+}
+
+// Unbiased is the bias-minimizing baseline [57]: start from all VPs and
+// iteratively remove the VP whose removal most reduces the bias of the VP
+// set's AS-category distribution relative to the full Internet, until the
+// remaining feeds fit the budget. Category maps a VP to its AS category
+// index; Reference is the Internet-wide category distribution.
+type Unbiased struct {
+	Category  func(vp string) int
+	Reference []float64
+}
+
+// Name implements Sampler.
+func (Unbiased) Name() string { return "unbiased" }
+
+// Sample implements Sampler.
+func (s Unbiased) Sample(us []*update.Update, budget int) []*update.Update {
+	groups, vps := byVP(us)
+	remaining := append([]string(nil), vps...)
+	size := len(us)
+	bias := func(set []string) float64 {
+		counts := make([]float64, len(s.Reference))
+		for _, vp := range set {
+			c := s.Category(vp)
+			if c >= 0 && c < len(counts) {
+				counts[c]++
+			}
+		}
+		total := float64(len(set))
+		b := 0.0
+		for i := range counts {
+			d := counts[i]/total - s.Reference[i]
+			if d < 0 {
+				d = -d
+			}
+			b += d
+		}
+		return b
+	}
+	for size > budget && len(remaining) > 1 {
+		bestIdx, bestBias := -1, 1e18
+		for i := range remaining {
+			cand := append(append([]string(nil), remaining[:i]...), remaining[i+1:]...)
+			if b := bias(cand); b < bestBias {
+				bestBias, bestIdx = b, i
+			}
+		}
+		size -= len(groups[remaining[bestIdx]])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return takeVPsUntilBudget(groups, remaining, budget)
+}

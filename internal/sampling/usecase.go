@@ -1,0 +1,259 @@
+package sampling
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/update"
+)
+
+// The use-case-based specific samplers of §10: each is hand-optimized for
+// one analysis objective, selecting at update granularity the minimal
+// witnesses that make its events detectable. They deliberately overfit —
+// the benchmark's point (takeaway #4) is that they win their own diagonal
+// and lose everywhere else.
+
+// perVPPrefix groups a stream per (VP, prefix), time-sorted.
+func perVPPrefix(us []*update.Update) map[string][]*update.Update {
+	groups := make(map[string][]*update.Update)
+	for _, u := range us {
+		k := u.VP + "|" + u.Prefix.String()
+		groups[k] = append(groups[k], u)
+	}
+	for _, g := range groups {
+		sort.SliceStable(g, func(i, j int) bool { return g[i].Time.Before(g[j].Time) })
+	}
+	return groups
+}
+
+func sortedKeys(m map[string][]*update.Update) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// padAndTrim fills remaining budget with the earliest unpicked updates.
+func padAndTrim(witnesses []*update.Update, us []*update.Update, budget int) []*update.Update {
+	picked := make(map[*update.Update]bool, len(witnesses))
+	for _, u := range witnesses {
+		picked[u] = true
+	}
+	out := witnesses
+	if budget <= 0 {
+		return out
+	}
+	if len(out) >= budget {
+		return trim(out, budget)
+	}
+	rest := make([]*update.Update, 0, len(us))
+	for _, u := range us {
+		if !picked[u] {
+			rest = append(rest, u)
+		}
+	}
+	sort.SliceStable(rest, func(i, j int) bool { return rest[i].Time.Before(rest[j].Time) })
+	for _, u := range rest {
+		if len(out) >= budget {
+			break
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// TransientSpecific witnesses every transient-path event: the short-lived
+// announcement and its replacement.
+type TransientSpecific struct {
+	MaxLife time.Duration
+}
+
+// Name implements Sampler.
+func (TransientSpecific) Name() string { return "specific-transient-paths" }
+
+// Sample implements Sampler.
+func (s TransientSpecific) Sample(us []*update.Update, budget int) []*update.Update {
+	maxLife := s.MaxLife
+	if maxLife == 0 {
+		maxLife = 5 * time.Minute
+	}
+	groups := perVPPrefix(us)
+	var w []*update.Update
+	for _, k := range sortedKeys(groups) {
+		g := groups[k]
+		for i := 0; i+1 < len(g); i++ {
+			cur, next := g[i], g[i+1]
+			if cur.Withdraw || next.Time.Sub(cur.Time) >= maxLife {
+				continue
+			}
+			if update.PathKey(cur.Path) != update.PathKey(next.Path) {
+				w = append(w, cur, next)
+			}
+		}
+	}
+	return padAndTrim(dedupUpdates(w), us, budget)
+}
+
+// MOASSpecific witnesses every multi-origin prefix: one update per
+// (prefix, origin).
+type MOASSpecific struct{}
+
+// Name implements Sampler.
+func (MOASSpecific) Name() string { return "specific-moas" }
+
+// Sample implements Sampler.
+func (MOASSpecific) Sample(us []*update.Update, budget int) []*update.Update {
+	type key struct {
+		p      string
+		origin uint32
+	}
+	first := make(map[key]*update.Update)
+	counts := make(map[string]map[uint32]bool)
+	for _, u := range us {
+		o := u.Origin()
+		if o == 0 {
+			continue
+		}
+		p := u.Prefix.String()
+		if counts[p] == nil {
+			counts[p] = make(map[uint32]bool)
+		}
+		counts[p][o] = true
+		k := key{p, o}
+		if _, ok := first[k]; !ok {
+			first[k] = u
+		}
+	}
+	var w []*update.Update
+	for p, origins := range counts {
+		if len(origins) < 2 {
+			continue
+		}
+		for o := range origins {
+			w = append(w, first[key{p, o}])
+		}
+	}
+	sort.SliceStable(w, func(i, j int) bool { return w[i].Time.Before(w[j].Time) })
+	return padAndTrim(w, us, budget)
+}
+
+// TopoSpecific greedily covers AS links: each selected update must reveal
+// at least one new link.
+type TopoSpecific struct{}
+
+// Name implements Sampler.
+func (TopoSpecific) Name() string { return "specific-topology-mapping" }
+
+// Sample implements Sampler.
+func (TopoSpecific) Sample(us []*update.Update, budget int) []*update.Update {
+	seen := make(map[update.Link]bool)
+	var w []*update.Update
+	for _, u := range us {
+		novel := false
+		for _, l := range update.PathLinks(u.Path) {
+			if l.From > l.To {
+				l.From, l.To = l.To, l.From
+			}
+			if !seen[l] {
+				novel = true
+			}
+		}
+		if !novel {
+			continue
+		}
+		for _, l := range update.PathLinks(u.Path) {
+			if l.From > l.To {
+				l.From, l.To = l.To, l.From
+			}
+			seen[l] = true
+		}
+		w = append(w, u)
+	}
+	return padAndTrim(w, us, budget)
+}
+
+// ActionCommSpecific witnesses every action community value once.
+type ActionCommSpecific struct {
+	IsAction func(uint32) bool
+}
+
+// Name implements Sampler.
+func (ActionCommSpecific) Name() string { return "specific-action-communities" }
+
+// Sample implements Sampler.
+func (s ActionCommSpecific) Sample(us []*update.Update, budget int) []*update.Update {
+	if s.IsAction == nil {
+		return trim(us, budget)
+	}
+	seen := make(map[uint32]bool)
+	var w []*update.Update
+	for _, u := range us {
+		novel := false
+		for _, c := range u.Comms {
+			if s.IsAction(c) && !seen[c] {
+				seen[c] = true
+				novel = true
+			}
+		}
+		if novel {
+			w = append(w, u)
+		}
+	}
+	return padAndTrim(w, us, budget)
+}
+
+// UnchangedPathSpecific witnesses every unchanged-path update together
+// with its predecessor.
+type UnchangedPathSpecific struct{}
+
+// Name implements Sampler.
+func (UnchangedPathSpecific) Name() string { return "specific-unchanged-path-updates" }
+
+// Sample implements Sampler.
+func (UnchangedPathSpecific) Sample(us []*update.Update, budget int) []*update.Update {
+	groups := perVPPrefix(us)
+	var w []*update.Update
+	for _, k := range sortedKeys(groups) {
+		g := groups[k]
+		for i := 0; i+1 < len(g); i++ {
+			cur, next := g[i], g[i+1]
+			if cur.Withdraw || next.Withdraw {
+				continue
+			}
+			if update.PathKey(cur.Path) == update.PathKey(next.Path) && !commsEq(cur.Comms, next.Comms) {
+				w = append(w, cur, next)
+			}
+		}
+	}
+	return padAndTrim(dedupUpdates(w), us, budget)
+}
+
+func commsEq(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]uint32(nil), a...)
+	bs := append([]uint32(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupUpdates(us []*update.Update) []*update.Update {
+	seen := make(map[*update.Update]bool, len(us))
+	out := us[:0]
+	for _, u := range us {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}

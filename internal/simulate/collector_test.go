@@ -1,0 +1,346 @@
+package simulate
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/update"
+)
+
+var evT0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestCollector(t *testing.T) *Collector {
+	t.Helper()
+	s := New(testTopo(), 1)
+	return NewCollector(s, []uint32{4, 5}, DefaultCollectorConfig())
+}
+
+func TestVPNameRoundTrip(t *testing.T) {
+	if VPName(65001) != "vp65001" {
+		t.Errorf("VPName = %q", VPName(65001))
+	}
+	if VPAS("vp65001") != 65001 {
+		t.Errorf("VPAS = %d", VPAS("vp65001"))
+	}
+	if VPAS("bogus") != 0 || VPAS("vpx") != 0 {
+		t.Error("VPAS must return 0 on malformed names")
+	}
+}
+
+func TestCollectorBaselineRIB(t *testing.T) {
+	c := newTestCollector(t)
+	rib4 := c.RIB(4)
+	p6 := topology.PrefixFromIndex(0) // owned by AS6
+	if got := rib4[p6]; !pathEq(got, 4, 2, 6) {
+		t.Errorf("RIB(4)[p6] = %v, want [4 2 6]", got)
+	}
+	rib5 := c.RIB(5)
+	if got := rib5[p6]; !pathEq(got, 5, 6) {
+		t.Errorf("RIB(5)[p6] = %v, want [5 6]", got)
+	}
+	// RIBUpdates renders the same paths with communities.
+	ups := c.RIBUpdates(4, evT0)
+	if len(ups) != len(rib4) {
+		t.Errorf("RIBUpdates count %d, want %d", len(ups), len(rib4))
+	}
+	for _, u := range ups {
+		if u.VP != "vp4" || len(u.Comms) == 0 {
+			t.Errorf("RIB update malformed: %+v", u)
+		}
+	}
+}
+
+func TestLinkFailureUpdates(t *testing.T) {
+	c := newTestCollector(t)
+	p6 := topology.PrefixFromIndex(0)
+	ups := c.Apply(Event{At: evT0, Kind: LinkFail, A: 2, B: 6})
+
+	// VP4's path changes [4 2 6] → [4 2 1 3 6]; VP5 keeps its peer route.
+	var vp4Final *update.Update
+	for _, u := range ups {
+		if u.VP == "vp5" {
+			t.Errorf("vp5 should not emit an update: %+v", u)
+		}
+		if u.VP == "vp4" && u.Prefix == p6 {
+			vp4Final = u // updates sorted by time; last wins
+		}
+	}
+	if vp4Final == nil {
+		t.Fatal("vp4 emitted no update for p6")
+	}
+	if !pathEq(vp4Final.Path, 4, 2, 1, 3, 6) {
+		t.Errorf("vp4 final path %v, want [4 2 1 3 6]", vp4Final.Path)
+	}
+	if vp4Final.Time.Before(evT0) || vp4Final.Time.Sub(evT0) > 2*time.Minute {
+		t.Errorf("update time %v outside convergence window", vp4Final.Time)
+	}
+	// Collector state reflects the new path.
+	if got := c.RIB(4)[p6]; !pathEq(got, 4, 2, 1, 3, 6) {
+		t.Errorf("RIB(4)[p6] after failure = %v", got)
+	}
+
+	// Restore returns to baseline.
+	ups = c.Apply(Event{At: evT0.Add(time.Hour), Kind: LinkRestore, A: 2, B: 6})
+	if len(ups) == 0 {
+		t.Fatal("restore emitted no updates")
+	}
+	if got := c.RIB(4)[p6]; !pathEq(got, 4, 2, 6) {
+		t.Errorf("RIB(4)[p6] after restore = %v", got)
+	}
+}
+
+func TestWithdrawalOnDisconnection(t *testing.T) {
+	s := New(testTopo(), 1)
+	c := NewCollector(s, []uint32{4, 5}, DefaultCollectorConfig())
+	p6 := topology.PrefixFromIndex(0)
+	c.Apply(Event{At: evT0, Kind: LinkFail, A: 2, B: 6})
+	c.Apply(Event{At: evT0.Add(time.Minute), Kind: LinkFail, A: 3, B: 6})
+	ups := c.Apply(Event{At: evT0.Add(2 * time.Minute), Kind: LinkFail, A: 5, B: 6})
+	sawWithdraw := false
+	for _, u := range ups {
+		if u.Prefix == p6 && u.Withdraw {
+			sawWithdraw = true
+		}
+	}
+	if !sawWithdraw {
+		t.Error("expected withdrawal updates once the prefix became unreachable")
+	}
+	if _, ok := c.RIB(5)[p6]; ok {
+		t.Error("RIB(5) still carries an unreachable prefix")
+	}
+}
+
+func TestHijackUpdates(t *testing.T) {
+	c := newTestCollector(t)
+	p6 := topology.PrefixFromIndex(0)
+	ups := c.Apply(Event{
+		At: evT0, Kind: HijackStart, Prefix: p6, Attacker: 5, Tail: []uint32{6},
+	})
+	// Only VP4 switches to the hijacked route (see TestForgedOriginHijack).
+	if len(ups) != 1 || ups[0].VP != "vp4" {
+		t.Fatalf("hijack updates = %+v, want one update from vp4", ups)
+	}
+	if !pathEq(ups[0].Path, 4, 5, 6) {
+		t.Errorf("hijacked path %v, want [4 5 6]", ups[0].Path)
+	}
+	// HijackEnd restores.
+	ups = c.Apply(Event{At: evT0.Add(time.Hour), Kind: HijackEnd, Prefix: p6})
+	if len(ups) != 1 || !pathEq(ups[0].Path, 4, 2, 6) {
+		t.Errorf("post-hijack updates = %+v", ups)
+	}
+}
+
+func TestOriginChangeMOAS(t *testing.T) {
+	c := newTestCollector(t)
+	p6 := topology.PrefixFromIndex(0)
+	ups := c.Apply(Event{At: evT0, Kind: OriginChange, Prefix: p6, NewOrigin: 3})
+	if len(ups) == 0 {
+		t.Fatal("origin change produced no updates")
+	}
+	for _, u := range ups {
+		if u.Withdraw {
+			continue
+		}
+		if u.Origin() != 3 {
+			t.Errorf("update origin %d, want 3: %+v", u.Origin(), u)
+		}
+	}
+}
+
+func TestCommunityChangeEmitsUnchangedPathUpdates(t *testing.T) {
+	c := newTestCollector(t)
+	p6 := topology.PrefixFromIndex(0)
+	before := c.RIB(4)[p6]
+	ups := c.Apply(Event{At: evT0, Kind: CommunityChange, AS: 2, Prefix: p6})
+	var vp4 *update.Update
+	for _, u := range ups {
+		if u.VP == "vp4" {
+			vp4 = u
+		}
+		if u.VP == "vp5" {
+			t.Errorf("vp5 path [5 6] does not cross AS2; spurious update %+v", u)
+		}
+	}
+	if vp4 == nil {
+		t.Fatal("vp4 crossing AS2 got no community update")
+	}
+	if !pathEq(vp4.Path, before...) {
+		t.Errorf("community change must keep the path: %v vs %v", vp4.Path, before)
+	}
+	// The epoch community must actually differ from the base set.
+	base := c.sim.CommunitiesFor(before, p6)
+	if len(vp4.Comms) <= len(base) {
+		t.Errorf("expected extra epoch community: base %v, got %v", base, vp4.Comms)
+	}
+}
+
+func TestActionCommunityToggle(t *testing.T) {
+	c := newTestCollector(t)
+	p6 := topology.PrefixFromIndex(0)
+	ups := c.Apply(Event{At: evT0, Kind: ActionCommunity, AS: 2, Prefix: p6})
+	if len(ups) == 0 {
+		t.Fatal("action community event produced no updates")
+	}
+	found := false
+	for _, u := range ups {
+		for _, cm := range u.Comms {
+			if IsActionCommunity(cm) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no action community carried in updates")
+	}
+	// Toggling again removes the overlay.
+	ups = c.Apply(Event{At: evT0.Add(time.Minute), Kind: ActionCommunity, AS: 2, Prefix: p6})
+	for _, u := range ups {
+		for _, cm := range u.Comms {
+			if IsActionCommunity(cm) {
+				t.Errorf("action community still present after toggle-off: %+v", u)
+			}
+		}
+	}
+}
+
+func TestPathExplorationTransients(t *testing.T) {
+	s := New(testTopo(), 1)
+	cfg := DefaultCollectorConfig()
+	cfg.PathExploration = 1.0 // force exploration
+	c := NewCollector(s, []uint32{4}, cfg)
+	ups := c.Apply(Event{At: evT0, Kind: LinkFail, A: 2, B: 6})
+	p6 := topology.PrefixFromIndex(0)
+	var forP6 []*update.Update
+	for _, u := range ups {
+		if u.Prefix == p6 && u.VP == "vp4" {
+			forP6 = append(forP6, u)
+		}
+	}
+	if len(forP6) != 2 {
+		t.Fatalf("expected transient + final updates, got %d", len(forP6))
+	}
+	transient, final := forP6[0], forP6[1]
+	if !transient.Time.Before(final.Time) {
+		t.Error("transient must precede final update")
+	}
+	if final.Time.Sub(transient.Time) >= 5*time.Minute {
+		t.Error("transient visible ≥ 5 minutes; must be shorter")
+	}
+	if pathEq(transient.Path, final.Path...) {
+		t.Error("transient path equals final path")
+	}
+	// The transient introduces no fabricated AS links.
+	tl := update.PathLinks(transient.Path)
+	fl := update.PathLinks(final.Path)
+	fset := make(map[update.Link]bool)
+	for _, l := range fl {
+		fset[l] = true
+	}
+	for _, l := range tl {
+		if !fset[l] {
+			t.Errorf("transient fabricated link %v", l)
+		}
+	}
+}
+
+func TestCommunitiesDeterministicAndPathCorrelated(t *testing.T) {
+	s := New(testTopo(), 1)
+	p := topology.PrefixFromIndex(0)
+	a := s.CommunitiesFor([]uint32{4, 2, 6}, p)
+	b := s.CommunitiesFor([]uint32{4, 2, 6}, p)
+	if len(a) == 0 {
+		t.Fatal("no communities synthesized")
+	}
+	if len(a) != len(b) {
+		t.Fatal("community synthesis not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("community synthesis not deterministic")
+		}
+	}
+	// A different path yields a different set.
+	c := s.CommunitiesFor([]uint32{4, 2, 1, 3, 6}, p)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("distinct paths produced identical community sets")
+	}
+}
+
+func TestUpdatesSortedByTime(t *testing.T) {
+	c := newTestCollector(t)
+	ups := c.Apply(Event{At: evT0, Kind: LinkFail, A: 2, B: 6})
+	for i := 1; i < len(ups); i++ {
+		if ups[i].Time.Before(ups[i-1].Time) {
+			t.Fatal("updates not sorted by time")
+		}
+	}
+}
+
+func TestCommunityLocalityRadius(t *testing.T) {
+	// Deeper topology: 40 is a customer chain 40→30→20→10→1, prefix at 40.
+	topo := topology.New()
+	topo.AddLink(topology.Link{A: 30, B: 1, Rel: topology.C2P})
+	topo.AddLink(topology.Link{A: 40, B: 30, Rel: topology.C2P})
+	topo.AddLink(topology.Link{A: 50, B: 40, Rel: topology.C2P})
+	topo.AddLink(topology.Link{A: 60, B: 50, Rel: topology.C2P})
+	topo.AddLink(topology.Link{A: 2, B: 1, Rel: topology.C2P})
+	topo.Prefixes[60] = append(topo.Prefixes[60], topology.PrefixFromIndex(5))
+	topo.Tier1s = []uint32{1}
+	s := New(topo, 1)
+	// VP at AS2: path to 60's prefix is [2 1 30 40 50 60]; acting AS 40 is
+	// at hop 3 > teCommRadius(2) → no unchanged-path update; acting AS 1
+	// at hop 1 → update.
+	c := NewCollector(s, []uint32{2}, DefaultCollectorConfig())
+	far := c.Apply(Event{At: evT0, Kind: CommunityChange, AS: 40})
+	if len(far) != 0 {
+		t.Errorf("TE community 3 hops away leaked to the VP: %+v", far)
+	}
+	near := c.Apply(Event{At: evT0, Kind: CommunityChange, AS: 1})
+	if len(near) != 1 {
+		t.Errorf("adjacent TE community not seen: %+v", near)
+	}
+	// Action communities propagate one hop further (radius 3).
+	p := topology.PrefixFromIndex(5)
+	act := c.Apply(Event{At: evT0, Kind: ActionCommunity, AS: 40, Prefix: p})
+	if len(act) != 1 {
+		t.Errorf("action community within radius not seen: %+v", act)
+	}
+	act2 := c.Apply(Event{At: evT0, Kind: ActionCommunity, AS: 50, Prefix: p})
+	if len(act2) != 0 {
+		t.Errorf("action community beyond radius leaked: %+v", act2)
+	}
+}
+
+func TestOverlappingFailuresRestoreToBaseline(t *testing.T) {
+	s := New(testTopo(), 1)
+	c := NewCollector(s, []uint32{4, 5}, DefaultCollectorConfig())
+	p6 := topology.PrefixFromIndex(0)
+	baseline4 := c.RIB(4)[p6]
+	baseline5 := c.RIB(5)[p6]
+
+	// Two overlapping failures, restored in the same order (not LIFO).
+	c.Apply(Event{At: evT0, Kind: LinkFail, A: 2, B: 6})
+	c.Apply(Event{At: evT0.Add(time.Minute), Kind: LinkFail, A: 3, B: 6})
+	c.Apply(Event{At: evT0.Add(2 * time.Minute), Kind: LinkRestore, A: 2, B: 6})
+	c.Apply(Event{At: evT0.Add(3 * time.Minute), Kind: LinkRestore, A: 3, B: 6})
+
+	if got := c.RIB(4)[p6]; !pathEq(got, baseline4...) {
+		t.Errorf("RIB(4) after overlap = %v, want baseline %v", got, baseline4)
+	}
+	if got := c.RIB(5)[p6]; !pathEq(got, baseline5...) {
+		t.Errorf("RIB(5) after overlap = %v, want baseline %v", got, baseline5)
+	}
+	if len(s.FailedLinks()) != 0 {
+		t.Errorf("failed links left over: %v", s.FailedLinks())
+	}
+}

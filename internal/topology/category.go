@@ -1,0 +1,105 @@
+package topology
+
+import "sort"
+
+// Category classifies an AS per Table 5 of the paper. When an AS qualifies
+// for several categories it takes the one with the highest ID.
+type Category int
+
+// AS categories (Table 5).
+const (
+	CatStub       Category = 1 // ASes without customers
+	CatTransit1   Category = 2 // transit ASes with customer cone ≤ average
+	CatTransit2   Category = 3 // remaining transit ASes
+	CatHypergiant Category = 4 // top-K ASes by degree (Böttger et al.: 15)
+	CatTier1      Category = 5 // the Tier1 clique
+)
+
+// NumCategories is the number of AS categories.
+const NumCategories = 5
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CatStub:
+		return "Stub"
+	case CatTransit1:
+		return "Transit-1"
+	case CatTransit2:
+		return "Transit-2"
+	case CatHypergiant:
+		return "Hypergiant"
+	case CatTier1:
+		return "Tier-1"
+	default:
+		return "Unknown"
+	}
+}
+
+// HypergiantCount is the number of hypergiants per Table 5.
+const HypergiantCount = 15
+
+// Categorize returns the Table 5 category of every AS in t.
+func Categorize(t *Topology) map[uint32]Category {
+	ases := t.ASes()
+	out := make(map[uint32]Category, len(ases))
+
+	// Cone sizes and the average over transit ASes.
+	coneSize := make(map[uint32]int, len(ases))
+	var transit []uint32
+	total := 0
+	for _, as := range ases {
+		if len(t.Customers[as]) == 0 {
+			out[as] = CatStub
+			continue
+		}
+		transit = append(transit, as)
+		cs := len(t.CustomerCone(as))
+		coneSize[as] = cs
+		total += cs
+	}
+	avg := 0.0
+	if len(transit) > 0 {
+		avg = float64(total) / float64(len(transit))
+	}
+	for _, as := range transit {
+		if float64(coneSize[as]) <= avg {
+			out[as] = CatTransit1
+		} else {
+			out[as] = CatTransit2
+		}
+	}
+
+	// Hypergiants: the HypergiantCount highest-degree ASes (scaled down on
+	// tiny topologies so the category stays non-trivial).
+	k := HypergiantCount
+	if len(ases) < 200 {
+		k = max(1, len(ases)/40)
+	}
+	byDeg := append([]uint32(nil), ases...)
+	sort.Slice(byDeg, func(i, j int) bool {
+		di, dj := t.Degree(byDeg[i]), t.Degree(byDeg[j])
+		if di != dj {
+			return di > dj
+		}
+		return byDeg[i] < byDeg[j]
+	})
+	for i := 0; i < k && i < len(byDeg); i++ {
+		out[byDeg[i]] = CatHypergiant
+	}
+
+	// Tier1 wins over everything (highest ID).
+	for _, as := range t.Tier1s {
+		out[as] = CatTier1
+	}
+	return out
+}
+
+// CategoryCensus counts ASes per category, for the Table 5 reproduction.
+func CategoryCensus(t *Topology) map[Category]int {
+	out := make(map[Category]int)
+	for _, c := range Categorize(t) {
+		out[c]++
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+// Package update defines the canonical BGP update record used throughout
+// the system — u(v, t, p, L, Lw, C, Cw) in the paper's notation (§4.2) —
+// and implements the three gradually stricter redundancy definitions that
+// motivate GILL's overshoot-and-discard collection scheme.
+package update
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Slack is the timestamp slack used when comparing updates (§4.2,
+// condition 1): two updates within Slack of one another can be redundant,
+// accommodating typical BGP convergence time.
+const Slack = 100 * time.Second
+
+// Link is one directed AS-level adjacency extracted from an AS path.
+type Link struct {
+	From, To uint32
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string { return fmt.Sprintf("%d-%d", l.From, l.To) }
+
+// Update is the canonical stored BGP update. L (Links) is the set of AS
+// links in the AS path; Lw (WdLinks) is the set of links implicitly
+// withdrawn, i.e. present in the previous update for the same (VP, prefix)
+// and absent from this one. C (Comms) and Cw (WdComms) are the analogous
+// community sets.
+type Update struct {
+	VP     string
+	Time   time.Time
+	Prefix netip.Prefix
+	Path   []uint32
+	Comms  []uint32
+
+	WdLinks []Link
+	WdComms []uint32
+
+	// Withdraw marks an explicit route withdrawal (no path).
+	Withdraw bool
+}
+
+// Links returns the directed AS links of the update's AS path.
+func (u *Update) Links() []Link {
+	return PathLinks(u.Path)
+}
+
+// PathLinks extracts the directed links from an AS path, skipping
+// prepending (consecutive duplicate ASNs).
+func PathLinks(path []uint32) []Link {
+	var out []Link
+	for i := 0; i+1 < len(path); i++ {
+		if path[i] == path[i+1] {
+			continue
+		}
+		out = append(out, Link{From: path[i], To: path[i+1]})
+	}
+	return out
+}
+
+// Origin returns the origin AS of the path (the last element) or 0 for an
+// empty path.
+func (u *Update) Origin() uint32 {
+	if len(u.Path) == 0 {
+		return 0
+	}
+	return u.Path[len(u.Path)-1]
+}
+
+// AttrKey returns a stable key identifying the update within a correlation
+// group: VP, AS path, and community values — everything but prefix and
+// time (§17.1).
+func (u *Update) AttrKey() string {
+	var b strings.Builder
+	b.WriteString(u.VP)
+	b.WriteByte('|')
+	if u.Withdraw {
+		b.WriteByte('W')
+	}
+	for _, as := range u.Path {
+		fmt.Fprintf(&b, " %d", as)
+	}
+	b.WriteByte('|')
+	cs := append([]uint32(nil), u.Comms...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	for _, c := range cs {
+		fmt.Fprintf(&b, " %d", c)
+	}
+	return b.String()
+}
+
+// PathKey returns a stable key for the AS path alone.
+func PathKey(path []uint32) string {
+	var b strings.Builder
+	for _, as := range path {
+		fmt.Fprintf(&b, "%d ", as)
+	}
+	return b.String()
+}
+
+// Annotate fills WdLinks and WdComms across a stream of updates by
+// replaying per-(VP, prefix) history in timestamp order. The input slice is
+// sorted in place by time; the updates are mutated.
+func Annotate(us []*Update) {
+	sort.SliceStable(us, func(i, j int) bool { return us[i].Time.Before(us[j].Time) })
+	type key struct {
+		vp string
+		p  netip.Prefix
+	}
+	prev := make(map[key]*Update)
+	for _, u := range us {
+		k := key{u.VP, u.Prefix}
+		if p := prev[k]; p != nil {
+			u.WdLinks = linkDiff(p.Links(), u.Links())
+			u.WdComms = setDiff(p.Comms, u.Comms)
+		} else {
+			u.WdLinks, u.WdComms = nil, nil
+		}
+		prev[k] = u
+	}
+}
+
+// linkDiff returns the links in old that are absent from new.
+func linkDiff(old, new []Link) []Link {
+	in := make(map[Link]bool, len(new))
+	for _, l := range new {
+		in[l] = true
+	}
+	var out []Link
+	for _, l := range old {
+		if !in[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// setDiff returns values in old absent from new.
+func setDiff(old, new []uint32) []uint32 {
+	in := make(map[uint32]bool, len(new))
+	for _, v := range new {
+		in[v] = true
+	}
+	var out []uint32
+	for _, v := range old {
+		if !in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package usecases
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/update"
+)
+
+// LocalizeFailure implements the failure-localization algorithm of
+// Feldmann et al. [21] used by the §3/§11 simulations: each VP whose route
+// changed implicates the links its old path used but its new path avoids;
+// a single-link failure is localized when the intersection of all
+// implicated sets is exactly one link.
+//
+// pre holds each VP's pre-event paths (VP name → prefix → path);
+// eventUpdates are the updates triggered by the failure as seen in the
+// (possibly sampled) collected data.
+func LocalizeFailure(pre map[string]map[netip.Prefix][]uint32, eventUpdates []*update.Update) []update.Link {
+	type cand map[update.Link]bool
+	var sets []cand
+	// Use only the first post-event update per (VP, prefix): later updates
+	// reflect path exploration, not the failure itself.
+	seen := make(map[string]bool)
+	ordered := append([]*update.Update(nil), eventUpdates...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time.Before(ordered[j].Time) })
+	for _, u := range ordered {
+		k := u.VP + "|" + u.Prefix.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		oldPath := pre[u.VP][u.Prefix]
+		if oldPath == nil {
+			continue
+		}
+		oldLinks := update.PathLinks(oldPath)
+		newSet := make(map[update.Link]bool)
+		if !u.Withdraw {
+			for _, l := range update.PathLinks(u.Path) {
+				newSet[canon(l)] = true
+			}
+		}
+		s := make(cand)
+		for _, l := range oldLinks {
+			cl := canon(l)
+			if !newSet[cl] {
+				s[cl] = true
+			}
+		}
+		if len(s) > 0 {
+			sets = append(sets, s)
+		}
+	}
+	if len(sets) == 0 {
+		return nil
+	}
+	// Intersect.
+	inter := sets[0]
+	for _, s := range sets[1:] {
+		next := make(cand)
+		for l := range inter {
+			if s[l] {
+				next[l] = true
+			}
+		}
+		inter = next
+	}
+	out := make([]update.Link, 0, len(inter))
+	for l := range inter {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func canon(l update.Link) update.Link {
+	if l.From > l.To {
+		return update.Link{From: l.To, To: l.From}
+	}
+	return l
+}
+
+// FailureLocalized reports whether the algorithm pinpoints exactly the
+// failed link.
+func FailureLocalized(pre map[string]map[netip.Prefix][]uint32, eventUpdates []*update.Update, a, b uint32) bool {
+	got := LocalizeFailure(pre, eventUpdates)
+	if len(got) != 1 {
+		return false
+	}
+	l := got[0]
+	if a > b {
+		a, b = b, a
+	}
+	return l.From == a && l.To == b
+}
+
+// HijackVisible reports whether the sampled updates reveal a forged-origin
+// hijack of prefix p by attacker announcing [attacker, tail...]: some
+// update's path must end with that forged suffix (§3.1: a hijack is
+// detectable only if the hijacked route reaches at least one VP).
+func HijackVisible(sample []*update.Update, p netip.Prefix, attacker uint32, tail []uint32) bool {
+	suffix := append([]uint32{attacker}, tail...)
+	for _, u := range sample {
+		if u.Prefix != p || u.Withdraw {
+			continue
+		}
+		if hasSuffix(u.Path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasSuffix(path, suffix []uint32) bool {
+	if len(path) < len(suffix) {
+		return false
+	}
+	off := len(path) - len(suffix)
+	for i, v := range suffix {
+		if path[off+i] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,236 @@
+// Package usecases implements the five canonical BGP analyses GILL's
+// sampling is benchmarked on (§10) — transient-path detection, MOAS
+// detection, AS-topology mapping, action-community detection, and
+// unchanged-path-update detection — plus the §3 simulation objectives
+// (link-failure localization and forged-origin hijack visibility).
+//
+// Every §10 use case is an Evaluator that extracts a set of event keys
+// from an update stream. Benchmarking is uniform: the ground set comes
+// from the full stream, a sampling scheme's score is the fraction of
+// ground keys still recoverable from its sample.
+package usecases
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/update"
+)
+
+// Evaluator is one use case: it extracts the detectable event keys from an
+// update stream.
+type Evaluator interface {
+	Name() string
+	Keys(us []*update.Update) map[string]bool
+}
+
+// Score computes the fraction of ground-truth keys recoverable from the
+// sample.
+func Score(ev Evaluator, ground map[string]bool, sample []*update.Update) float64 {
+	if len(ground) == 0 {
+		return 1
+	}
+	found := ev.Keys(sample)
+	hit := 0
+	for k := range ground {
+		if found[k] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(ground))
+}
+
+// sortByVPPrefixTime groups a stream per (VP, prefix) in time order.
+func sortByVPPrefixTime(us []*update.Update) map[string][]*update.Update {
+	groups := make(map[string][]*update.Update)
+	for _, u := range us {
+		k := u.VP + "|" + u.Prefix.String()
+		groups[k] = append(groups[k], u)
+	}
+	for _, g := range groups {
+		sort.SliceStable(g, func(i, j int) bool { return g[i].Time.Before(g[j].Time) })
+	}
+	return groups
+}
+
+// Transient is use case I: BGP routes visible for less than MaxLife
+// (typically five minutes, a typical convergence delay [30]).
+type Transient struct {
+	// MaxLife is the maximum visibility of a transient path (default 5m).
+	MaxLife time.Duration
+}
+
+// Name implements Evaluator.
+func (Transient) Name() string { return "transient-paths" }
+
+// Keys implements Evaluator: an announcement replaced by a different path
+// (or withdrawn) within MaxLife is a transient-path event, keyed by VP,
+// prefix, path and minute bucket.
+func (tr Transient) Keys(us []*update.Update) map[string]bool {
+	maxLife := tr.MaxLife
+	if maxLife == 0 {
+		maxLife = 5 * time.Minute
+	}
+	out := make(map[string]bool)
+	for _, g := range sortByVPPrefixTime(us) {
+		for i := 0; i+1 < len(g); i++ {
+			cur, next := g[i], g[i+1]
+			if cur.Withdraw {
+				continue
+			}
+			if next.Time.Sub(cur.Time) >= maxLife {
+				continue
+			}
+			if update.PathKey(cur.Path) == update.PathKey(next.Path) {
+				continue
+			}
+			out[fmt.Sprintf("%s|%s|%s|%d", cur.VP, cur.Prefix, update.PathKey(cur.Path),
+				cur.Time.Unix()/60)] = true
+		}
+	}
+	return out
+}
+
+// MOAS is use case II: prefixes announced by multiple distinct origin
+// ASes [56], keyed by prefix and origin pair.
+type MOAS struct{}
+
+// Name implements Evaluator.
+func (MOAS) Name() string { return "moas" }
+
+// Keys implements Evaluator.
+func (MOAS) Keys(us []*update.Update) map[string]bool {
+	origins := make(map[netip.Prefix]map[uint32]bool)
+	for _, u := range us {
+		o := u.Origin()
+		if o == 0 {
+			continue
+		}
+		m := origins[u.Prefix]
+		if m == nil {
+			m = make(map[uint32]bool)
+			origins[u.Prefix] = m
+		}
+		m[o] = true
+	}
+	out := make(map[string]bool)
+	for p, m := range origins {
+		if len(m) < 2 {
+			continue
+		}
+		os := make([]uint32, 0, len(m))
+		for o := range m {
+			os = append(os, o)
+		}
+		sort.Slice(os, func(i, j int) bool { return os[i] < os[j] })
+		out[fmt.Sprintf("%s|%v", p, os)] = true
+	}
+	return out
+}
+
+// TopoLinks is use case III: AS-topology mapping — the set of distinct
+// (undirected) AS links observed in any AS path.
+type TopoLinks struct{}
+
+// Name implements Evaluator.
+func (TopoLinks) Name() string { return "topology-mapping" }
+
+// Keys implements Evaluator.
+func (TopoLinks) Keys(us []*update.Update) map[string]bool {
+	out := make(map[string]bool)
+	for _, u := range us {
+		for _, l := range update.PathLinks(u.Path) {
+			a, b := l.From, l.To
+			if a > b {
+				a, b = b, a
+			}
+			out[fmt.Sprintf("%d-%d", a, b)] = true
+		}
+	}
+	return out
+}
+
+// ActionComms is use case IV: detection of action communities [60], the
+// hardest community class to observe. IsAction classifies a community
+// value; the zero value uses none (callers must supply the registry,
+// e.g. simulate.IsActionCommunity).
+type ActionComms struct {
+	IsAction func(uint32) bool
+}
+
+// Name implements Evaluator.
+func (ActionComms) Name() string { return "action-communities" }
+
+// Keys implements Evaluator: each distinct action community value seen.
+func (a ActionComms) Keys(us []*update.Update) map[string]bool {
+	out := make(map[string]bool)
+	if a.IsAction == nil {
+		return out
+	}
+	for _, u := range us {
+		for _, c := range u.Comms {
+			if a.IsAction(c) {
+				out[fmt.Sprintf("%d", c)] = true
+			}
+		}
+	}
+	return out
+}
+
+// UnchangedPath is use case V: announcements that only change community
+// values while keeping the AS path [29].
+type UnchangedPath struct{}
+
+// Name implements Evaluator.
+func (UnchangedPath) Name() string { return "unchanged-path-updates" }
+
+// Keys implements Evaluator.
+func (UnchangedPath) Keys(us []*update.Update) map[string]bool {
+	out := make(map[string]bool)
+	for _, g := range sortByVPPrefixTime(us) {
+		for i := 0; i+1 < len(g); i++ {
+			cur, next := g[i], g[i+1]
+			if cur.Withdraw || next.Withdraw {
+				continue
+			}
+			if update.PathKey(cur.Path) != update.PathKey(next.Path) {
+				continue
+			}
+			if commsEqual(cur.Comms, next.Comms) {
+				continue
+			}
+			out[fmt.Sprintf("%s|%s|%d", next.VP, next.Prefix, next.Time.Unix()/60)] = true
+		}
+	}
+	return out
+}
+
+func commsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]uint32(nil), a...)
+	bs := append([]uint32(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// All returns the five §10 evaluators in paper order. isAction classifies
+// action communities for use case IV.
+func All(isAction func(uint32) bool) []Evaluator {
+	return []Evaluator{
+		Transient{},
+		MOAS{},
+		TopoLinks{},
+		ActionComms{IsAction: isAction},
+		UnchangedPath{},
+	}
+}

@@ -1,0 +1,229 @@
+package usecases
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/update"
+)
+
+var (
+	p1 = netip.MustParsePrefix("16.0.0.0/24")
+	p2 = netip.MustParsePrefix("16.0.1.0/24")
+	t0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func u(vp string, at time.Duration, p netip.Prefix, path []uint32, comms ...uint32) *update.Update {
+	return &update.Update{VP: vp, Time: t0.Add(at), Prefix: p, Path: path, Comms: comms}
+}
+
+func TestTransientKeys(t *testing.T) {
+	us := []*update.Update{
+		u("vpA", 0, p1, []uint32{1, 2, 3}),              // transient: replaced in 2min
+		u("vpA", 2*time.Minute, p1, []uint32{1, 4, 3}),  // stable
+		u("vpA", 30*time.Minute, p1, []uint32{1, 2, 3}), // stable (next far away)
+		u("vpA", 60*time.Minute, p1, []uint32{1, 4, 3}),
+	}
+	keys := Transient{}.Keys(us)
+	if len(keys) != 1 {
+		t.Fatalf("keys = %v, want 1 transient", keys)
+	}
+	// A withdrawal within MaxLife also ends visibility.
+	us2 := []*update.Update{
+		u("vpB", 0, p1, []uint32{1, 2}),
+		{VP: "vpB", Time: t0.Add(time.Minute), Prefix: p1, Withdraw: true},
+	}
+	if got := (Transient{}).Keys(us2); len(got) != 1 {
+		t.Errorf("withdrawal case keys = %v, want 1", got)
+	}
+	// Same path re-announced is not a transient.
+	us3 := []*update.Update{
+		u("vpC", 0, p1, []uint32{1, 2}, 9),
+		u("vpC", time.Minute, p1, []uint32{1, 2}, 8),
+	}
+	if got := (Transient{}).Keys(us3); len(got) != 0 {
+		t.Errorf("same-path case keys = %v, want 0", got)
+	}
+}
+
+func TestTransientScoreNeedsBothUpdates(t *testing.T) {
+	full := []*update.Update{
+		u("vpA", 0, p1, []uint32{1, 2, 3}),
+		u("vpA", 2*time.Minute, p1, []uint32{1, 4, 3}),
+	}
+	ground := Transient{}.Keys(full)
+	if got := Score(Transient{}, ground, full); got != 1 {
+		t.Errorf("full sample score = %v", got)
+	}
+	// Missing the replacement update hides the transient.
+	if got := Score(Transient{}, ground, full[:1]); got != 0 {
+		t.Errorf("partial sample score = %v, want 0", got)
+	}
+}
+
+func TestMOASKeys(t *testing.T) {
+	us := []*update.Update{
+		u("vpA", 0, p1, []uint32{1, 2, 30}),
+		u("vpB", time.Hour, p1, []uint32{4, 99}),
+		u("vpA", 0, p2, []uint32{1, 2, 30}), // single origin
+	}
+	keys := MOAS{}.Keys(us)
+	if len(keys) != 1 {
+		t.Fatalf("MOAS keys = %v, want 1", keys)
+	}
+	// Detection needs updates from both origins.
+	ground := keys
+	if got := Score(MOAS{}, ground, us[:1]); got != 0 {
+		t.Errorf("one-origin sample score = %v, want 0", got)
+	}
+	if got := Score(MOAS{}, ground, us); got != 1 {
+		t.Errorf("full sample score = %v, want 1", got)
+	}
+}
+
+func TestTopoLinksKeys(t *testing.T) {
+	us := []*update.Update{
+		u("vpA", 0, p1, []uint32{1, 2, 3}),
+		u("vpB", 0, p1, []uint32{3, 2, 1}), // same links, opposite direction
+		u("vpC", 0, p2, []uint32{1, 2}),
+	}
+	keys := TopoLinks{}.Keys(us)
+	if len(keys) != 2 { // 1-2 and 2-3, undirected
+		t.Fatalf("links = %v, want 2", keys)
+	}
+	if !keys["1-2"] || !keys["2-3"] {
+		t.Errorf("links = %v", keys)
+	}
+}
+
+func TestActionCommsKeys(t *testing.T) {
+	isAction := func(c uint32) bool { return c&0xffff >= 1000 }
+	us := []*update.Update{
+		u("vpA", 0, p1, []uint32{1, 2}, 1<<16|500, 1<<16|1001),
+		u("vpB", 0, p1, []uint32{3, 2}, 2<<16|1002),
+	}
+	keys := ActionComms{IsAction: isAction}.Keys(us)
+	if len(keys) != 2 {
+		t.Fatalf("action comms = %v, want 2", keys)
+	}
+	if got := (ActionComms{}).Keys(us); len(got) != 0 {
+		t.Errorf("nil classifier should yield nothing, got %v", got)
+	}
+}
+
+func TestUnchangedPathKeys(t *testing.T) {
+	us := []*update.Update{
+		u("vpA", 0, p1, []uint32{1, 2}, 5),
+		u("vpA", 10*time.Minute, p1, []uint32{1, 2}, 6), // unchanged path, new comm
+		u("vpA", 20*time.Minute, p1, []uint32{1, 3}, 6), // path changed
+		u("vpA", 30*time.Minute, p1, []uint32{1, 3}, 6), // duplicate (same comms): not an event
+	}
+	keys := UnchangedPath{}.Keys(us)
+	if len(keys) != 1 {
+		t.Fatalf("unchanged-path keys = %v, want 1", keys)
+	}
+	ground := keys
+	// Sample without the first update cannot recognize the event.
+	if got := Score(UnchangedPath{}, ground, us[1:2]); got != 0 {
+		t.Errorf("score without predecessor = %v, want 0", got)
+	}
+}
+
+func TestScoreEmptyGround(t *testing.T) {
+	if got := Score(MOAS{}, nil, nil); got != 1 {
+		t.Errorf("empty ground score = %v, want 1", got)
+	}
+}
+
+func TestAllEvaluators(t *testing.T) {
+	evs := All(func(uint32) bool { return false })
+	if len(evs) != 5 {
+		t.Fatalf("All returned %d evaluators", len(evs))
+	}
+	names := map[string]bool{}
+	for _, e := range evs {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"transient-paths", "moas", "topology-mapping",
+		"action-communities", "unchanged-path-updates"} {
+		if !names[want] {
+			t.Errorf("missing evaluator %s", want)
+		}
+	}
+}
+
+func TestLocalizeFailure(t *testing.T) {
+	pre := map[string]map[netip.Prefix][]uint32{
+		"vpA": {p1: {10, 20, 30, 40}},
+		"vpB": {p1: {11, 20, 30, 40}},
+	}
+	// Link 20-30 fails; both VPs route around it.
+	evUpdates := []*update.Update{
+		u("vpA", time.Second, p1, []uint32{10, 20, 50, 30, 40}),
+		u("vpB", 2*time.Second, p1, []uint32{11, 20, 50, 30, 40}),
+	}
+	got := LocalizeFailure(pre, evUpdates)
+	if len(got) != 1 || got[0] != (update.Link{From: 20, To: 30}) {
+		t.Errorf("localized %v, want [20-30]", got)
+	}
+	if !FailureLocalized(pre, evUpdates, 30, 20) {
+		t.Error("FailureLocalized false for correct link (order-agnostic)")
+	}
+	if FailureLocalized(pre, evUpdates, 20, 50) {
+		t.Error("FailureLocalized true for wrong link")
+	}
+}
+
+func TestLocalizeFailureAmbiguous(t *testing.T) {
+	// A single VP whose old path loses two links at once cannot pinpoint.
+	pre := map[string]map[netip.Prefix][]uint32{
+		"vpA": {p1: {10, 20, 30, 40}},
+	}
+	evUpdates := []*update.Update{
+		u("vpA", time.Second, p1, []uint32{10, 50, 40}),
+	}
+	got := LocalizeFailure(pre, evUpdates)
+	if len(got) < 2 {
+		t.Errorf("expected ambiguity, got %v", got)
+	}
+	if FailureLocalized(pre, evUpdates, 20, 30) {
+		t.Error("ambiguous case must not count as localized")
+	}
+}
+
+func TestLocalizeFailureWithWithdrawal(t *testing.T) {
+	pre := map[string]map[netip.Prefix][]uint32{
+		"vpA": {p1: {10, 30, 40}},
+		"vpB": {p1: {11, 30, 40}},
+	}
+	evUpdates := []*update.Update{
+		{VP: "vpA", Time: t0, Prefix: p1, Withdraw: true},
+		u("vpB", time.Second, p1, []uint32{11, 30, 60, 40}),
+	}
+	got := LocalizeFailure(pre, evUpdates)
+	if len(got) != 1 || got[0] != (update.Link{From: 30, To: 40}) {
+		t.Errorf("localized %v, want [30-40]", got)
+	}
+}
+
+func TestHijackVisible(t *testing.T) {
+	sample := []*update.Update{
+		u("vpA", 0, p1, []uint32{10, 20, 66}),     // legit
+		u("vpB", 0, p1, []uint32{11, 12, 77, 66}), // hijacked: 77 forged before 66
+	}
+	if !HijackVisible(sample, p1, 77, []uint32{66}) {
+		t.Error("type-1 hijack not detected")
+	}
+	if HijackVisible(sample, p1, 12, []uint32{66}) {
+		t.Error("false positive on intermediate AS")
+	}
+	if HijackVisible(sample[:1], p1, 77, []uint32{66}) {
+		t.Error("hijack detected without any polluted update")
+	}
+	// Type-2 suffix.
+	s2 := []*update.Update{u("vpC", 0, p2, []uint32{9, 77, 55, 66})}
+	if !HijackVisible(s2, p2, 77, []uint32{55, 66}) {
+		t.Error("type-2 hijack not detected")
+	}
+}

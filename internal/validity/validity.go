@@ -1,0 +1,164 @@
+// Package validity implements the route-correctness checks §14 calls for
+// ("Preventing fake peering sessions and data"): RFC 6811-style origin
+// validation against a ROA-like registry, first-hop verification (a peer
+// may only export routes whose path starts with its own ASN), and
+// AS-path plausibility screening against known adjacency. Current public
+// collection platforms run no such checks; GILL's daemons can.
+package validity
+
+import (
+	"net/netip"
+	"sync"
+
+	"repro/internal/update"
+)
+
+// State is the outcome of origin validation (RFC 6811 §2).
+type State int
+
+// Validation states.
+const (
+	NotFound State = iota
+	Valid
+	Invalid
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	default:
+		return "not-found"
+	}
+}
+
+// ROA is one Route Origin Authorization: origin AS may announce any
+// prefix covered by Prefix up to MaxLength.
+type ROA struct {
+	Prefix    netip.Prefix
+	MaxLength int
+	ASN       uint32
+}
+
+// Registry is a concurrency-safe ROA table with longest-prefix coverage
+// semantics.
+type Registry struct {
+	mu   sync.RWMutex
+	roas []ROA
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add installs a ROA. A zero MaxLength defaults to the prefix length.
+func (r *Registry) Add(roa ROA) {
+	if roa.MaxLength == 0 {
+		roa.MaxLength = roa.Prefix.Bits()
+	}
+	r.mu.Lock()
+	r.roas = append(r.roas, roa)
+	r.mu.Unlock()
+}
+
+// Len returns the number of ROAs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.roas)
+}
+
+// Validate classifies an (origin, prefix) pair per RFC 6811: Valid if some
+// covering ROA authorizes the origin at this length; Invalid if covering
+// ROAs exist but none match; NotFound with no covering ROA.
+func (r *Registry) Validate(origin uint32, p netip.Prefix) State {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	covered := false
+	for _, roa := range r.roas {
+		if !roa.Prefix.Contains(p.Addr()) || roa.Prefix.Bits() > p.Bits() {
+			continue
+		}
+		covered = true
+		if roa.ASN == origin && p.Bits() <= roa.MaxLength {
+			return Valid
+		}
+	}
+	if covered {
+		return Invalid
+	}
+	return NotFound
+}
+
+// Checker bundles the daemon-side update checks.
+type Checker struct {
+	// Registry validates origins; nil skips origin validation.
+	Registry *Registry
+	// KnownLinks screens paths for never-seen adjacencies adjacent to the
+	// origin (the DFOH signal); nil skips. Canonical (low, high) pairs.
+	KnownLinks map[[2]uint32]bool
+	// DropInvalid discards RFC-6811-invalid routes instead of tagging.
+	DropInvalid bool
+}
+
+// Verdict is the outcome of checking one update.
+type Verdict struct {
+	Origin State
+	// FirstHopOK is false when the path does not start with the peer ASN.
+	FirstHopOK bool
+	// NewOriginLink is true when the origin-adjacent link was never seen.
+	NewOriginLink bool
+	// Drop aggregates the checker's policy.
+	Drop bool
+}
+
+// Check runs all configured checks for an update received from peerAS.
+func (c *Checker) Check(peerAS uint32, u *update.Update) Verdict {
+	v := Verdict{Origin: NotFound, FirstHopOK: true}
+	if u.Withdraw {
+		return v
+	}
+	if len(u.Path) > 0 && peerAS != 0 && u.Path[0] != peerAS {
+		v.FirstHopOK = false
+		v.Drop = true // a peer announcing someone else's path is forging
+	}
+	if c.Registry != nil {
+		v.Origin = c.Registry.Validate(u.Origin(), u.Prefix)
+		if v.Origin == Invalid && c.DropInvalid {
+			v.Drop = true
+		}
+	}
+	if c.KnownLinks != nil {
+		links := update.PathLinks(u.Path)
+		if n := len(links); n > 0 {
+			l := links[n-1]
+			a, b := l.From, l.To
+			if a > b {
+				a, b = b, a
+			}
+			if !c.KnownLinks[[2]uint32{a, b}] {
+				v.NewOriginLink = true
+			}
+		}
+	}
+	return v
+}
+
+// LearnLinks folds a stream's links into the checker's known set,
+// building the baseline the new-origin-link screen compares against.
+func (c *Checker) LearnLinks(us []*update.Update) {
+	if c.KnownLinks == nil {
+		c.KnownLinks = make(map[[2]uint32]bool)
+	}
+	for _, u := range us {
+		for _, l := range update.PathLinks(u.Path) {
+			a, b := l.From, l.To
+			if a > b {
+				a, b = b, a
+			}
+			c.KnownLinks[[2]uint32{a, b}] = true
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package validity
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/update"
+)
+
+func TestRegistryValidate(t *testing.T) {
+	r := NewRegistry()
+	r.Add(ROA{Prefix: netip.MustParsePrefix("10.0.0.0/16"), MaxLength: 24, ASN: 65001})
+	r.Add(ROA{Prefix: netip.MustParsePrefix("192.0.2.0/24"), ASN: 65002})
+
+	cases := []struct {
+		origin uint32
+		prefix string
+		want   State
+	}{
+		{65001, "10.0.0.0/16", Valid},
+		{65001, "10.0.5.0/24", Valid},      // within max length
+		{65001, "10.0.5.0/25", Invalid},    // too specific
+		{65999, "10.0.5.0/24", Invalid},    // wrong origin
+		{65002, "192.0.2.0/24", Valid},     // default max length
+		{65002, "192.0.2.128/25", Invalid}, // beyond default max length
+		{65001, "172.16.0.0/16", NotFound}, // no covering ROA
+	}
+	for _, c := range cases {
+		p := netip.MustParsePrefix(c.prefix)
+		if got := r.Validate(c.origin, p); got != c.want {
+			t.Errorf("Validate(%d, %s) = %v, want %v", c.origin, c.prefix, got, c.want)
+		}
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRegistryLessSpecificROADoesNotCover(t *testing.T) {
+	// A ROA for a /24 must not cover a /16 announcement.
+	r := NewRegistry()
+	r.Add(ROA{Prefix: netip.MustParsePrefix("10.0.0.0/24"), ASN: 65001})
+	if got := r.Validate(65001, netip.MustParsePrefix("10.0.0.0/16")); got != NotFound {
+		t.Errorf("less-specific validated as %v, want not-found", got)
+	}
+}
+
+func TestCheckerFirstHop(t *testing.T) {
+	c := &Checker{}
+	good := &update.Update{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Path: []uint32{65001, 1, 2}}
+	bad := &update.Update{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Path: []uint32{64999, 1, 2}}
+	if v := c.Check(65001, good); !v.FirstHopOK || v.Drop {
+		t.Errorf("good first hop: %+v", v)
+	}
+	if v := c.Check(65001, bad); v.FirstHopOK || !v.Drop {
+		t.Errorf("forged first hop must drop: %+v", v)
+	}
+	// Withdrawals carry no path to verify.
+	wd := &update.Update{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Withdraw: true}
+	if v := c.Check(65001, wd); v.Drop {
+		t.Errorf("withdrawal dropped: %+v", v)
+	}
+}
+
+func TestCheckerOriginValidation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add(ROA{Prefix: netip.MustParsePrefix("10.0.0.0/16"), MaxLength: 24, ASN: 9})
+	c := &Checker{Registry: reg, DropInvalid: true}
+	hijack := &update.Update{
+		Prefix: netip.MustParsePrefix("10.0.1.0/24"),
+		Path:   []uint32{65001, 2, 666}, // origin 666, not authorized
+	}
+	v := c.Check(65001, hijack)
+	if v.Origin != Invalid || !v.Drop {
+		t.Errorf("invalid origin: %+v", v)
+	}
+	legit := &update.Update{
+		Prefix: netip.MustParsePrefix("10.0.1.0/24"),
+		Path:   []uint32{65001, 2, 9},
+	}
+	if v := c.Check(65001, legit); v.Origin != Valid || v.Drop {
+		t.Errorf("valid origin: %+v", v)
+	}
+	// Without DropInvalid, invalid routes are tagged but kept.
+	c.DropInvalid = false
+	if v := c.Check(65001, hijack); v.Origin != Invalid || v.Drop {
+		t.Errorf("tag-only mode: %+v", v)
+	}
+}
+
+func TestCheckerNewOriginLink(t *testing.T) {
+	c := &Checker{}
+	c.LearnLinks([]*update.Update{
+		{Path: []uint32{1, 2, 9}},
+		{Path: []uint32{3, 2, 9}},
+	})
+	known := &update.Update{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Path: []uint32{1, 2, 9}}
+	if v := c.Check(1, known); v.NewOriginLink {
+		t.Errorf("known origin link flagged: %+v", v)
+	}
+	// Forged-origin shape: new link 7-9 adjacent to origin 9.
+	forged := &update.Update{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Path: []uint32{1, 2, 7, 9}}
+	if v := c.Check(1, forged); !v.NewOriginLink {
+		t.Errorf("new origin link missed: %+v", v)
+	}
+	// New link deep in the path is not an origin-adjacency signal.
+	mid := &update.Update{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Path: []uint32{1, 5, 2, 9}}
+	if v := c.Check(1, mid); v.NewOriginLink {
+		t.Errorf("mid-path link flagged as origin link: %+v", v)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, s := range []State{NotFound, Valid, Invalid} {
+		if s.String() == "" {
+			t.Errorf("state %d unnamed", s)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package workload models the data-volume environment of public BGP
+// collection platforms: the two-decade growth of VPs, ASes, prefixes and
+// update rates behind Figs. 2–3, and synthetic per-peer update streams at
+// the paper's calibrated rates (28K updates/hour on average, 241K at the
+// 99th percentile, §8) used to load-test the collection daemon (Table 1).
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Rates calibrated on RIS+RV (Dec. 2023 / §8).
+const (
+	// AvgUpdatesPerHour is the mean per-VP update rate.
+	AvgUpdatesPerHour = 28_000
+	// P99UpdatesPerHour is the 99th-percentile per-VP update rate.
+	P99UpdatesPerHour = 241_000
+)
+
+// GrowthPoint is one year of the platform-growth model.
+type GrowthPoint struct {
+	Year int
+	// ActiveASes participating in global routing.
+	ActiveASes int
+	// VPASes hosting at least one RIS/RV vantage point.
+	VPASes int
+	// Coverage is VPASes/ActiveASes.
+	Coverage float64
+	// UpdatesPerVPHour is the hourly updates one VP exports.
+	UpdatesPerVPHour int
+	// TotalUpdatesPerHour across all VPs (the quadratic curve of Fig. 3b).
+	TotalUpdatesPerHour int
+}
+
+// PlatformGrowth models 2003–2023: ASes grow ~9%/yr (16k → 75k), the
+// platforms add VPs roughly linearly (≈110 → ≈900 ASes hosting one), and
+// per-VP update rates track prefix-table growth — producing the paper's
+// two observations: flat ≈1% coverage (Fig. 2 bottom) and quadratic total
+// update growth (Fig. 3b).
+func PlatformGrowth(fromYear, toYear int) []GrowthPoint {
+	var out []GrowthPoint
+	for y := fromYear; y <= toYear; y++ {
+		t := float64(y - 2003)
+		ases := 16000 * math.Pow(1.081, t) // ≈75k by 2023
+		vps := 110 + 39.5*t                // ≈900 by 2023
+		perVP := 1500 + 26500*math.Pow(t/20, 1.6)
+		out = append(out, GrowthPoint{
+			Year:                y,
+			ActiveASes:          int(ases),
+			VPASes:              int(vps),
+			Coverage:            vps / ases,
+			UpdatesPerVPHour:    int(perVP),
+			TotalUpdatesPerHour: int(perVP * vps * 1.9), // ≈1.9 VPs per hosting AS
+		})
+	}
+	return out
+}
+
+// StreamConfig parameterizes a synthetic BGP peer stream.
+type StreamConfig struct {
+	// UpdatesPerHour is the target rate.
+	UpdatesPerHour int
+	// Prefixes is the number of distinct prefixes cycled through.
+	Prefixes int
+	// PeerAS stamps the AS path's first hop.
+	PeerAS uint32
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Stream produces n BGP update messages with timestamps spaced to match
+// the configured rate: a Zipf-ish prefix popularity, plausible AS paths,
+// and occasional withdrawals, calibrated to the update mix a RIS/RV peer
+// exports.
+func Stream(cfg StreamConfig, n int) []TimedUpdate {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Prefixes <= 0 {
+		cfg.Prefixes = 1000
+	}
+	if cfg.UpdatesPerHour <= 0 {
+		cfg.UpdatesPerHour = AvgUpdatesPerHour
+	}
+	gap := time.Hour / time.Duration(cfg.UpdatesPerHour)
+	out := make([]TimedUpdate, 0, n)
+	at := time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+	zipf := rand.NewZipf(r, 1.2, 1, uint64(cfg.Prefixes-1))
+	for i := 0; i < n; i++ {
+		// Exponential inter-arrival keeps the mean rate while bursting.
+		at = at.Add(time.Duration(float64(gap) * r.ExpFloat64()))
+		pi := int(zipf.Uint64())
+		p := prefixOf(pi)
+		var msg *bgp.Update
+		if r.Intn(20) == 0 { // ~5% withdrawals
+			msg = &bgp.Update{Withdrawn: []netip.Prefix{p}}
+		} else {
+			pathLen := 2 + r.Intn(4)
+			path := make([]uint32, 0, pathLen+1)
+			path = append(path, cfg.PeerAS)
+			for j := 0; j < pathLen; j++ {
+				path = append(path, uint32(100+r.Intn(5000)))
+			}
+			msg = &bgp.Update{
+				Origin:  bgp.OriginIGP,
+				ASPath:  path,
+				NextHop: netip.AddrFrom4([4]byte{192, 0, 2, byte(cfg.PeerAS)}),
+				NLRI:    []netip.Prefix{p},
+			}
+			if r.Intn(3) == 0 {
+				msg.Communities = []bgp.Community{bgp.Community(cfg.PeerAS<<16 | uint32(r.Intn(500)))}
+			}
+		}
+		out = append(out, TimedUpdate{At: at, Update: msg})
+	}
+	return out
+}
+
+// TimedUpdate pairs a BGP update with its send time.
+type TimedUpdate struct {
+	At     time.Time
+	Update *bgp.Update
+}
+
+func prefixOf(i int) netip.Prefix {
+	addr := netip.AddrFrom4([4]byte{32, byte(i >> 8), byte(i), 0})
+	p, _ := addr.Prefix(24)
+	return p
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlatformGrowthShape(t *testing.T) {
+	pts := PlatformGrowth(2003, 2023)
+	if len(pts) != 21 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	// ASes grow to ≈75k (Fig. 2's denominator, [14]).
+	if last.ActiveASes < 65000 || last.ActiveASes > 85000 {
+		t.Errorf("2023 ASes = %d, want ≈75k", last.ActiveASes)
+	}
+	// VP count grows but coverage stays ≈1% (Fig. 2 bottom).
+	if last.VPASes <= first.VPASes {
+		t.Error("VP count must grow")
+	}
+	if last.Coverage > 0.02 || last.Coverage < 0.005 {
+		t.Errorf("2023 coverage = %.3f, want ≈1%%", last.Coverage)
+	}
+	if first.Coverage > 0.02 {
+		t.Errorf("2003 coverage = %.3f", first.Coverage)
+	}
+	// Per-VP rate reaches ≈28k/h (Fig. 3a / §8).
+	if last.UpdatesPerVPHour < 20000 || last.UpdatesPerVPHour > 40000 {
+		t.Errorf("2023 per-VP rate = %d, want ≈28k", last.UpdatesPerVPHour)
+	}
+	// Total update growth is superlinear (Fig. 3b): the last five-year
+	// increment exceeds the first five-year increment by a wide margin.
+	d1 := pts[5].TotalUpdatesPerHour - pts[0].TotalUpdatesPerHour
+	d2 := pts[20].TotalUpdatesPerHour - pts[15].TotalUpdatesPerHour
+	if d2 < 3*d1 {
+		t.Errorf("growth not superlinear: early Δ=%d late Δ=%d", d1, d2)
+	}
+	// Monotonicity.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TotalUpdatesPerHour < pts[i-1].TotalUpdatesPerHour {
+			t.Fatal("total updates not monotone")
+		}
+	}
+}
+
+func TestStreamRate(t *testing.T) {
+	cfg := StreamConfig{UpdatesPerHour: 3600, Prefixes: 100, PeerAS: 65001, Seed: 1}
+	const n = 2000
+	ups := Stream(cfg, n)
+	if len(ups) != n {
+		t.Fatalf("generated %d", len(ups))
+	}
+	span := ups[n-1].At.Sub(ups[0].At)
+	// Expected ≈ n seconds at 1 update/second; allow ±40% (exponential
+	// inter-arrivals).
+	want := time.Duration(n) * time.Second
+	if span < want*6/10 || span > want*14/10 {
+		t.Errorf("span = %v, want ≈%v", span, want)
+	}
+	// Timestamps strictly non-decreasing.
+	for i := 1; i < n; i++ {
+		if ups[i].At.Before(ups[i-1].At) {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+}
+
+func TestStreamContent(t *testing.T) {
+	ups := Stream(StreamConfig{PeerAS: 65001, Seed: 2, Prefixes: 50}, 1000)
+	withdrawals, announcements, withComms := 0, 0, 0
+	for _, tu := range ups {
+		if len(tu.Update.Withdrawn) > 0 {
+			withdrawals++
+			continue
+		}
+		announcements++
+		if len(tu.Update.NLRI) != 1 {
+			t.Fatal("announcement without NLRI")
+		}
+		if tu.Update.ASPath[0] != 65001 {
+			t.Fatal("path does not start at peer AS")
+		}
+		if len(tu.Update.Communities) > 0 {
+			withComms++
+		}
+	}
+	if withdrawals == 0 || announcements == 0 {
+		t.Errorf("mix wrong: %d withdrawals, %d announcements", withdrawals, announcements)
+	}
+	if float64(withdrawals)/float64(len(ups)) > 0.15 {
+		t.Errorf("too many withdrawals: %d", withdrawals)
+	}
+	if withComms == 0 {
+		t.Error("no communities generated")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a := Stream(StreamConfig{PeerAS: 1, Seed: 7}, 100)
+	b := Stream(StreamConfig{PeerAS: 1, Seed: 7}, 100)
+	for i := range a {
+		if !a[i].At.Equal(b[i].At) {
+			t.Fatal("stream not deterministic")
+		}
+	}
+}
+
+func TestStreamDefaults(t *testing.T) {
+	ups := Stream(StreamConfig{Seed: 3}, 10)
+	if len(ups) != 10 {
+		t.Fatal("defaults failed")
+	}
+}
