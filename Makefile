@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race bench-pipeline verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass of the pipeline throughput sweep (shards × batch); full numbers
+# need a longer -benchtime, e.g. `go test -bench BenchmarkPipelineThroughput
+# -benchtime 3000x .`
+bench-pipeline:
+	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime 1x ./...
+
+# verify is the full pre-merge gate: vet, build, race-enabled tests, and a
+# smoke run of the pipeline benchmark.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime 1x ./...

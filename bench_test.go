@@ -8,9 +8,17 @@ package gill_test
 // mini-Internet; the *shapes* track the paper (see EXPERIMENTS.md).
 
 import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/update"
+	"repro/internal/workload"
 )
 
 // BenchmarkFig2_VPGrowth regenerates Fig. 2 (VP growth vs flat coverage).
@@ -245,5 +253,92 @@ func BenchmarkSec12_DFOH(b *testing.B) {
 		r := experiments.RunSec12c(cfg, 4)
 		b.ReportMetric(100*r.GILL.TPR(), "gill_tpr_%")
 		b.ReportMetric(100*r.Random.TPR(), "rnd_tpr_%")
+	}
+}
+
+// BenchmarkPipelineThroughput measures the sharded ingest pipeline of the
+// collection path (§8) across shard counts and batch sizes: each variant
+// drives the filter → archive chain (MRT encoding in the shard workers,
+// batched writes with a 50µs synchronous-I/O latency each) with a
+// calibrated per-VP stream, and derives the loss fraction a deployment
+// would see at the paper's mean (28K upd/h) and p99 (241K upd/h) per-VP
+// rates from the measured capacity. Batching amortizes the write latency;
+// sharding overlaps outstanding writes like a storage queue.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	// A calibrated multi-VP stream; each BGP message carries one prefix.
+	var us []*update.Update
+	for vp := 0; vp < 8; vp++ {
+		as := uint32(65001 + vp)
+		name := fmt.Sprintf("vp%d", as)
+		for _, tu := range workload.Stream(workload.StreamConfig{
+			UpdatesPerHour: workload.AvgUpdatesPerHour,
+			PeerAS:         as,
+			Seed:           int64(vp + 1),
+			Prefixes:       200,
+		}, 2500) {
+			u := &update.Update{VP: name, Time: tu.At}
+			switch {
+			case len(tu.Update.NLRI) > 0:
+				u.Prefix = tu.Update.NLRI[0]
+				u.Path = tu.Update.ASPath
+				for _, c := range tu.Update.Communities {
+					u.Comms = append(u.Comms, uint32(c))
+				}
+			case len(tu.Update.Withdrawn) > 0:
+				u.Prefix = tu.Update.Withdrawn[0]
+				u.Withdraw = true
+			default:
+				continue
+			}
+			us = append(us, u)
+		}
+	}
+
+	for _, shards := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for _, batch := range []int{1, 64, 512} {
+			b.Run(fmt.Sprintf("shards=%d/batch=%d", shards, batch), func(b *testing.B) {
+				p := pipeline.New(pipeline.Config{
+					Shards:    shards,
+					QueueSize: 4096,
+					BatchSize: batch,
+					Overflow:  pipeline.Block, // measure capacity, not drops
+				},
+					&pipeline.FilterStage{},
+					&pipeline.ArchiveStage{
+						LocalAS:    65000,
+						Out:        io.Discard,
+						WriteDelay: 50 * time.Microsecond,
+					},
+				)
+				if err := p.Start(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.Ingest(us[i%len(us)])
+				}
+				if err := p.Close(); err != nil {
+					b.Fatal(err)
+				}
+				elapsed := b.Elapsed().Seconds()
+				if elapsed <= 0 {
+					return
+				}
+				thr := float64(b.N) / elapsed // measured capacity, upd/s
+				b.ReportMetric(thr, "upd/s")
+				// Loss a 10k-VP deployment would see at the paper's rates:
+				// offered load beyond measured capacity is dropped.
+				const peers = 10_000
+				lossAt := func(perVPHour float64) float64 {
+					offered := peers * perVPHour / 3600
+					if thr >= offered {
+						return 0
+					}
+					return 1 - thr/offered
+				}
+				b.ReportMetric(lossAt(workload.AvgUpdatesPerHour), "loss@mean")
+				b.ReportMetric(lossAt(workload.P99UpdatesPerHour), "loss@p99")
+			})
+		}
 	}
 }

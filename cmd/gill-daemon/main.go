@@ -39,6 +39,8 @@ func main() {
 		ribEvery = flag.Duration("rib-every", daemon.RIBDumpInterval, "RIB dump interval")
 		ribOut   = flag.String("rib-out", "", "RIB dump file prefix (empty: no dumps)")
 		stats    = flag.Duration("stats", 30*time.Second, "stats reporting interval")
+		shards   = flag.Int("shards", 0, "ingest pipeline shards (0: default)")
+		batch    = flag.Int("batch", 0, "ingest pipeline batch size (0: default)")
 	)
 	flag.Parse()
 
@@ -78,10 +80,12 @@ func main() {
 	}
 
 	cfgD := daemon.Config{
-		LocalAS:  uint32(*localAS),
-		RouterID: rid,
-		Filters:  fs,
-		Out:      w,
+		LocalAS:   uint32(*localAS),
+		RouterID:  rid,
+		Filters:   fs,
+		Out:       w,
+		Shards:    *shards,
+		BatchSize: *batch,
 	}
 	var store *archive.Store
 	if *archDir != "" {
@@ -150,17 +154,31 @@ func main() {
 		}()
 	}
 
+	// Shutdown ordering: Serve returns only after every peering session
+	// handler has finished, so Close sees all in-flight updates; Close
+	// drains the pipeline queues and flushes the archive stage (including
+	// the gzip stream) before the store and the output file are closed.
 	err = d.Serve(ctx, ln)
-	d.Close()
+	log.Printf("shutting down: draining ingest pipeline")
+	if cerr := d.Close(); cerr != nil {
+		log.Printf("pipeline close: %v", cerr)
+	}
 	if store != nil {
-		store.Close()
+		if cerr := store.Close(); cerr != nil {
+			log.Printf("archive close: %v", cerr)
+		}
 	}
 	if closer != nil {
-		closer.Close()
+		if cerr := closer.Close(); cerr != nil {
+			log.Printf("output close: %v", cerr)
+		}
 	}
 	s := d.Stats()
-	log.Printf("final: received=%d filtered=%d written=%d lost=%d (%v)",
-		s.Received, s.Filtered, s.Written, s.Lost, err)
+	snap := d.PipelineSnapshot()
+	log.Printf("final: received=%d filtered=%d written=%d lost=%d withdrawn=%d rejected=%d (%v)",
+		s.Received, s.Filtered, s.Written, s.Lost, s.Withdrawn, s.Rejected, err)
+	log.Printf("final: loss fraction %.4f, mean batch %.1f updates",
+		s.LossFraction(), snap.BatchSizes.Mean())
 }
 
 // multiCloser closes the compressor before the file beneath it.

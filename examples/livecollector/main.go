@@ -1,7 +1,9 @@
 // Livecollector: a complete collection deployment over real TCP — an
 // orchestrator approves a peering request, a daemon accepts the BGP
-// session and applies GILL filters, a synthetic router sends a calibrated
-// update stream, and the resulting MRT archive is read back and verified.
+// session and runs its sharded ingest pipeline (filter → live feed →
+// archive), a synthetic router sends a calibrated update stream, a live
+// subscriber consumes the feed, and the resulting MRT archive is read
+// back through an explicit offline pipeline that tags redundant updates.
 //
 //	go run ./examples/livecollector
 package main
@@ -19,8 +21,11 @@ import (
 	gill "repro"
 	"repro/internal/bgp"
 	"repro/internal/filter"
+	"repro/internal/live"
 	"repro/internal/mrt"
 	"repro/internal/orchestrator"
+	"repro/internal/pipeline"
+	"repro/internal/update"
 	"repro/internal/workload"
 )
 
@@ -54,20 +59,51 @@ func main() {
 	}
 	orch.LoadFilters(fs, 1)
 
-	// 3. The daemon accepts the session and archives retained updates.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// 3. The live feed: retained updates stream to subscribers in near
+	// real time through the pipeline's live stage.
+	feed := gill.NewLiveServer()
+	feedLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = feed.Serve(ctx, feedLn) }()
+	sub, err := live.Dial(ctx, feedLn.Addr().String(), live.Subscription{VP: "vp65001"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	streamed := make(chan int)
+	go func() {
+		n := 0
+		for {
+			if _, err := sub.Next(); err != nil {
+				streamed <- n
+				return
+			}
+			n++
+		}
+	}()
+
+	// 4. The daemon: its ingest path is the sharded pipeline
+	// filter → live → archive, with per-stage accounting.
 	var archive bytes.Buffer
+	metricsReg := gill.NewMetricsRegistry()
 	d := gill.NewDaemon(gill.DaemonConfig{
 		LocalAS:  65000,
 		RouterID: netip.MustParseAddr("192.0.2.1"),
 		Filters:  orch.Filters(),
 		Out:      &archive,
+		Publish:  feed.Publish,
+		Registry: metricsReg,
+		Shards:   4,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
 	go func() {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -76,7 +112,7 @@ func main() {
 		_ = d.ServeConn(ctx, conn)
 	}()
 
-	// 4. The "router": a real BGP speaker sending a calibrated stream.
+	// 5. The "router": a real BGP speaker sending a calibrated stream.
 	sess, err := bgp.Dial(ctx, ln.Addr().String(), bgp.SpeakerConfig{
 		LocalAS:  65001,
 		RouterID: netip.MustParseAddr("192.0.2.9"),
@@ -93,20 +129,35 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	// Let the daemon drain, then close.
+	// Let the daemon drain, then close (drains + flushes the pipeline).
 	for d.Stats().Received < n {
 		time.Sleep(10 * time.Millisecond)
 	}
 	sess.Close()
-	d.Close()
+	if err := d.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	s := d.Stats()
 	fmt.Printf("daemon: received=%d filtered=%d written=%d lost=%d\n",
 		s.Received, s.Filtered, s.Written, s.Lost)
+	snap := d.PipelineSnapshot()
+	for _, st := range snap.Stages {
+		fmt.Printf("  stage %-8s in=%-5d out=%-5d dropped=%d\n",
+			st.Name, st.In, st.Out, st.Dropped)
+	}
+	fmt.Printf("  mean batch %.1f updates across %d batches\n",
+		snap.BatchSizes.Mean(), snap.BatchSizes.Count)
 
-	// 5. Read the MRT archive back.
+	feed.Close()
+	fmt.Printf("live feed: %d updates streamed to the subscriber\n", <-streamed)
+
+	// 6. Read the MRT archive back and run it through an explicit offline
+	// pipeline: redundancy tagging (§4.2 Definition 1) and counters —
+	// the same Stage machinery the daemon runs online.
+	var replayed []*update.Update
 	r := mrt.NewReader(bytes.NewReader(archive.Bytes()))
-	records, dropped := 0, 0
+	records, droppedNoisy := 0, 0
 	for {
 		rec, err := r.ReadRecord()
 		if err == io.EOF {
@@ -119,11 +170,39 @@ func main() {
 		for _, u := range rec.CanonicalUpdates() {
 			for _, p := range noisy {
 				if u.Prefix == p && !u.Withdraw {
-					dropped++
+					droppedNoisy++
 				}
 			}
+			replayed = append(replayed, u)
 		}
 	}
 	fmt.Printf("archive: %d MRT records; filtered prefixes appearing: %d (want 0)\n",
-		records, dropped)
+		records, droppedNoisy)
+
+	counters := pipeline.NewCounterStage(metricsReg, "replay")
+	offline := gill.NewPipeline(gill.PipelineConfig{
+		Shards:    1, // one shard: the whole stream shares a slack window
+		BatchSize: 512,
+		Overflow:  gill.OverflowBlock,
+		Registry:  metricsReg,
+		Name:      "replay.pipeline",
+	}, &pipeline.RedundancyStage{Def: update.Def1}, counters)
+	if err := offline.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	redundant := 0
+	for _, u := range replayed {
+		offline.Ingest(u)
+	}
+	if err := offline.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range replayed {
+		if u.Redundant {
+			redundant++
+		}
+	}
+	fmt.Printf("replay: %d/%d archived updates redundant under Definition 1\n",
+		redundant, len(replayed))
+	fmt.Printf("metrics:\n%s\n", metricsReg.Snapshot())
 }

@@ -26,7 +26,9 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/filter"
 	"repro/internal/live"
+	"repro/internal/metrics"
 	"repro/internal/orchestrator"
+	"repro/internal/pipeline"
 	"repro/internal/sampling"
 	"repro/internal/simulate"
 	"repro/internal/topology"
@@ -166,6 +168,37 @@ type CorrelationConfig = correlation.Config
 
 // AnchorSelectConfig re-exports Component #2's selection parameters.
 type AnchorSelectConfig = anchors.SelectConfig
+
+// Pipeline is the sharded, backpressure-aware ingest pipeline of the
+// collection path; the Daemon composes its own from the built-in stages,
+// and offline tools can build custom chains.
+type Pipeline = pipeline.Pipeline
+
+// PipelineConfig parameterizes a Pipeline.
+type PipelineConfig = pipeline.Config
+
+// Stage is one pipeline processing step over batches of updates.
+type Stage = pipeline.Stage
+
+// NewPipeline builds a pipeline over a stage chain; call Start to launch
+// its shard workers.
+func NewPipeline(cfg PipelineConfig, stages ...Stage) *Pipeline {
+	return pipeline.New(cfg, stages...)
+}
+
+// Overflow policies for a full pipeline shard queue.
+const (
+	OverflowBlock      = pipeline.Block
+	OverflowDropNewest = pipeline.DropNewest
+	OverflowDropOldest = pipeline.DropOldest
+)
+
+// MetricsRegistry is a named collection of counters, gauges, and
+// histograms; every pipeline stage exports its accounting through one.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // LiveServer streams retained updates to subscribers (RIS-Live style, §9).
 // Wire it to a Daemon via DaemonConfig.Publish.

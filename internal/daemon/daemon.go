@@ -6,6 +6,12 @@
 // experiment can measure loss as a function of ingest rate, and a
 // calibrated capacity model extrapolates to peer counts that cannot run
 // on one test machine.
+//
+// The ingest path is composed from pipeline stages (filter → live tee →
+// archive → counters), sharded by (VP, prefix) across parallel workers
+// with bounded queues. Overflow drops the newest update (a collector must
+// never stall the BGP session), and every stage exports counters so the
+// Table 1 loss numbers stay derivable from the pipeline snapshot.
 package daemon
 
 import (
@@ -22,7 +28,9 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/filter"
+	"repro/internal/metrics"
 	"repro/internal/mrt"
+	"repro/internal/pipeline"
 	"repro/internal/update"
 	"repro/internal/validity"
 )
@@ -41,9 +49,14 @@ type Config struct {
 	// RecordSink, when set, receives every archived MRT record (e.g. an
 	// archive.Store's Append); it runs in addition to Out.
 	RecordSink func(*mrt.Record) error
-	// QueueSize bounds the ingest queue between the BGP reader and the
-	// archive writer; overflowing updates are lost (default 4096).
+	// QueueSize bounds the total ingest queue between the BGP readers
+	// and the pipeline workers; overflowing updates are lost (default
+	// 4096, split across Shards).
 	QueueSize int
+	// Shards is the number of parallel pipeline workers (default 4).
+	Shards int
+	// BatchSize is the maximum updates per stage invocation (default 64).
+	BatchSize int
 	// WriteDelay emulates storage latency per archived record, letting
 	// load tests reproduce the disk-bound regime of Table 1.
 	WriteDelay time.Duration
@@ -54,6 +67,9 @@ type Config struct {
 	// Publish, when set, receives every retained update (the live-feed
 	// tee, §9).
 	Publish func(*update.Update)
+	// Registry receives the pipeline's metrics; nil uses a private one
+	// (readable via Metrics).
+	Registry *metrics.Registry
 	// Clock for timestamps (defaults to time.Now).
 	Clock func() time.Time
 }
@@ -79,30 +95,21 @@ func (s Stats) LossFraction() float64 {
 
 // Daemon is a running collection daemon.
 type Daemon struct {
-	cfg   Config
-	queue chan archiveItem
+	cfg  Config
+	pipe *pipeline.Pipeline
+	arch *pipeline.ArchiveStage
 
 	received  atomic.Uint64
-	filtered  atomic.Uint64
-	written   atomic.Uint64
-	lost      atomic.Uint64
 	withdrawn atomic.Uint64
 	rejected  atomic.Uint64
 	forwarded atomic.Uint64
 
 	mu       sync.Mutex
 	rib      map[string]map[netip.Prefix]*update.Update // adj-rib-in per peer
+	peerIPs  map[string]netip.Addr
 	forwards []forwardRule
 
-	writerOnce sync.Once
-	done       chan struct{}
-}
-
-type archiveItem struct {
-	peerAS uint32
-	peerIP netip.Addr
-	msg    *bgp.Update
-	at     time.Time
+	conns sync.WaitGroup
 }
 
 // forwardRule is one §14 custom-visibility service: updates for the
@@ -126,79 +133,83 @@ func (d *Daemon) AddForward(prefixes []netip.Prefix, deliver func(*update.Update
 	d.mu.Unlock()
 }
 
-// New builds a daemon.
+// New builds a daemon and starts its ingest pipeline.
 func New(cfg Config) *Daemon {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 4096
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Daemon{
-		cfg:   cfg,
-		queue: make(chan archiveItem, cfg.QueueSize),
-		rib:   make(map[string]map[netip.Prefix]*update.Update),
-		done:  make(chan struct{}),
+	d := &Daemon{
+		cfg:     cfg,
+		rib:     make(map[string]map[netip.Prefix]*update.Update),
+		peerIPs: make(map[string]netip.Addr),
 	}
+	d.arch = &pipeline.ArchiveStage{
+		LocalAS:    cfg.LocalAS,
+		LocalIP:    cfg.RouterID,
+		Out:        cfg.Out,
+		Sink:       cfg.RecordSink,
+		Peer:       d.peerIdentity,
+		WriteDelay: cfg.WriteDelay,
+	}
+	stages := []pipeline.Stage{&pipeline.FilterStage{Set: cfg.Filters}}
+	if cfg.Publish != nil {
+		stages = append(stages, &pipeline.LiveStage{Publish: cfg.Publish})
+	}
+	stages = append(stages, d.arch)
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	stages = append(stages, pipeline.NewCounterStage(reg, "daemon.retained"))
+	d.pipe = pipeline.New(pipeline.Config{
+		Shards:    cfg.Shards,
+		QueueSize: cfg.QueueSize,
+		BatchSize: cfg.BatchSize,
+		Overflow:  pipeline.DropNewest, // never stall the BGP session
+		Registry:  reg,
+		Name:      "daemon.pipeline",
+	}, stages...)
+	_ = d.pipe.Start(context.Background())
+	return d
 }
 
-// Stats snapshots the counters.
+// peerIdentity resolves a VP name to the peer's AS and remote address for
+// BGP4MP headers.
+func (d *Daemon) peerIdentity(vp string) (uint32, netip.Addr) {
+	d.mu.Lock()
+	ip := d.peerIPs[vp]
+	d.mu.Unlock()
+	return parseVPAS(vp), ip
+}
+
+// Stats snapshots the counters. Filtered, Written and Lost come from the
+// pipeline's per-stage accounting.
 func (d *Daemon) Stats() Stats {
+	snap := d.pipe.Snapshot()
 	return Stats{
 		Received:  d.received.Load(),
-		Filtered:  d.filtered.Load(),
-		Written:   d.written.Load(),
-		Lost:      d.lost.Load(),
+		Filtered:  snap.Stage("filter").Dropped,
+		Written:   d.arch.Written(),
+		Lost:      snap.Dropped,
 		Withdrawn: d.withdrawn.Load(),
 		Rejected:  d.rejected.Load(),
 		Forwarded: d.forwarded.Load(),
 	}
 }
 
-// startWriter launches the archive goroutine once.
-func (d *Daemon) startWriter() {
-	d.writerOnce.Do(func() {
-		go func() {
-			var w *mrt.Writer
-			if d.cfg.Out != nil {
-				w = mrt.NewWriter(d.cfg.Out)
-			}
-			for item := range d.queue {
-				if d.cfg.WriteDelay > 0 {
-					time.Sleep(d.cfg.WriteDelay)
-				}
-				if w != nil || d.cfg.RecordSink != nil {
-					rec := &mrt.Record{
-						Header: mrt.Header{
-							Timestamp: item.at,
-							Type:      mrt.TypeBGP4MP,
-							Subtype:   mrt.SubtypeBGP4MPMessageAS4,
-						},
-						BGP4MP: &mrt.BGP4MPMessage{
-							PeerAS:  item.peerAS,
-							LocalAS: d.cfg.LocalAS,
-							PeerIP:  item.peerIP,
-							LocalIP: addrOr(d.cfg.RouterID),
-							Message: item.msg,
-						},
-					}
-					if w != nil {
-						if err := w.WriteRecord(rec); err != nil {
-							continue
-						}
-					}
-					if d.cfg.RecordSink != nil {
-						if err := d.cfg.RecordSink(rec); err != nil {
-							continue
-						}
-					}
-				}
-				d.written.Add(1)
-			}
-			close(d.done)
-		}()
-	})
-}
+// PipelineSnapshot exposes the ingest pipeline's full per-stage
+// accounting (queue depth, batch sizes, per-stage in/out/dropped).
+func (d *Daemon) PipelineSnapshot() pipeline.Snapshot { return d.pipe.Snapshot() }
+
+// Metrics snapshots the daemon's metric registry (the pipeline counters
+// plus the retained-update mix).
+func (d *Daemon) Metrics() metrics.Snapshot { return d.pipe.Registry().Snapshot() }
 
 func addrOr(a netip.Addr) netip.Addr {
 	if a.IsValid() {
@@ -207,17 +218,16 @@ func addrOr(a netip.Addr) netip.Addr {
 	return netip.AddrFrom4([4]byte{192, 0, 2, 1})
 }
 
-// Close drains and stops the archive writer.
-func (d *Daemon) Close() {
-	d.startWriter() // ensure the channel has a consumer before closing
-	close(d.queue)
-	<-d.done
+// Close drains and flushes the ingest pipeline. It is idempotent and safe
+// to call while sessions are still tearing down: updates arriving after
+// Close are counted as lost rather than abandoned in flight.
+func (d *Daemon) Close() error {
+	return d.pipe.Close()
 }
 
 // ServeConn runs the passive side of one BGP peering session until the
 // peer disconnects or ctx is canceled.
 func (d *Daemon) ServeConn(ctx context.Context, conn net.Conn) error {
-	d.startWriter()
 	sess, err := bgp.Establish(ctx, conn, bgp.SpeakerConfig{
 		LocalAS:  d.cfg.LocalAS,
 		RouterID: addrOr(d.cfg.RouterID),
@@ -253,13 +263,18 @@ func remoteAddr(conn net.Conn) netip.Addr {
 	return netip.AddrFrom4([4]byte{0, 0, 0, 0})
 }
 
-// ingest filters one BGP update and enqueues survivors for archiving.
+// ingest validates one BGP update, applies forwarding rules, tracks the
+// adj-rib-in, and hands the per-prefix canonical updates to the pipeline
+// (which filters, tees, and archives them).
 func (d *Daemon) ingest(peerAS uint32, peerIP netip.Addr, u *bgp.Update) {
 	now := d.cfg.Clock()
 	vp := "vp" + strconv.FormatUint(uint64(peerAS), 10)
 
-	keepAny := false
+	var keep []*update.Update
 	d.mu.Lock()
+	if _, ok := d.peerIPs[vp]; !ok {
+		d.peerIPs[vp] = peerIP
+	}
 	ribIn := d.rib[vp]
 	if ribIn == nil {
 		ribIn = make(map[netip.Prefix]*update.Update)
@@ -283,19 +298,15 @@ func (d *Daemon) ingest(peerAS uint32, peerIP netip.Addr, u *bgp.Update) {
 				fr.deliver(rec)
 			}
 		}
-		if d.cfg.Filters != nil && !d.cfg.Filters.Keep(rec) {
-			d.filtered.Add(1)
-			return
-		}
-		if d.cfg.Publish != nil {
-			d.cfg.Publish(rec)
-		}
-		keepAny = true
+		// The adj-rib-in tracks the session's announced state for every
+		// valid update; archival filtering happens downstream in the
+		// pipeline and does not alter what the peer told us.
 		if rec.Withdraw {
 			delete(ribIn, rec.Prefix)
 		} else {
 			ribIn[rec.Prefix] = rec
 		}
+		keep = append(keep, rec)
 	}
 	for _, p := range u.NLRI {
 		consider(&update.Update{
@@ -316,13 +327,8 @@ func (d *Daemon) ingest(peerAS uint32, peerIP netip.Addr, u *bgp.Update) {
 	}
 	d.mu.Unlock()
 
-	if !keepAny {
-		return
-	}
-	select {
-	case d.queue <- archiveItem{peerAS: peerAS, peerIP: peerIP, msg: u, at: now}:
-	default:
-		d.lost.Add(1) // writer cannot keep up: the update is gone
+	for _, rec := range keep {
+		d.pipe.Ingest(rec)
 	}
 }
 
@@ -411,21 +417,31 @@ func parseVPAS(vp string) uint32 {
 	return uint32(v)
 }
 
-// Serve accepts peering sessions until ctx is canceled.
+// Serve accepts peering sessions until ctx is canceled, then waits for
+// every session handler to finish so a following Close finds no ingest in
+// flight.
 func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
-	d.startWriter()
 	go func() {
 		<-ctx.Done()
 		ln.Close()
 	}()
+	var err error
 	for {
-		conn, err := ln.Accept()
-		if err != nil {
+		conn, aerr := ln.Accept()
+		if aerr != nil {
 			if ctx.Err() != nil {
-				return ctx.Err()
+				err = ctx.Err()
+			} else {
+				err = aerr
 			}
-			return err
+			break
 		}
-		go func() { _ = d.ServeConn(ctx, conn) }()
+		d.conns.Add(1)
+		go func() {
+			defer d.conns.Done()
+			_ = d.ServeConn(ctx, conn)
+		}()
 	}
+	d.conns.Wait()
+	return err
 }

@@ -82,7 +82,8 @@ func TestDaemonForwardingRules(t *testing.T) {
 	sendUpdate(t, peer, []uint32{65001, 2}, watched.String())
 	sendUpdate(t, peer, []uint32{65001, 2}, other.String())
 
-	waitFor(t, func() bool { return d.Stats().Received >= 2 })
+	// Filtering happens in the async pipeline; wait for it to drain.
+	waitFor(t, func() bool { return d.Stats().Filtered >= 2 })
 	st := d.Stats()
 	if st.Filtered != 2 {
 		t.Errorf("filtered %d, want 2 (both dropped by filters)", st.Filtered)
@@ -117,8 +118,13 @@ func TestDaemonPublishTee(t *testing.T) {
 	sendUpdate(t, peer, []uint32{65001, 2}, "203.0.113.0/24") // retained
 	sendUpdate(t, peer, []uint32{65001, 2}, dropped.String()) // filtered
 
-	waitFor(t, func() bool { return d.Stats().Received >= 2 })
-	time.Sleep(50 * time.Millisecond)
+	// Both updates traverse the async pipeline: one is filtered, the
+	// retained one is published then archived.
+	waitFor(t, func() bool {
+		st := d.Stats()
+		return st.Filtered >= 1 && st.Written >= 1
+	})
+	time.Sleep(10 * time.Millisecond)
 	mu.Lock()
 	defer mu.Unlock()
 	if len(published) != 1 {

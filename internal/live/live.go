@@ -75,6 +75,10 @@ func (m *Message) ToUpdate() (*update.Update, error) {
 	}, nil
 }
 
+// DefaultSendBuffer is the per-client send buffer (messages) a Server
+// uses unless configured otherwise.
+const DefaultSendBuffer = 256
+
 // Server broadcasts updates to subscribed clients. Slow clients are
 // disconnected rather than allowed to stall the feed.
 type Server struct {
@@ -82,6 +86,7 @@ type Server struct {
 	clients map[*client]bool
 	closed  bool
 	ln      net.Listener
+	sendBuf int
 }
 
 type client struct {
@@ -92,7 +97,18 @@ type client struct {
 
 // NewServer returns an idle server; call Serve to accept clients.
 func NewServer() *Server {
-	return &Server{clients: make(map[*client]bool)}
+	return NewServerBuffer(DefaultSendBuffer)
+}
+
+// NewServerBuffer returns an idle server whose clients each get a send
+// buffer of n messages (n <= 0 selects DefaultSendBuffer). Smaller
+// buffers evict slow clients sooner; larger ones ride out burstier
+// consumers at the cost of memory per client.
+func NewServerBuffer(n int) *Server {
+	if n <= 0 {
+		n = DefaultSendBuffer
+	}
+	return &Server{clients: make(map[*client]bool), sendBuf: n}
 }
 
 // Serve accepts clients on ln until ctx is canceled.
@@ -118,7 +134,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 // handle reads the optional subscription line then streams.
 func (s *Server) handle(conn net.Conn) {
-	c := &client{conn: conn, out: make(chan *Message, 256)}
+	c := &client{conn: conn, out: make(chan *Message, s.sendBuf)}
 	// The first line, if it arrives within a short grace period, is a
 	// subscription; otherwise the client gets the firehose.
 	_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))

@@ -153,6 +153,82 @@ func TestServerEvictsSlowClient(t *testing.T) {
 	}
 }
 
+// TestServerSlowClientDoesNotBlockBroadcast pins the live-feed contract
+// the ingest pipeline's LiveStage relies on: Publish never blocks, even
+// with a connected client that never reads. The server must evict the
+// stuck client (via its tiny send buffer) and keep serving healthy ones.
+func TestServerSlowClientDoesNotBlockBroadcast(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	s := NewServerBuffer(4) // tiny buffer: eviction after 4 unread messages
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(func() { cancel(); s.Close() })
+	go func() { _ = s.Serve(ctx, ln) }()
+	addr := ln.Addr().String()
+
+	// A raw connection that subscribes and then never reads.
+	stuck, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer stuck.Close()
+	stuck.Write([]byte("{}\n"))
+	waitClients(t, s, 1)
+
+	// Flood well past the buffer from a goroutine; if any Publish blocked
+	// on the stuck client, the flood would never finish.
+	const n = 2000
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			s.Publish(sampleUpdate("vpA", "203.0.113.0/24"))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("broadcast blocked on a never-reading client")
+	}
+
+	// The stuck client must have been evicted, not tolerated.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Clients() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow client never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The broadcast loop is still alive: a fresh client receives a new
+	// publish end to end.
+	c, err := Dial(context.Background(), addr, Subscription{})
+	if err != nil {
+		t.Fatalf("Dial after eviction: %v", err)
+	}
+	defer c.Close()
+	waitClients(t, s, 1)
+	s.Publish(sampleUpdate("vpB", "198.51.100.0/24"))
+	m, err := c.Next()
+	if err != nil || m.VP != "vpB" {
+		t.Fatalf("healthy client starved after eviction: %+v err=%v", m, err)
+	}
+}
+
+func TestNewServerBufferDefault(t *testing.T) {
+	if s := NewServerBuffer(0); s.sendBuf != DefaultSendBuffer {
+		t.Errorf("NewServerBuffer(0) buffer = %d, want %d", s.sendBuf, DefaultSendBuffer)
+	}
+	if s := NewServer(); s.sendBuf != DefaultSendBuffer {
+		t.Errorf("NewServer buffer = %d, want %d", s.sendBuf, DefaultSendBuffer)
+	}
+	if s := NewServerBuffer(7); s.sendBuf != 7 {
+		t.Errorf("NewServerBuffer(7) buffer = %d", s.sendBuf)
+	}
+}
+
 func TestServerCloseDisconnects(t *testing.T) {
 	s, addr := startServer(t)
 	c, err := Dial(context.Background(), addr, Subscription{})

@@ -1,0 +1,225 @@
+package metrics
+
+// The registry is the observability substrate of the collection path: every
+// pipeline stage exports atomic counters (in, out, dropped), queue-depth
+// gauges, and batch-size histograms through a shared Registry, and a
+// Snapshot renders a consistent point-in-time view so Table 1 loss numbers
+// stay derivable from production counters alone.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= Bounds[i] (and greater than Bounds[i-1]); one
+// implicit overflow bucket counts everything above the last bound.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+// NewHistogram builds a histogram over ascending upper bounds.
+func NewHistogram(bounds []uint64) *Histogram {
+	return &Histogram{
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n bounds start, start*factor, start*factor², …
+func ExpBuckets(start, factor uint64, n int) []uint64 {
+	out := make([]uint64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time histogram view.
+type HistogramSnapshot struct {
+	Bounds []uint64 // upper bounds; the final count bucket is unbounded
+	Counts []uint64 // len(Bounds)+1
+	Sum    uint64
+	Count  uint64
+}
+
+// Mean returns the average observation (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot captures the histogram's current buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Registry is a named collection of counters, gauges, and histograms.
+// Metric constructors are get-or-create, so independent components can
+// safely ask for the same name and share the instrument.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback evaluated at snapshot time (e.g. a queue
+// depth read straight from the owning structure).
+func (r *Registry) GaugeFunc(name string, f func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = f
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later bounds are ignored for an existing histogram).
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time view of every registered metric.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures all metrics. Counters are read atomically per metric;
+// the snapshot as a whole is not a single consistent cut, which is fine
+// for monotonic counters read at quiescence or for monitoring.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFns)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, f := range r.gaugeFns {
+		s.Gauges[name] = f()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// String renders the snapshot as sorted "name value" lines.
+func (s Snapshot) String() string {
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s count=%d mean=%.1f", name, h.Count, h.Mean()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -42,6 +42,12 @@ type Update struct {
 
 	// Withdraw marks an explicit route withdrawal (no path).
 	Withdraw bool
+
+	// Redundant tags the update as redundant with another update under
+	// one of the Definitions; set by the collection pipeline's
+	// redundancy stage (informational — filters, not tags, decide what
+	// is archived).
+	Redundant bool
 }
 
 // Links returns the directed AS links of the update's AS path.
