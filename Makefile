@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pipeline verify
+.PHONY: all build test race bench-pipeline chaos verify
 
 all: build
 
@@ -19,10 +19,20 @@ race:
 bench-pipeline:
 	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime 1x ./...
 
-# verify is the full pre-merge gate: vet, build, race-enabled tests, and a
-# smoke run of the pipeline benchmark.
+# chaos runs the fault-injection suite under the race detector: the
+# seeded faults harness itself, crash/kill recovery of the archive
+# journal, flaky-accept and silent-peer handling, and supervised live
+# reconnection.
+chaos:
+	$(GO) test -race -count=1 ./internal/faults/ ./internal/resilience/
+	$(GO) test -race -count=1 -run 'Fault|Chaos|Kill|Truncat|Flaky|Accept|Idle|Degraded|Reconnect' \
+		./internal/archive/ ./internal/daemon/ ./internal/bmp/ ./internal/live/
+
+# verify is the full pre-merge gate: vet, build, race-enabled tests, the
+# fault-injection suite, and a smoke run of the pipeline benchmark.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) chaos
 	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime 1x ./...

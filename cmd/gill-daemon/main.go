@@ -6,6 +6,10 @@
 //
 //	gill-daemon -listen :1790 -as 65000 -router-id 192.0.2.1 \
 //	    -filters filters.txt -out updates.mrt.gz -stats 10s
+//
+// A -wal directory adds a crash-safe record journal (recovered and
+// repaired on startup); -chaos injects deterministic faults into the
+// accept path for resilience testing.
 package main
 
 import (
@@ -25,7 +29,10 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/daemon"
+	"repro/internal/faults"
 	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/mrt"
 )
 
 func main() {
@@ -41,6 +48,9 @@ func main() {
 		stats    = flag.Duration("stats", 30*time.Second, "stats reporting interval")
 		shards   = flag.Int("shards", 0, "ingest pipeline shards (0: default)")
 		batch    = flag.Int("batch", 0, "ingest pipeline batch size (0: default)")
+		walDir   = flag.String("wal", "", "crash-safe record journal directory (recovered on startup)")
+		filtTTL  = flag.Duration("filter-ttl", 0, "degrade to retain-everything when filters go stale (0: never)")
+		chaos    = flag.String("chaos", "", "fault-injection spec, e.g. seed=7,reset=0.01,drop-accept=50 (testing only)")
 	)
 	flag.Parse()
 
@@ -79,6 +89,7 @@ func main() {
 		}
 	}
 
+	reg := metrics.NewRegistry()
 	cfgD := daemon.Config{
 		LocalAS:   uint32(*localAS),
 		RouterID:  rid,
@@ -86,6 +97,8 @@ func main() {
 		Out:       w,
 		Shards:    *shards,
 		BatchSize: *batch,
+		Registry:  reg,
+		FilterTTL: *filtTTL,
 	}
 	var store *archive.Store
 	if *archDir != "" {
@@ -93,13 +106,50 @@ func main() {
 		if err != nil {
 			log.Fatalf("gill-daemon: %v", err)
 		}
+	}
+	var wal *archive.Journal
+	if *walDir != "" {
+		// Recover first: repair torn tails from a previous crash and report
+		// exactly what survived before appending anything new.
+		rs, err := archive.RecoverJournal(*walDir, reg, nil)
+		if err != nil {
+			log.Fatalf("gill-daemon: wal recovery: %v", err)
+		}
+		if !rs.Clean {
+			log.Printf("wal: recovered %d records, lost %d (%d torn segments repaired, %d bytes truncated)",
+				rs.Recovered, rs.Lost, rs.TornSegments, rs.TruncatedBytes)
+		}
+		wal, err = archive.OpenJournal(*walDir, 0)
+		if err != nil {
+			log.Fatalf("gill-daemon: %v", err)
+		}
+	}
+	switch {
+	case store != nil && wal != nil:
+		cfgD.RecordSink = func(rec *mrt.Record) error {
+			if err := wal.Append(rec); err != nil {
+				return err
+			}
+			return store.Append(rec)
+		}
+	case store != nil:
 		cfgD.RecordSink = store.Append
+	case wal != nil:
+		cfgD.RecordSink = wal.Append
 	}
 	d := daemon.New(cfgD)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("gill-daemon: %v", err)
+	}
+	if *chaos != "" {
+		fc, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			log.Fatalf("gill-daemon: bad -chaos: %v", err)
+		}
+		ln = faults.New(fc).Listener(ln)
+		log.Printf("CHAOS: injecting faults on the collection path (%s)", *chaos)
 	}
 	log.Printf("gill-daemon AS%d listening on %s", *localAS, ln.Addr())
 
@@ -166,6 +216,11 @@ func main() {
 	if store != nil {
 		if cerr := store.Close(); cerr != nil {
 			log.Printf("archive close: %v", cerr)
+		}
+	}
+	if wal != nil {
+		if cerr := wal.Close(); cerr != nil {
+			log.Printf("wal close: %v", cerr)
 		}
 	}
 	if closer != nil {

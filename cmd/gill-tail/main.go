@@ -1,5 +1,8 @@
 // Command gill-tail follows a GILL live feed (the RIS-Live-style stream a
-// daemon publishes) and prints updates as they arrive.
+// daemon publishes) and prints updates as they arrive. When the feed
+// drops — a collector restart, a network blip — it reconnects with
+// jittered exponential backoff and resubscribes, deduplicating any
+// replayed messages, instead of exiting (disable with -retry=false).
 //
 // Usage:
 //
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/live"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -28,39 +32,24 @@ func main() {
 		prefix = flag.String("prefix", "", "subscribe to one prefix")
 		vp     = flag.String("vp", "", "subscribe to one vantage point")
 		asJSON = flag.Bool("json", false, "print raw JSON messages")
+		retry  = flag.Bool("retry", true, "reconnect with backoff when the feed drops")
+		maxTry = flag.Int("retry-max", 0, "give up after this many consecutive failed reconnects (0: never)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	c, err := live.Dial(ctx, *addr, live.Subscription{Prefix: *prefix, VP: *vp})
-	if err != nil {
-		log.Fatalf("gill-tail: %v", err)
-	}
-	defer c.Close()
-	go func() {
-		<-ctx.Done()
-		c.Close()
-	}()
-
+	sub := live.Subscription{Prefix: *prefix, VP: *vp}
 	enc := json.NewEncoder(os.Stdout)
-	for {
-		m, err := c.Next()
-		if err != nil {
-			if ctx.Err() != nil {
-				return
-			}
-			log.Fatalf("gill-tail: %v", err)
-		}
+	print := func(m *live.Message) error {
 		if *asJSON {
-			_ = enc.Encode(m)
-			continue
+			return enc.Encode(m)
 		}
 		at := time.Unix(m.Timestamp, 0).UTC().Format("15:04:05")
 		if m.Withdraw {
 			fmt.Printf("%s %-10s WITHDRAW %s\n", at, m.VP, m.Prefix)
-			continue
+			return nil
 		}
 		path := make([]string, len(m.Path))
 		for i, as := range m.Path {
@@ -68,5 +57,39 @@ func main() {
 		}
 		fmt.Printf("%s %-10s %s via %s (%d communities)\n",
 			at, m.VP, m.Prefix, strings.Join(path, " "), len(m.Communities))
+		return nil
+	}
+
+	if !*retry {
+		c, err := live.Dial(ctx, *addr, sub)
+		if err != nil {
+			log.Fatalf("gill-tail: %v", err)
+		}
+		defer c.Close()
+		go func() {
+			<-ctx.Done()
+			c.Close()
+		}()
+		for {
+			m, err := c.Next()
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				log.Fatalf("gill-tail: %v", err)
+			}
+			_ = print(m)
+		}
+	}
+
+	err := live.Tail(ctx, *addr, sub, live.TailConfig{
+		Backoff:     resilience.Backoff{Base: time.Second, Max: 30 * time.Second},
+		MaxRestarts: *maxTry,
+		OnRetry: func(restart int, err error) {
+			log.Printf("gill-tail: feed lost (%v), reconnecting (attempt %d)", err, restart)
+		},
+	}, print)
+	if err != nil {
+		log.Fatalf("gill-tail: %v", err)
 	}
 }

@@ -1,0 +1,493 @@
+package archive
+
+// Crash-safe segment format. The rotating gzip MRT files of the Store are
+// compact but fragile: a daemon killed mid-write leaves a gzip stream with
+// no terminator and an MRT record cut mid-body, and everything after the
+// last flush is unreadable. GILL's premise is that the non-redundant
+// updates a VP sends exist nowhere else (§4, §7) — losing an archive tail
+// to a crash is exactly the loss the platform exists to prevent. Segments
+// are the write-ahead form of the archive: length-prefixed CRC-framed
+// records, a per-segment trailer written on rotation, fsync on rotate, and
+// a recovery routine that truncates a torn tail in place and reports
+// exactly how many records were recovered vs. lost.
+//
+// Layout:
+//
+//	header : 8 bytes magic "GILLSEG1"
+//	frame  : u32 length | payload | u32 CRC32-C(payload)
+//	trailer: u32 0 | u32 record count | u32 CRC32-C(all payloads, chained)
+//
+// A zero length marks the trailer, so recovery can tell a sealed segment
+// (clean shutdown or prior repair) from one torn by a crash.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/mrt"
+)
+
+const (
+	segmentMagic = "GILLSEG1"
+	// MaxSegmentRecord bounds one frame's payload; a length prefix above it
+	// is treated as corruption during recovery.
+	MaxSegmentRecord = 16 << 20
+)
+
+// ErrNotSegment is returned when a file does not start with the segment
+// magic — it is some other file, not a torn segment.
+var ErrNotSegment = errors.New("archive: not a segment file")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SegmentWriter appends CRC-framed records to one segment file.
+type SegmentWriter struct {
+	f       *os.File
+	mu      sync.Mutex
+	records uint32
+	crc     uint32
+	closed  bool
+}
+
+// CreateSegment creates path (truncating any previous content) and writes
+// the segment header.
+func CreateSegment(path string) (*SegmentWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if _, err := f.Write([]byte(segmentMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	return &SegmentWriter{f: f}, nil
+}
+
+// Append writes one record frame. The payload is copied to the OS before
+// Append returns, but only Sync/Close force it to stable storage.
+func (w *SegmentWriter) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("archive: empty segment record")
+	}
+	if len(payload) > MaxSegmentRecord {
+		return fmt.Errorf("archive: segment record of %d bytes exceeds max %d", len(payload), MaxSegmentRecord)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("archive: segment closed")
+	}
+	frame := make([]byte, 4+len(payload)+4)
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[4:], payload)
+	binary.BigEndian.PutUint32(frame[4+len(payload):], crc32.Checksum(payload, crcTable))
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	w.records++
+	w.crc = crc32.Update(w.crc, crcTable, payload)
+	return nil
+}
+
+// Records returns the number of frames appended.
+func (w *SegmentWriter) Records() uint32 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Sync forces appended frames to stable storage.
+func (w *SegmentWriter) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close seals the segment: trailer, fsync, close. A sealed segment
+// recovers as Clean with zero loss.
+func (w *SegmentWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var tr [12]byte
+	binary.BigEndian.PutUint32(tr[4:8], w.records)
+	binary.BigEndian.PutUint32(tr[8:12], w.crc)
+	if _, err := w.f.Write(tr[:]); err != nil {
+		w.f.Close()
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("archive: %w", err)
+	}
+	return w.f.Close()
+}
+
+// RecoverStats reports a recovery pass.
+type RecoverStats struct {
+	// Recovered records were intact and delivered.
+	Recovered uint64
+	// Lost records were physically present but unrecoverable: a frame with
+	// a failed checksum, frames after a corruption point (discarded to keep
+	// the recovered stream a strict prefix), or the partial frame a crash
+	// left at the tail.
+	Lost uint64
+	// TruncatedBytes were cut from torn tails.
+	TruncatedBytes int64
+	// TornSegments counts segments that needed repair.
+	TornSegments int
+	// Clean reports every segment was already sealed with a valid trailer.
+	Clean bool
+}
+
+func (s *RecoverStats) add(o RecoverStats) {
+	s.Recovered += o.Recovered
+	s.Lost += o.Lost
+	s.TruncatedBytes += o.TruncatedBytes
+	s.TornSegments += o.TornSegments
+	s.Clean = s.Clean && o.Clean
+}
+
+// RecoverSegment scans one segment, delivers every intact record (in
+// order) to fn, and repairs the file in place: a torn tail is truncated at
+// the end of the intact prefix and the segment is re-sealed with a valid
+// trailer, so recovery is idempotent and a recovered segment reads as
+// clean afterwards. fn may be nil to only repair and count. An error from
+// fn aborts (the file is left unrepaired).
+func RecoverSegment(path string, fn func(payload []byte) error) (RecoverStats, error) {
+	var stats RecoverStats
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return stats, fmt.Errorf("archive: %w", err)
+	}
+	defer f.Close()
+
+	hdr := make([]byte, len(segmentMagic))
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		// Shorter than a header: nothing recoverable; normalize to an empty
+		// sealed segment (repairSegment rewrites the magic for good < header).
+		return stats, repairSegment(f, 0, 0, 0, &stats, true)
+	}
+	if string(hdr) != segmentMagic {
+		return stats, fmt.Errorf("%w: %s", ErrNotSegment, path)
+	}
+
+	good := int64(len(segmentMagic)) // end of the intact prefix
+	var runCRC uint32
+	var lenBuf [4]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+			// EOF exactly at a frame boundary: crash between frames (or
+			// between a frame and its trailer). The prefix is intact.
+			torn := err == io.ErrUnexpectedEOF
+			if torn {
+				stats.Lost++ // a partial length prefix is one in-flight record
+			}
+			return stats, repairSegment(f, good, uint32(stats.Recovered), runCRC, &stats, true)
+		}
+		length := binary.BigEndian.Uint32(lenBuf[:])
+		if length == 0 {
+			// Trailer: count + chained CRC.
+			var tr [8]byte
+			if _, err := io.ReadFull(f, tr[:]); err != nil {
+				stats.Lost++ // partial trailer counts as the record-in-flight
+				return stats, repairSegment(f, good, uint32(stats.Recovered), runCRC, &stats, true)
+			}
+			count := binary.BigEndian.Uint32(tr[:4])
+			sum := binary.BigEndian.Uint32(tr[4:8])
+			if count != uint32(stats.Recovered) || sum != runCRC {
+				return stats, repairSegment(f, good, uint32(stats.Recovered), runCRC, &stats, true)
+			}
+			// Anything after a valid trailer is garbage from a reused file;
+			// drop it silently but mark torn if present.
+			if pos, _ := f.Seek(0, io.SeekCurrent); pos >= 0 {
+				if end, _ := f.Seek(0, io.SeekEnd); end > pos {
+					stats.TruncatedBytes += end - pos
+					stats.TornSegments++
+					if err := f.Truncate(pos); err != nil {
+						return stats, fmt.Errorf("archive: %w", err)
+					}
+					return stats, f.Sync()
+				}
+			}
+			stats.Clean = true
+			return stats, nil
+		}
+		if length > MaxSegmentRecord {
+			// Corrupted length: frame structure is gone; everything from
+			// here is one unaccountable lost tail.
+			stats.Lost++
+			return stats, repairSegment(f, good, uint32(stats.Recovered), runCRC, &stats, true)
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			stats.Lost++
+			return stats, repairSegment(f, good, uint32(stats.Recovered), runCRC, &stats, true)
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(f, crcBuf[:]); err != nil {
+			stats.Lost++
+			return stats, repairSegment(f, good, uint32(stats.Recovered), runCRC, &stats, true)
+		}
+		if binary.BigEndian.Uint32(crcBuf[:]) != crc32.Checksum(payload, crcTable) {
+			// Payload corrupted. The frame structure may still be intact, so
+			// count the complete frames that follow as lost (they are
+			// discarded to keep the output a strict prefix), then repair.
+			stats.Lost++
+			stats.Lost += countFrames(f)
+			return stats, repairSegment(f, good, uint32(stats.Recovered), runCRC, &stats, true)
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return stats, err
+			}
+		}
+		stats.Recovered++
+		runCRC = crc32.Update(runCRC, crcTable, payload)
+		good += int64(4 + len(payload) + 4)
+	}
+}
+
+// countFrames counts the structurally complete frames from the current
+// offset — records that existed but are discarded by the prefix rule.
+func countFrames(f *os.File) uint64 {
+	var n uint64
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+			return n
+		}
+		length := binary.BigEndian.Uint32(lenBuf[:])
+		if length == 0 || length > MaxSegmentRecord {
+			return n
+		}
+		if _, err := f.Seek(int64(length)+4, io.SeekCurrent); err != nil {
+			return n
+		}
+		// The seek may run past EOF; verify the CRC bytes were really there.
+		if pos, err := f.Seek(0, io.SeekCurrent); err == nil {
+			if end, err := f.Seek(0, io.SeekEnd); err == nil {
+				if end < pos {
+					return n
+				}
+				if _, err := f.Seek(pos, io.SeekStart); err != nil {
+					return n
+				}
+			}
+		}
+		n++
+	}
+}
+
+// repairSegment truncates f to the end of the intact prefix and, when
+// seal is set, rewrites header and trailer so the file re-reads as clean.
+func repairSegment(f *os.File, good int64, count, crc uint32, stats *RecoverStats, seal bool) error {
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if end > good {
+		stats.TruncatedBytes += end - good
+	}
+	stats.TornSegments++
+	if err := f.Truncate(good); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if good < int64(len(segmentMagic)) {
+		// File was shorter than its header; rewrite it whole.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("archive: %w", err)
+		}
+		if _, err := f.Write([]byte(segmentMagic)); err != nil {
+			return fmt.Errorf("archive: %w", err)
+		}
+	} else if _, err := f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if seal {
+		var tr [12]byte
+		binary.BigEndian.PutUint32(tr[4:8], count)
+		binary.BigEndian.PutUint32(tr[8:12], crc)
+		if _, err := f.Write(tr[:]); err != nil {
+			return fmt.Errorf("archive: %w", err)
+		}
+	}
+	return f.Sync()
+}
+
+// Journal is a rotating crash-safe segment store for MRT records: the
+// write-ahead half of the archive. Records are framed with CRCs; every
+// rotation seals the old segment (trailer + fsync) before the next opens,
+// so at most the unsealed tail of the newest segment is at risk, and
+// recovery bounds even that loss to the record cut mid-write.
+type Journal struct {
+	dir    string
+	rotate uint32
+
+	mu  sync.Mutex
+	seg *SegmentWriter
+	seq int
+	buf []byte
+}
+
+// DefaultJournalRotation is the per-segment record budget.
+const DefaultJournalRotation = 4096
+
+// OpenJournal opens (or creates) a journal directory. rotateRecords ≤ 0
+// selects DefaultJournalRotation. New segments continue numbering after
+// any existing ones; existing segments are left untouched (run
+// RecoverJournal first after a crash).
+func OpenJournal(dir string, rotateRecords int) (*Journal, error) {
+	if rotateRecords <= 0 {
+		rotateRecords = DefaultJournalRotation
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	segs, err := journalSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	seq := 0
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		fmt.Sscanf(filepath.Base(last), "wal-%08d.seg", &seq)
+		seq++
+	}
+	return &Journal{dir: dir, rotate: uint32(rotateRecords), seq: seq}, nil
+}
+
+func journalSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg") {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Append journals one MRT record. It is usable directly as a daemon
+// RecordSink or pipeline ArchiveStage Sink.
+func (j *Journal) Append(rec *mrt.Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seg != nil && j.seg.Records() >= j.rotate {
+		if err := j.seg.Close(); err != nil { // seal + fsync on rotate
+			return err
+		}
+		j.seg = nil
+	}
+	if j.seg == nil {
+		seg, err := CreateSegment(filepath.Join(j.dir, fmt.Sprintf("wal-%08d.seg", j.seq)))
+		if err != nil {
+			return err
+		}
+		j.seg = seg
+		j.seq++
+	}
+	w := &sliceWriter{buf: j.buf[:0]}
+	if err := mrt.NewWriter(w).WriteRecord(rec); err != nil {
+		return err
+	}
+	j.buf = w.buf
+	return j.seg.Append(w.buf)
+}
+
+// sliceWriter collects writes into a reusable buffer.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// Sync forces the open segment to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seg == nil {
+		return nil
+	}
+	return j.seg.Sync()
+}
+
+// Close seals the open segment.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seg == nil {
+		return nil
+	}
+	err := j.seg.Close()
+	j.seg = nil
+	return err
+}
+
+// RecoverJournal scans every segment in dir, delivers each intact MRT
+// record (in write order) to fn, repairs torn tails in place, and reports
+// the aggregate. When reg is non-nil the outcome is published as
+// archive.wal.recovered / archive.wal.lost counters and an
+// archive.wal.torn_segments gauge, so a restarted daemon's monitoring
+// shows exactly what the crash cost. fn may be nil (repair + count only).
+func RecoverJournal(dir string, reg *metrics.Registry, fn func(*mrt.Record) error) (RecoverStats, error) {
+	stats := RecoverStats{Clean: true}
+	segs, err := journalSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return stats, nil
+		}
+		return stats, err
+	}
+	for _, path := range segs {
+		segStats, err := RecoverSegment(path, func(payload []byte) error {
+			if fn == nil {
+				return nil
+			}
+			rec, rerr := mrt.NewReader(bytes.NewReader(payload)).ReadRecord()
+			if rerr != nil {
+				// A CRC-valid frame that fails MRT parsing was corrupted
+				// before framing; count it lost rather than abort recovery.
+				stats.Lost++
+				return nil
+			}
+			return fn(rec)
+		})
+		stats.add(segStats)
+		if err != nil {
+			return stats, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if reg != nil {
+		reg.Counter("archive.wal.recovered").Add(stats.Recovered)
+		reg.Counter("archive.wal.lost").Add(stats.Lost)
+		reg.Gauge("archive.wal.torn_segments").Set(int64(stats.TornSegments))
+	}
+	return stats, nil
+}

@@ -1,0 +1,319 @@
+package archive
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/mrt"
+)
+
+func segPayload(i int) []byte {
+	return []byte(fmt.Sprintf("record-%04d-%s", i, string(bytes.Repeat([]byte{'x'}, i%37))))
+}
+
+func writeSegment(t *testing.T, path string, n int, seal bool) {
+	t.Helper()
+	w, err := CreateSegment(path)
+	if err != nil {
+		t.Fatalf("CreateSegment: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(segPayload(i)); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if seal {
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	} else if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}
+
+func recoverAll(t *testing.T, path string) ([][]byte, RecoverStats) {
+	t.Helper()
+	var got [][]byte
+	stats, err := RecoverSegment(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RecoverSegment: %v", err)
+	}
+	return got, stats
+}
+
+func TestSegmentRoundTripClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-00000000.seg")
+	writeSegment(t, path, 50, true)
+	got, stats := recoverAll(t, path)
+	if len(got) != 50 || !stats.Clean || stats.Lost != 0 || stats.Recovered != 50 {
+		t.Fatalf("recovered %d, stats %+v; want 50 clean", len(got), stats)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, segPayload(i)) {
+			t.Fatalf("record %d corrupted: %q", i, p)
+		}
+	}
+}
+
+func TestSegmentRecoveryAfterTruncation(t *testing.T) {
+	dir := t.TempDir()
+	const n = 40
+	for _, cut := range []int64{8, 9, 20, 100, 333, 1000} {
+		path := filepath.Join(dir, fmt.Sprintf("wal-%08d.seg", cut))
+		writeSegment(t, path, n, false)
+		if err := os.Truncate(path, cut); err != nil {
+			t.Fatalf("Truncate: %v", err)
+		}
+		got, stats := recoverAll(t, path)
+		if stats.Clean {
+			t.Fatalf("cut=%d reported clean", cut)
+		}
+		for i, p := range got {
+			if !bytes.Equal(p, segPayload(i)) {
+				t.Fatalf("cut=%d record %d corrupted: %q", cut, i, p)
+			}
+		}
+		// Idempotence: the repaired file re-reads as clean with the same prefix.
+		again, stats2 := recoverAll(t, path)
+		if !stats2.Clean || stats2.Lost != 0 || len(again) != len(got) {
+			t.Fatalf("cut=%d repair not idempotent: %+v (%d vs %d records)", cut, stats2, len(again), len(got))
+		}
+	}
+}
+
+// TestSegmentTruncationPrefixProperty is the §-robustness property: for
+// ANY truncation point, recovery yields an exact prefix of the written
+// records, never panics, and never delivers a corrupt record.
+func TestSegmentTruncationPrefixProperty(t *testing.T) {
+	dir := t.TempDir()
+	const n = 25
+	full := filepath.Join(dir, "full.segdata")
+	writeSegment(t, full, n, true)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+
+	check := func(cut uint32) bool {
+		at := int64(cut) % int64(len(data)+1)
+		path := filepath.Join(dir, "trunc.seg")
+		if err := os.WriteFile(path, data[:at], 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		var got [][]byte
+		stats, err := RecoverSegment(path, func(p []byte) error {
+			got = append(got, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Logf("cut=%d: RecoverSegment error %v", at, err)
+			return false
+		}
+		if len(got) > n {
+			return false
+		}
+		for i, p := range got {
+			if !bytes.Equal(p, segPayload(i)) {
+				t.Logf("cut=%d: record %d corrupt", at, i)
+				return false
+			}
+		}
+		if stats.Recovered != uint64(len(got)) {
+			return false
+		}
+		// The repaired segment must re-read clean with the same records.
+		var again int
+		stats2, err := RecoverSegment(path, func([]byte) error { again++; return nil })
+		return err == nil && stats2.Clean && again == len(got)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentPayloadCorruptionCountsLost(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-00000000.seg")
+	writeSegment(t, path, 10, true)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	// Flip one byte inside the 4th frame's payload. Frames i carry
+	// len(segPayload(i))+8 bytes each, after the 8-byte header.
+	off := int64(8)
+	for i := 0; i < 3; i++ {
+		off += int64(len(segPayload(i)) + 8)
+	}
+	data[off+4+2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	got, stats := recoverAll(t, path)
+	if len(got) != 3 {
+		t.Fatalf("recovered %d records, want the 3 before the corruption", len(got))
+	}
+	// Lost: the corrupt frame + the 6 intact frames discarded behind it.
+	if stats.Recovered != 3 || stats.Lost != 7 {
+		t.Fatalf("stats %+v, want Recovered=3 Lost=7", stats)
+	}
+}
+
+func walRecord(i int) *mrt.Record {
+	return &mrt.Record{
+		Header: mrt.Header{
+			Timestamp: time.Unix(int64(1700000000+i), 0).UTC(),
+			Type:      mrt.TypeBGP4MP,
+			Subtype:   mrt.SubtypeBGP4MPMessageAS4,
+		},
+		BGP4MP: &mrt.BGP4MPMessage{
+			PeerAS:  uint32(65000 + i),
+			LocalAS: 64512,
+			PeerIP:  netip.AddrFrom4([4]byte{10, 0, 0, byte(i%250 + 1)}),
+			LocalIP: netip.AddrFrom4([4]byte{192, 0, 2, 1}),
+			Message: &bgp.Update{
+				Origin:  bgp.OriginIGP,
+				ASPath:  []uint32{uint32(65000 + i), 3356, 1299},
+				NextHop: netip.AddrFrom4([4]byte{10, 0, 0, byte(i%250 + 1)}),
+				NLRI:    []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 64, byte(i >> 8), byte(i)}), 32)},
+			},
+		},
+	}
+}
+
+func TestJournalRotateAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 16)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	const n = 50 // 3 sealed segments of 16 + an unsealed tail of 2
+	for i := 0; i < n; i++ {
+		if err := j.Append(walRecord(i)); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	// No Close: simulate the daemon dying with the tail segment unsealed
+	// (but fully written — the crash hit between records).
+	segs, err := journalSegments(dir)
+	if err != nil || len(segs) != 4 {
+		t.Fatalf("segments = %v (%v), want 4", segs, err)
+	}
+
+	reg := metrics.NewRegistry()
+	var got []*mrt.Record
+	stats, err := RecoverJournal(dir, reg, func(r *mrt.Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RecoverJournal: %v", err)
+	}
+	if len(got) != n || stats.Recovered != n || stats.Lost != 0 {
+		t.Fatalf("recovered %d (stats %+v), want %d with 0 lost", len(got), stats, n)
+	}
+	for i, r := range got {
+		if r.BGP4MP.PeerAS != uint32(65000+i) {
+			t.Fatalf("record %d out of order: AS%d", i, r.BGP4MP.PeerAS)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["archive.wal.recovered"] != n || snap.Counters["archive.wal.lost"] != 0 {
+		t.Fatalf("metrics %v, want recovered=%d lost=0", snap.Counters, n)
+	}
+
+	// A new journal must continue numbering, not overwrite repaired segments.
+	j2, err := OpenJournal(dir, 16)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := j2.Append(walRecord(n)); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, _ = journalSegments(dir)
+	if len(segs) != 5 {
+		t.Fatalf("after reopen: %d segments, want 5", len(segs))
+	}
+}
+
+// TestJournalKillAndRestart is the acceptance scenario: a daemon
+// SIGKILL'd mid-stream — simulated by the faults harness truncating the
+// newest segment at an arbitrary byte — recovers on restart with zero
+// corrupt records and exact recovered/lost accounting in metrics.
+func TestJournalKillAndRestart(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 99} {
+		dir := t.TempDir()
+		j, err := OpenJournal(dir, 32)
+		if err != nil {
+			t.Fatalf("OpenJournal: %v", err)
+		}
+		const n = 80
+		for i := 0; i < n; i++ {
+			if err := j.Append(walRecord(i)); err != nil {
+				t.Fatalf("Append(%d): %v", i, err)
+			}
+		}
+		_ = j.Sync() // data reached the OS; the trailer did not
+
+		// SIGKILL: chop the newest (unsealed) segment at a seeded arbitrary
+		// byte via the faults harness — replay the file through a truncating
+		// writer, exactly what a dead process's page cache flush looks like.
+		segs, _ := journalSegments(dir)
+		last := segs[len(segs)-1]
+		data, err := os.ReadFile(last)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		inj := faults.New(faults.Config{Seed: seed, TruncateAt: 1 + int64(seed*131)%int64(len(data))})
+		var torn bytes.Buffer
+		_, _ = inj.Writer(&torn).Write(data)
+		if err := os.WriteFile(last, torn.Bytes(), 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+
+		// Restart: recover.
+		reg := metrics.NewRegistry()
+		var got []*mrt.Record
+		stats, err := RecoverJournal(dir, reg, func(r *mrt.Record) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("seed=%d RecoverJournal: %v", seed, err)
+		}
+		// Zero corrupt records: everything delivered is the exact prefix.
+		for i, r := range got {
+			if r.BGP4MP == nil || r.BGP4MP.PeerAS != uint32(65000+i) {
+				t.Fatalf("seed=%d: record %d corrupt or out of order", seed, i)
+			}
+		}
+		if len(got) > n {
+			t.Fatalf("seed=%d: recovered %d > written %d", seed, len(got), n)
+		}
+		snap := reg.Snapshot()
+		if snap.Counters["archive.wal.recovered"] != stats.Recovered ||
+			snap.Counters["archive.wal.lost"] != stats.Lost {
+			t.Fatalf("seed=%d: metrics %v disagree with stats %+v", seed, snap.Counters, stats)
+		}
+		// recovered + lost-on-disk accounts for every record the crash
+		// physically left bytes of (sealed segments lose nothing).
+		if stats.Recovered+stats.Lost > n || stats.Recovered < 64 {
+			t.Fatalf("seed=%d: implausible accounting %+v", seed, stats)
+		}
+	}
+}

@@ -3,10 +3,15 @@ package bmp
 import (
 	"bufio"
 	"context"
+	"errors"
 	"net"
+	"os"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/filter"
+	"repro/internal/resilience"
 	"repro/internal/update"
 )
 
@@ -18,10 +23,21 @@ type Station struct {
 	Filters *filter.Set
 	// Deliver receives every retained update.
 	Deliver func(*update.Update)
+	// IdleTimeout tears down a session that sends nothing for the given
+	// duration — BMP has no keepalive of its own, so a silent peer is
+	// indistinguishable from a dead one without a read deadline (0: no
+	// timeout).
+	IdleTimeout time.Duration
+	// AcceptBackoff paces Serve's retries of transient Accept errors; the
+	// zero value uses the resilience defaults.
+	AcceptBackoff resilience.Backoff
 
 	received atomic.Uint64
 	filtered atomic.Uint64
 	peersUp  atomic.Uint64
+	timeouts atomic.Uint64
+
+	conns sync.WaitGroup
 }
 
 // Stats are the station's counters.
@@ -29,6 +45,8 @@ type Stats struct {
 	Received uint64
 	Filtered uint64
 	PeersUp  uint64
+	// Timeouts counts sessions torn down by the idle deadline.
+	Timeouts uint64
 }
 
 // Stats snapshots the counters.
@@ -37,34 +55,39 @@ func (s *Station) Stats() Stats {
 		Received: s.received.Load(),
 		Filtered: s.filtered.Load(),
 		PeersUp:  s.peersUp.Load(),
+		Timeouts: s.timeouts.Load(),
 	}
 }
 
-// Serve accepts BMP sessions on ln until ctx is canceled.
+// Serve accepts BMP sessions on ln until ctx is canceled, retrying
+// transient Accept errors with backoff, then waits for every session
+// handler to finish. A closed listener or canceled context returns nil
+// (clean shutdown).
 func (s *Station) Serve(ctx context.Context, ln net.Listener) error {
-	go func() {
-		<-ctx.Done()
-		ln.Close()
-	}()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return err
-		}
-		go func() { _ = s.HandleConn(conn) }()
-	}
+	err := resilience.AcceptLoop(ctx, ln, s.AcceptBackoff, 0, func(conn net.Conn) {
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			_ = s.HandleConn(conn)
+		}()
+	})
+	s.conns.Wait()
+	return err
 }
 
-// HandleConn processes one BMP session until EOF or error.
+// HandleConn processes one BMP session until EOF, error, or idle timeout.
 func (s *Station) HandleConn(conn net.Conn) error {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 	for {
+		if s.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		m, err := ReadMessage(br)
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.timeouts.Add(1)
+			}
 			return err
 		}
 		switch m.Type {

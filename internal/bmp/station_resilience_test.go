@@ -1,0 +1,97 @@
+package bmp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// stubbornListener fails its first n Accepts with a transient error.
+type stubbornListener struct {
+	net.Listener
+	mu       sync.Mutex
+	failures int
+}
+
+func (l *stubbornListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.failures > 0 {
+		l.failures--
+		l.mu.Unlock()
+		return nil, errors.New("transient accept failure")
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+func TestStationServeSurvivesAcceptErrors(t *testing.T) {
+	st := &Station{AcceptBackoff: resilience.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1}}
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	ln := &stubbornListener{Listener: base, failures: 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- st.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", base.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	exp, err := NewExporter(conn, "flap-test")
+	if err != nil {
+		t.Fatalf("NewExporter: %v", err)
+	}
+	if err := exp.Send(&Message{Type: TypePeerUp, Peer: peerHdr()}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Stats().PeersUp < 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.Stats().PeersUp != 1 {
+		t.Fatalf("peer never reached the station past the accept faults: %+v", st.Stats())
+	}
+	exp.Close()
+
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("Serve = %v after clean cancel, want nil", err)
+	}
+}
+
+func TestStationIdleTimeoutTearsDownSilentPeer(t *testing.T) {
+	st := &Station{IdleTimeout: 30 * time.Millisecond}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = st.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := NewExporter(conn, "silent-router"); err != nil {
+		t.Fatalf("NewExporter: %v", err)
+	}
+	// Send nothing further: the station must cut the session at the idle
+	// deadline rather than hold a dead peer's goroutine forever.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().Timeouts < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Stats().Timeouts != 1 {
+		t.Fatalf("idle session not torn down: %+v", st.Stats())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mrt"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 	"repro/internal/update"
 	"repro/internal/validity"
 )
@@ -72,6 +73,16 @@ type Config struct {
 	Registry *metrics.Registry
 	// Clock for timestamps (defaults to time.Now).
 	Clock func() time.Time
+	// FilterTTL bounds how stale the installed filter set may grow. When
+	// no SetFilters refresh arrives within the TTL (orchestrator
+	// unreachable past its Component1Period slack), the daemon degrades to
+	// retain-everything mode — the paper's bias toward overshoot when in
+	// doubt (§7) — and surfaces a daemon.degraded gauge. Zero disables the
+	// watchdog.
+	FilterTTL time.Duration
+	// AcceptBackoff paces Serve's retries of transient Accept errors; the
+	// zero value uses the resilience defaults.
+	AcceptBackoff resilience.Backoff
 }
 
 // Stats are the daemon's monotonic counters.
@@ -98,11 +109,17 @@ type Daemon struct {
 	cfg  Config
 	pipe *pipeline.Pipeline
 	arch *pipeline.ArchiveStage
+	filt *pipeline.FilterStage
 
 	received  atomic.Uint64
 	withdrawn atomic.Uint64
 	rejected  atomic.Uint64
 	forwarded atomic.Uint64
+
+	lastRefresh   atomic.Int64 // unix nanos of the last SetFilters
+	degraded      atomic.Bool
+	degradedGauge *metrics.Gauge
+	degradeEvents *metrics.Counter
 
 	mu       sync.Mutex
 	rib      map[string]map[netip.Prefix]*update.Update // adj-rib-in per peer
@@ -157,7 +174,8 @@ func New(cfg Config) *Daemon {
 		Peer:       d.peerIdentity,
 		WriteDelay: cfg.WriteDelay,
 	}
-	stages := []pipeline.Stage{&pipeline.FilterStage{Set: cfg.Filters}}
+	d.filt = &pipeline.FilterStage{Set: cfg.Filters}
+	stages := []pipeline.Stage{d.filt}
 	if cfg.Publish != nil {
 		stages = append(stages, &pipeline.LiveStage{Publish: cfg.Publish})
 	}
@@ -167,6 +185,9 @@ func New(cfg Config) *Daemon {
 		reg = metrics.NewRegistry()
 	}
 	stages = append(stages, pipeline.NewCounterStage(reg, "daemon.retained"))
+	d.lastRefresh.Store(cfg.Clock().UnixNano())
+	d.degradedGauge = reg.Gauge("daemon.degraded")
+	d.degradeEvents = reg.Counter("daemon.degrade_events")
 	d.pipe = pipeline.New(pipeline.Config{
 		Shards:    cfg.Shards,
 		QueueSize: cfg.QueueSize,
@@ -177,6 +198,40 @@ func New(cfg Config) *Daemon {
 	}, stages...)
 	_ = d.pipe.Start(context.Background())
 	return d
+}
+
+// SetFilters installs a refreshed filter set without stopping the
+// pipeline — the orchestrator's distribution hook (its Subscribe callback
+// signature matches). A refresh clears degraded mode and restarts the
+// staleness clock.
+func (d *Daemon) SetFilters(fs *filter.Set) {
+	d.filt.Swap(fs)
+	d.lastRefresh.Store(d.cfg.Clock().UnixNano())
+	if d.degraded.CompareAndSwap(true, false) {
+		d.degradedGauge.Set(0)
+	}
+}
+
+// Degraded reports whether the daemon has fallen back to
+// retain-everything mode because its filter set went stale.
+func (d *Daemon) Degraded() bool { return d.degraded.Load() }
+
+// maybeDegrade enforces the FilterTTL watchdog: with no refresh inside
+// the TTL, the filters are dropped in favor of collecting everything.
+// Overshooting costs disk; a stale filter silently discarding updates the
+// platform was built to keep costs data no one can re-collect.
+func (d *Daemon) maybeDegrade(now time.Time) {
+	if d.cfg.FilterTTL <= 0 || d.degraded.Load() {
+		return
+	}
+	if now.Sub(time.Unix(0, d.lastRefresh.Load())) <= d.cfg.FilterTTL {
+		return
+	}
+	if d.degraded.CompareAndSwap(false, true) {
+		d.filt.Swap(nil)
+		d.degradedGauge.Set(1)
+		d.degradeEvents.Inc()
+	}
 }
 
 // peerIdentity resolves a VP name to the peer's AS and remote address for
@@ -268,6 +323,7 @@ func remoteAddr(conn net.Conn) netip.Addr {
 // (which filters, tees, and archives them).
 func (d *Daemon) ingest(peerAS uint32, peerIP netip.Addr, u *bgp.Update) {
 	now := d.cfg.Clock()
+	d.maybeDegrade(now)
 	vp := "vp" + strconv.FormatUint(uint64(peerAS), 10)
 
 	var keep []*update.Update
@@ -419,29 +475,20 @@ func parseVPAS(vp string) uint32 {
 
 // Serve accepts peering sessions until ctx is canceled, then waits for
 // every session handler to finish so a following Close finds no ingest in
-// flight.
+// flight. Transient Accept errors are retried with backoff — at GILL's
+// scale an EMFILE burst or a conntrack hiccup must not kill the listener
+// that thousands of VP sessions depend on. A closed listener
+// (net.ErrClosed) or canceled context is a clean shutdown: Serve returns
+// nil. Per-session fault handling lives in the BGP speaker itself
+// (hold-timer read deadlines tear down silent peers; see bgp.Establish).
 func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
-	go func() {
-		<-ctx.Done()
-		ln.Close()
-	}()
-	var err error
-	for {
-		conn, aerr := ln.Accept()
-		if aerr != nil {
-			if ctx.Err() != nil {
-				err = ctx.Err()
-			} else {
-				err = aerr
-			}
-			break
-		}
+	err := resilience.AcceptLoop(ctx, ln, d.cfg.AcceptBackoff, 0, func(conn net.Conn) {
 		d.conns.Add(1)
 		go func() {
 			defer d.conns.Done()
 			_ = d.ServeConn(ctx, conn)
 		}()
-	}
+	})
 	d.conns.Wait()
 	return err
 }

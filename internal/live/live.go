@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/update"
 )
 
@@ -26,6 +27,11 @@ type Message struct {
 	Path        []uint32 `json:"path,omitempty"`
 	Communities []uint32 `json:"communities,omitempty"`
 	Withdraw    bool     `json:"withdraw,omitempty"`
+	// Seq is the server's publish sequence number (1-based, 0 when the
+	// server predates it). Reconnecting consumers use it to discard
+	// messages they already processed, so a session flap never delivers an
+	// update twice downstream.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Subscription filters a client's stream; zero values match everything.
@@ -87,6 +93,7 @@ type Server struct {
 	closed  bool
 	ln      net.Listener
 	sendBuf int
+	seq     uint64 // publish sequence, stamped on every Message
 }
 
 type client struct {
@@ -111,25 +118,16 @@ func NewServerBuffer(n int) *Server {
 	return &Server{clients: make(map[*client]bool), sendBuf: n}
 }
 
-// Serve accepts clients on ln until ctx is canceled.
+// Serve accepts clients on ln until ctx is canceled, retrying transient
+// Accept errors with backoff; a closed listener or canceled context is a
+// clean shutdown (nil).
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
-	go func() {
-		<-ctx.Done()
-		ln.Close()
-	}()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return err
-		}
+	return resilience.AcceptLoop(ctx, ln, resilience.Backoff{}, 0, func(conn net.Conn) {
 		go s.handle(conn)
-	}
+	})
 }
 
 // handle reads the optional subscription line then streams.
@@ -179,10 +177,13 @@ func (s *Server) drop(c *client) {
 }
 
 // Publish broadcasts one update to all matching clients. Clients whose
-// buffers are full are disconnected.
+// buffers are full are disconnected. Every message carries the server's
+// publish sequence number so reconnecting consumers can deduplicate.
 func (s *Server) Publish(u *update.Update) {
 	m := ToMessage(u)
 	s.mu.Lock()
+	s.seq++
+	m.Seq = s.seq
 	var evict []*client
 	for c := range s.clients {
 		if !c.sub.matches(m) {

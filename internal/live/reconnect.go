@@ -1,0 +1,96 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/resilience"
+)
+
+// ErrStopped wraps a handler error so Tail's caller can distinguish "my
+// handler aborted" from transport failures.
+var ErrStopped = errors.New("live: handler stopped the tail")
+
+// TailConfig tunes a supervised live-feed subscription.
+type TailConfig struct {
+	// Backoff paces reconnects (zero value: resilience defaults).
+	Backoff resilience.Backoff
+	// MaxRestarts bounds consecutive failed connection attempts before
+	// Tail gives up (0: retry forever).
+	MaxRestarts int
+	// OnRetry observes each scheduled reconnect (may be nil).
+	OnRetry func(restart int, err error)
+	// DialFn replaces the dialer (tests, fault injection); nil uses Dial.
+	DialFn func(ctx context.Context, addr string, sub Subscription) (*Client, error)
+}
+
+// Tail follows a live feed with supervised reconnection: when the
+// connection drops — a collector restart, a flapped path, an injected
+// fault — it redials with jittered exponential backoff and resubscribes
+// instead of exiting, the client-side half of the platform's
+// availability story (a consumer that dies with every collector deploy
+// would re-fetch from the archive and melt it). Messages carrying a Seq
+// already seen are dropped, so a reconnect replays nothing into handler:
+// each update is delivered at most once even while the session flaps.
+//
+// Tail returns nil when ctx ends, ErrStopped (wrapping the cause) when
+// handler returns an error, or the last transport error once the restart
+// budget is exhausted.
+func Tail(ctx context.Context, addr string, sub Subscription, cfg TailConfig, handler func(*Message) error) error {
+	dial := cfg.DialFn
+	if dial == nil {
+		dial = func(ctx context.Context, addr string, sub Subscription) (*Client, error) {
+			return Dial(ctx, addr, sub)
+		}
+	}
+	var lastSeq uint64
+	sup := resilience.Supervisor{
+		Backoff:     cfg.Backoff,
+		MaxRestarts: cfg.MaxRestarts,
+		OnEvent: func(e resilience.Event) {
+			if cfg.OnRetry != nil && e.Kind == resilience.EventBackoff {
+				cfg.OnRetry(e.Restart, e.Err)
+			}
+		},
+	}
+	err := sup.Run(ctx, "live-tail "+addr, func(ctx context.Context) error {
+		c, err := dial(ctx, addr, sub)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		// Unblock Next when ctx ends mid-read.
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.Close()
+			case <-done:
+			}
+		}()
+		for {
+			m, err := c.Next()
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return err
+			}
+			if m.Seq != 0 {
+				if m.Seq <= lastSeq {
+					continue // replayed across a reconnect; already handled
+				}
+				lastSeq = m.Seq
+			}
+			if err := handler(m); err != nil {
+				return resilience.Permanent(fmt.Errorf("%w: %w", ErrStopped, err))
+			}
+		}
+	})
+	if err != nil && ctx.Err() != nil && !errors.Is(err, ErrStopped) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,158 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/netip"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/resilience"
+	"repro/internal/update"
+)
+
+func tailBackoff() resilience.Backoff {
+	return resilience.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Jitter: 0.2, Seed: 1}
+}
+
+// TestTailReconnectsThroughFlakyListener is the supervised-reconnect
+// scenario: a listener (via the faults harness) that drops every 2nd
+// connection and occasionally resets established sessions. The client
+// must converge — keep re-establishing with jittered backoff and keep
+// consuming — and the tee must never see the same update twice.
+func TestTailReconnectsThroughFlakyListener(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	inj := faults.New(faults.Config{Seed: 11, DropEveryN: 2, ResetProb: 0.02})
+	s := NewServer()
+	defer s.Close()
+	sctx, scancel := context.WithCancel(context.Background())
+	defer scancel()
+	go func() { _ = s.Serve(sctx, inj.Listener(base)) }()
+
+	// Publisher: a steady stream of updates until the consumer is done.
+	pctx, pcancel := context.WithCancel(context.Background())
+	defer pcancel()
+	go func() {
+		u := &update.Update{
+			VP:     "vp65001",
+			Time:   time.Unix(1700000000, 0),
+			Prefix: netip.MustParsePrefix("203.0.113.0/24"),
+			Path:   []uint32{65001, 3356},
+		}
+		for pctx.Err() == nil {
+			s.Publish(u)
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var (
+		mu    sync.Mutex
+		seqs  []uint64
+		flaps int
+	)
+	err = Tail(ctx, base.Addr().String(), Subscription{}, TailConfig{
+		Backoff: tailBackoff(),
+		OnRetry: func(int, error) {
+			mu.Lock()
+			flaps++
+			mu.Unlock()
+		},
+	}, func(m *Message) error {
+		mu.Lock()
+		defer mu.Unlock()
+		seqs = append(seqs, m.Seq)
+		// Converged: survived at least two flaps and kept consuming after.
+		if len(seqs) >= 300 && flaps >= 2 {
+			cancel()
+		}
+		return nil
+	})
+	pcancel()
+	if err != nil {
+		t.Fatalf("Tail = %v, want nil on ctx end", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) < 300 || flaps < 2 {
+		t.Fatalf("did not converge: %d messages, %d flaps", len(seqs), flaps)
+	}
+	seen := make(map[uint64]bool, len(seqs))
+	last := uint64(0)
+	for _, q := range seqs {
+		if seen[q] {
+			t.Fatalf("update seq %d delivered twice to the tee", q)
+		}
+		seen[q] = true
+		if q <= last {
+			t.Fatalf("seq went backwards: %d after %d", q, last)
+		}
+		last = q
+	}
+}
+
+// TestTailDeduplicatesReplayedMessages pins the at-most-once guarantee
+// directly: a server that replays the tail of its stream on every
+// reconnect (as a replay-buffer feed would) must not double-deliver.
+func TestTailDeduplicatesReplayedMessages(t *testing.T) {
+	// Fake dialer: each "connection" replays seqs from one before where
+	// the last left off, then fails, forcing a reconnect.
+	var startFrom uint64 = 1
+	conns := 0
+	dial := func(ctx context.Context, addr string, sub Subscription) (*Client, error) {
+		conns++
+		if conns > 5 {
+			return nil, errors.New("feed gone") // end the test via restart budget
+		}
+		server, client := net.Pipe()
+		go func() {
+			defer server.Close()
+			from := startFrom
+			if from > 1 {
+				from-- // replay one already-delivered message
+			}
+			for q := from; q < startFrom+3; q++ {
+				msg := []byte(`{"type":"UPDATE","vp":"vp1","timestamp":1700000000,"prefix":"203.0.113.0/24","seq":` +
+					strconv.FormatUint(q, 10) + "}\n")
+				if _, err := server.Write(msg); err != nil {
+					return
+				}
+			}
+			startFrom += 3
+		}()
+		return &Client{conn: client, dec: json.NewDecoder(client)}, nil
+	}
+
+	var got []uint64
+	err := Tail(context.Background(), "fake", Subscription{}, TailConfig{
+		Backoff:     resilience.Backoff{Base: time.Microsecond, Max: time.Microsecond, Jitter: -1},
+		MaxRestarts: 5,
+		DialFn:      dial,
+	}, func(m *Message) error {
+		got = append(got, m.Seq)
+		return nil
+	})
+	if !errors.Is(err, resilience.ErrRestartsExceeded) {
+		t.Fatalf("Tail = %v, want ErrRestartsExceeded when the feed dies", err)
+	}
+	want := uint64(1)
+	for _, q := range got {
+		if q != want {
+			t.Fatalf("delivered seqs %v: duplicate or gap at %d (want %d)", got, q, want)
+		}
+		want++
+	}
+	if want != 16 {
+		t.Fatalf("delivered %d unique seqs, want 15", want-1)
+	}
+}

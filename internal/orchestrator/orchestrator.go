@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/filter"
+	"repro/internal/resilience"
 	"repro/internal/update"
 )
 
@@ -24,6 +25,11 @@ const (
 	Component1Period = 16 * 24 * time.Hour
 	// Component2Period is how often anchor-VP selection reruns.
 	Component2Period = 365 * 24 * time.Hour
+	// RefreshJitter is the ± fraction applied to each refresh period so
+	// orchestrators restarted from the same snapshot (or many deployments
+	// sharing the §7 constants) don't rerun the sampling components — and
+	// redistribute filters — in lockstep.
+	RefreshJitter = 0.05
 )
 
 // PeeringRequest is the §9 web-form submission.
@@ -75,6 +81,8 @@ type Orchestrator struct {
 
 	lastComponent1 time.Time
 	lastComponent2 time.Time
+	gen1, gen2     uint64 // completed refreshes, indexes the jitter stream
+	jitterSeed     int64
 
 	// subscribers receive new filter sets (the daemons' loading hook).
 	subscribers []func(*filter.Set)
@@ -165,8 +173,10 @@ func (o *Orchestrator) LoadFilters(fs *filter.Set, component int) {
 	switch component {
 	case 1:
 		o.lastComponent1 = now
+		o.gen1++
 	case 2:
 		o.lastComponent2 = now
+		o.gen2++
 	}
 	subs := make([]func(*filter.Set), len(o.subscribers))
 	copy(subs, o.subscribers)
@@ -183,14 +193,42 @@ func (o *Orchestrator) Filters() *filter.Set {
 	return o.filters
 }
 
-// Due reports which components need refreshing (§7 periods). A component
-// that never ran is always due.
+// SetJitterSeed fixes the refresh-jitter stream. Deployments seed this
+// with a per-collector value so their schedules decorrelate; tests fix it
+// for reproducible periods. The stream is deterministic either way.
+func (o *Orchestrator) SetJitterSeed(seed int64) {
+	o.mu.Lock()
+	o.jitterSeed = seed
+	o.mu.Unlock()
+}
+
+// jitteredPeriod spreads period by ±RefreshJitter, deterministically from
+// (jitterSeed, component, generation): each refresh draws a fresh offset,
+// and replaying the same history reproduces the same schedule.
+func (o *Orchestrator) jitteredPeriod(period time.Duration, component int, gen uint64) time.Duration {
+	f := resilience.JitterFraction(o.jitterSeed, uint64(component)<<32|gen)
+	return time.Duration(float64(period) * (1 + RefreshJitter*f))
+}
+
+// RefreshPeriods returns the jittered periods the next Due check applies
+// to components #1 and #2.
+func (o *Orchestrator) RefreshPeriods() (component1, component2 time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.jitteredPeriod(Component1Period, 1, o.gen1),
+		o.jitteredPeriod(Component2Period, 2, o.gen2)
+}
+
+// Due reports which components need refreshing (§7 periods, each spread
+// by ±RefreshJitter). A component that never ran is always due.
 func (o *Orchestrator) Due() (component1, component2 bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	now := o.clock()
-	component1 = o.lastComponent1.IsZero() || now.Sub(o.lastComponent1) >= Component1Period
-	component2 = o.lastComponent2.IsZero() || now.Sub(o.lastComponent2) >= Component2Period
+	component1 = o.lastComponent1.IsZero() ||
+		now.Sub(o.lastComponent1) >= o.jitteredPeriod(Component1Period, 1, o.gen1)
+	component2 = o.lastComponent2.IsZero() ||
+		now.Sub(o.lastComponent2) >= o.jitteredPeriod(Component2Period, 2, o.gen2)
 	return
 }
 

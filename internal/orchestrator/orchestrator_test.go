@@ -79,17 +79,19 @@ func TestRefreshScheduling(t *testing.T) {
 	if c1 || c2 {
 		t.Fatal("nothing should be due right after refresh")
 	}
-	// 16 days later: component 1 due, component 2 not.
-	clk.now = t0.Add(Component1Period)
+	// ~16 days later (past the jittered boundary): component 1 due,
+	// component 2 not.
+	p1, p2 := o.RefreshPeriods()
+	clk.now = t0.Add(p1)
 	c1, c2 = o.Due()
 	if !c1 || c2 {
-		t.Errorf("at +16d: c1=%v c2=%v, want true/false", c1, c2)
+		t.Errorf("at +%v: c1=%v c2=%v, want true/false", p1, c1, c2)
 	}
-	// One year later: both due.
-	clk.now = t0.Add(Component2Period)
+	// ~One year later: both due.
+	clk.now = t0.Add(p2)
 	c1, c2 = o.Due()
 	if !c1 || !c2 {
-		t.Errorf("at +1y: c1=%v c2=%v, want true/true", c1, c2)
+		t.Errorf("at +%v: c1=%v c2=%v, want true/true", p2, c1, c2)
 	}
 }
 

@@ -21,23 +21,46 @@ import (
 )
 
 // FilterStage applies a GILL filter set (§7); updates the set discards do
-// not reach later stages. A nil Set keeps everything (the pipeline still
-// accounts the stage, so loss attribution is uniform).
+// not reach later stages. A nil set keeps everything (the pipeline still
+// accounts the stage, so loss attribution is uniform). The installed set
+// can be replaced at runtime via Swap — the orchestrator's refresh path
+// and the daemon's degraded retain-everything fallback both go through it
+// without stopping the pipeline.
 type FilterStage struct {
+	// Set is the initial filter set, read until the first Swap.
 	Set *filter.Set
+
+	swapped atomic.Bool
+	dyn     atomic.Pointer[filter.Set]
 }
 
 // Name implements Stage.
 func (s *FilterStage) Name() string { return "filter" }
 
+// Swap atomically replaces the filter set for subsequent batches; nil
+// means retain everything. Safe concurrently with Process.
+func (s *FilterStage) Swap(set *filter.Set) {
+	s.dyn.Store(set)
+	s.swapped.Store(true)
+}
+
+// Current returns the filter set in effect.
+func (s *FilterStage) Current() *filter.Set {
+	if s.swapped.Load() {
+		return s.dyn.Load()
+	}
+	return s.Set
+}
+
 // Process implements Stage.
 func (s *FilterStage) Process(batch []*update.Update) []*update.Update {
-	if s.Set == nil {
+	set := s.Current()
+	if set == nil {
 		return batch
 	}
 	kept := batch[:0]
 	for _, u := range batch {
-		if s.Set.Keep(u) {
+		if set.Keep(u) {
 			kept = append(kept, u)
 		}
 	}

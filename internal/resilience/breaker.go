@@ -1,0 +1,147 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed passes calls through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails calls fast until ResetTimeout elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits one probe call; its outcome decides.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrBreakerOpen is returned by Do while the breaker is open.
+var ErrBreakerOpen = errors.New("resilience: circuit open")
+
+// Breaker is a consecutive-failure circuit breaker. It protects a shared
+// dependency (the orchestrator's control endpoint, a remote archive) from
+// retry storms: after FailureThreshold consecutive failures the circuit
+// opens and calls fail fast; after ResetTimeout one probe is admitted and
+// its outcome closes or reopens the circuit. The zero value is usable.
+type Breaker struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit (default 5).
+	FailureThreshold int
+	// ResetTimeout is how long the circuit stays open before admitting a
+	// half-open probe (default 30s).
+	ResetTimeout time.Duration
+	// Clock supplies time (tests); nil uses time.Now.
+	Clock func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold > 0 {
+		return b.FailureThreshold
+	}
+	return 5
+}
+
+func (b *Breaker) resetTimeout() time.Duration {
+	if b.ResetTimeout > 0 {
+		return b.ResetTimeout
+	}
+	return 30 * time.Second
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+// State returns the current position, promoting open→half-open when the
+// reset timeout has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	return b.state
+}
+
+func (b *Breaker) maybeHalfOpenLocked() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.resetTimeout() {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+}
+
+// Allow reports whether a call may proceed now. In the half-open state
+// only the first caller gets true (the probe); the rest fail fast until
+// the probe's Record decides the circuit.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Record feeds a call outcome into the breaker.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	if err == nil {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold() {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// Do runs op through the breaker: ErrBreakerOpen when the circuit refuses
+// the call, otherwise op's error, recorded either way.
+func (b *Breaker) Do(op func() error) error {
+	if !b.Allow() {
+		return ErrBreakerOpen
+	}
+	err := op()
+	b.Record(err)
+	return err
+}

@@ -1,0 +1,61 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+)
+
+// DefaultMaxAcceptFailures is AcceptLoop's consecutive-failure budget: a
+// listener whose Accept keeps failing (not ErrClosed — a torn fd, an
+// exhausted fd table) is eventually surfaced instead of retried forever.
+const DefaultMaxAcceptFailures = 10
+
+// AcceptLoop runs a fault-tolerant accept loop on ln: transient Accept
+// errors are retried with backoff instead of killing the server, and the
+// listener is closed exactly once (here) when ctx ends — closing it again
+// elsewhere is harmless to this loop, which treats net.ErrClosed as the
+// clean-shutdown signal.
+//
+// handle receives each accepted connection and must not block (spawn a
+// goroutine; track it if shutdown must wait for sessions). AcceptLoop
+// returns nil on clean shutdown (ctx done or listener closed), or the
+// last Accept error after maxFailures consecutive failures
+// (maxFailures ≤ 0 selects DefaultMaxAcceptFailures).
+func AcceptLoop(ctx context.Context, ln net.Listener, b Backoff, maxFailures int, handle func(net.Conn)) error {
+	if maxFailures <= 0 {
+		maxFailures = DefaultMaxAcceptFailures
+	}
+	var once sync.Once
+	closeLn := func() { once.Do(func() { ln.Close() }) }
+	defer closeLn()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeLn()
+		case <-stop:
+		}
+	}()
+	failures := 0
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			failures++
+			if failures >= maxFailures {
+				return err
+			}
+			if serr := Sleep(ctx, b.Delay(failures-1)); serr != nil {
+				return nil
+			}
+			continue
+		}
+		failures = 0
+		handle(conn)
+	}
+}

@@ -1,0 +1,132 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// EventKind classifies supervisor lifecycle events.
+type EventKind int
+
+// Supervisor event kinds.
+const (
+	// EventStart fires before each (re)start of the supervised function.
+	EventStart EventKind = iota
+	// EventExit fires when the function returns; Err carries its error.
+	EventExit
+	// EventBackoff fires when a restart is scheduled; Delay carries the wait.
+	EventBackoff
+	// EventGiveUp fires when the restart budget is exhausted.
+	EventGiveUp
+)
+
+// Event is one supervisor lifecycle notification.
+type Event struct {
+	Kind EventKind
+	// Name identifies the supervised session.
+	Name string
+	// Restart is the consecutive-failure count (0 on the first start).
+	Restart int
+	// Err is the session's exit error (EventExit, EventBackoff, EventGiveUp).
+	Err error
+	// Delay is the scheduled backoff (EventBackoff).
+	Delay time.Duration
+}
+
+// ErrRestartsExceeded is returned (wrapped around the last session error)
+// when a Supervisor exhausts MaxRestarts consecutive failures.
+var ErrRestartsExceeded = fmt.Errorf("resilience: restarts exceeded")
+
+// Supervisor runs a session function and restarts it with backoff when it
+// fails. It models the collection path's per-session lifecycles: a BGP
+// peering that flaps, a live-feed subscription that drops, a mirror
+// connection to the orchestrator. A run that survives ResetAfter counts
+// as healthy and clears the consecutive-failure budget, so a session that
+// flaps once a day never exhausts MaxRestarts. The zero value restarts
+// forever with default backoff.
+type Supervisor struct {
+	Backoff Backoff
+	// MaxRestarts bounds *consecutive* failed runs (0: unlimited).
+	MaxRestarts int
+	// ResetAfter is the run duration that resets the failure count
+	// (default 60s; negative disables resetting).
+	ResetAfter time.Duration
+	// OnEvent observes lifecycle transitions (may be nil).
+	OnEvent func(Event)
+	// SleepFn replaces the backoff wait (tests); nil uses Sleep.
+	SleepFn func(ctx context.Context, d time.Duration) error
+	// Clock supplies time for run-length measurement; nil uses time.Now.
+	Clock func() time.Time
+}
+
+func (s *Supervisor) resetAfter() time.Duration {
+	if s.ResetAfter == 0 {
+		return 60 * time.Second
+	}
+	if s.ResetAfter < 0 {
+		return 0
+	}
+	return s.ResetAfter
+}
+
+func (s *Supervisor) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
+func (s *Supervisor) sleep(ctx context.Context, d time.Duration) error {
+	if s.SleepFn != nil {
+		return s.SleepFn(ctx, d)
+	}
+	return Sleep(ctx, d)
+}
+
+func (s *Supervisor) emit(e Event) {
+	if s.OnEvent != nil {
+		s.OnEvent(e)
+	}
+}
+
+// Run supervises fn until ctx ends, fn returns nil or a Permanent error,
+// or MaxRestarts consecutive failures accumulate. A nil return from fn is
+// a deliberate stop and is not restarted. The returned error is nil on
+// deliberate stop, ctx.Err() when the context ended, the permanent error,
+// or ErrRestartsExceeded wrapping the last failure.
+func (s *Supervisor) Run(ctx context.Context, name string, fn func(ctx context.Context) error) error {
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.emit(Event{Kind: EventStart, Name: name, Restart: failures})
+		started := s.now()
+		err := fn(ctx)
+		ran := s.now().Sub(started)
+		s.emit(Event{Kind: EventExit, Name: name, Restart: failures, Err: err})
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if IsPermanent(err) {
+			return err
+		}
+		if ra := s.resetAfter(); ra > 0 && ran >= ra {
+			failures = 0
+		}
+		failures++
+		if s.MaxRestarts > 0 && failures > s.MaxRestarts {
+			s.emit(Event{Kind: EventGiveUp, Name: name, Restart: failures, Err: err})
+			return fmt.Errorf("%w for %s after %d: %w", ErrRestartsExceeded, name, failures, err)
+		}
+		delay := s.Backoff.Delay(failures - 1)
+		s.emit(Event{Kind: EventBackoff, Name: name, Restart: failures, Err: err, Delay: delay})
+		if serr := s.sleep(ctx, delay); serr != nil {
+			return serr
+		}
+	}
+}
