@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pipeline chaos verify
+.PHONY: all build test race bench-pipeline chaos obs-smoke verify
 
 all: build
 
@@ -28,11 +28,22 @@ chaos:
 	$(GO) test -race -count=1 -run 'Fault|Chaos|Kill|Truncat|Flaky|Accept|Idle|Degraded|Reconnect' \
 		./internal/archive/ ./internal/daemon/ ./internal/bmp/ ./internal/live/
 
+# obs-smoke boots a real gill-daemon with -admin on an ephemeral loopback
+# port, curls every operator endpoint (/metrics incl. histogram buckets,
+# /statusz, /healthz, /readyz, /tracez, pprof), then runs the env-gated
+# tracing-overhead guard: the flight-recorder-enabled pipeline must stay
+# within 5% of the untraced baseline.
+obs-smoke:
+	sh scripts/obs_smoke.sh
+	GILL_BENCH_GUARD=1 $(GO) test -run TestTracingOverheadGuard -count=1 -v .
+
 # verify is the full pre-merge gate: vet, build, race-enabled tests, the
-# fault-injection suite, and a smoke run of the pipeline benchmark.
+# fault-injection suite, a smoke run of the pipeline benchmark, and the
+# observability smoke (admin endpoints + tracing overhead).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime 1x ./...
+	$(MAKE) obs-smoke

@@ -5,11 +5,14 @@
 // Usage:
 //
 //	gill-daemon -listen :1790 -as 65000 -router-id 192.0.2.1 \
-//	    -filters filters.txt -out updates.mrt.gz -stats 10s
+//	    -filters filters.txt -out updates.mrt.gz -stats 10s -admin 127.0.0.1:8471
 //
 // A -wal directory adds a crash-safe record journal (recovered and
 // repaired on startup); -chaos injects deterministic faults into the
-// accept path for resilience testing.
+// accept path for resilience testing. The -admin flag serves the
+// operator plane (/metrics, /statusz, /healthz, /readyz, /tracez,
+// /debug/pprof/) — bind it to loopback or an operator network, it is
+// unauthenticated.
 package main
 
 import (
@@ -17,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/netip"
 	"os"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/metrics"
 	"repro/internal/mrt"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -51,26 +54,36 @@ func main() {
 		walDir   = flag.String("wal", "", "crash-safe record journal directory (recovered on startup)")
 		filtTTL  = flag.Duration("filter-ttl", 0, "degrade to retain-everything when filters go stale (0: never)")
 		chaos    = flag.String("chaos", "", "fault-injection spec, e.g. seed=7,reset=0.01,drop-accept=50 (testing only)")
+		admin    = flag.String("admin", "", "admin-plane address (/metrics, /statusz, /healthz, /readyz, /tracez, pprof); bind loopback — unauthenticated")
+		logLevel = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 	)
 	flag.Parse()
 
+	logg := telemetry.NewLogger(os.Stderr)
+	logg.SetLevel(telemetry.ParseLevel(*logLevel))
+	logm := logg.With("main")
+	fatal := func(msg string, kv ...any) {
+		logm.Error(msg, kv...)
+		os.Exit(1)
+	}
+
 	rid, err := netip.ParseAddr(*routerID)
 	if err != nil {
-		log.Fatalf("gill-daemon: bad -router-id: %v", err)
+		fatal("bad -router-id", "err", err)
 	}
 
 	var fs *filter.Set
 	if *filters != "" {
 		f, err := os.Open(*filters)
 		if err != nil {
-			log.Fatalf("gill-daemon: %v", err)
+			fatal("opening filters", "err", err)
 		}
 		fs, err = filter.Unmarshal(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("gill-daemon: parsing filters: %v", err)
+			fatal("parsing filters", "err", err)
 		}
-		log.Printf("loaded %d drop rules, %d anchors", fs.NumDrops(), len(fs.Anchors()))
+		logm.Info("filters loaded", "drop_rules", fs.NumDrops(), "anchors", len(fs.Anchors()))
 	}
 
 	var w io.Writer
@@ -78,7 +91,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatalf("gill-daemon: %v", err)
+			fatal("creating output", "err", err)
 		}
 		if strings.HasSuffix(*out, ".gz") {
 			gz := gzip.NewWriter(f)
@@ -90,6 +103,7 @@ func main() {
 	}
 
 	reg := metrics.NewRegistry()
+	rec := telemetry.NewRecorder(0, 0) // defaults: 4096-trace ring, 1/1024 sampling
 	cfgD := daemon.Config{
 		LocalAS:   uint32(*localAS),
 		RouterID:  rid,
@@ -99,12 +113,14 @@ func main() {
 		BatchSize: *batch,
 		Registry:  reg,
 		FilterTTL: *filtTTL,
+		Log:       logg,
+		Tracer:    rec,
 	}
 	var store *archive.Store
 	if *archDir != "" {
 		store, err = archive.Open(*archDir, archive.DefaultRotation)
 		if err != nil {
-			log.Fatalf("gill-daemon: %v", err)
+			fatal("opening archive", "err", err)
 		}
 	}
 	var wal *archive.Journal
@@ -113,15 +129,16 @@ func main() {
 		// exactly what survived before appending anything new.
 		rs, err := archive.RecoverJournal(*walDir, reg, nil)
 		if err != nil {
-			log.Fatalf("gill-daemon: wal recovery: %v", err)
+			fatal("wal recovery", "err", err)
 		}
 		if !rs.Clean {
-			log.Printf("wal: recovered %d records, lost %d (%d torn segments repaired, %d bytes truncated)",
-				rs.Recovered, rs.Lost, rs.TornSegments, rs.TruncatedBytes)
+			logm.Warn("wal recovered from unclean shutdown",
+				"recovered", rs.Recovered, "lost", rs.Lost,
+				"torn_segments", rs.TornSegments, "truncated_bytes", rs.TruncatedBytes)
 		}
 		wal, err = archive.OpenJournal(*walDir, 0)
 		if err != nil {
-			log.Fatalf("gill-daemon: %v", err)
+			fatal("opening wal", "err", err)
 		}
 	}
 	switch {
@@ -141,20 +158,52 @@ func main() {
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("gill-daemon: %v", err)
+		fatal("listen", "addr", *listen, "err", err)
 	}
 	if *chaos != "" {
 		fc, err := faults.ParseSpec(*chaos)
 		if err != nil {
-			log.Fatalf("gill-daemon: bad -chaos: %v", err)
+			fatal("bad -chaos", "err", err)
 		}
 		ln = faults.New(fc).Listener(ln)
-		log.Printf("CHAOS: injecting faults on the collection path (%s)", *chaos)
+		logm.Warn("CHAOS: injecting faults on the collection path", "spec", *chaos)
 	}
-	log.Printf("gill-daemon AS%d listening on %s", *localAS, ln.Addr())
+	logm.Info("listening", "as", *localAS, "addr", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *admin != "" {
+		adminLn, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fatal("admin listen", "addr", *admin, "err", err)
+		}
+		filtersConfigured := *filters != ""
+		a := &telemetry.Admin{
+			Registry: reg,
+			Recorder: rec,
+			Log:      logg.With("admin"),
+			Ready: func() (bool, string) {
+				// Startup is synchronous: by the time the admin plane
+				// serves, filters are parsed and the WAL is recovered. The
+				// interesting runtime state is the degraded fallback.
+				if d.Degraded() {
+					return true, "degraded: retain-everything mode active"
+				}
+				if filtersConfigured {
+					return true, "filters loaded, wal recovered"
+				}
+				return true, "collecting everything (no filters configured)"
+			},
+			Status: func() any { return d.StatusSnapshot() },
+		}
+		go func() {
+			if err := a.Serve(ctx, adminLn); err != nil {
+				logm.Warn("admin plane exited", "err", err)
+			}
+		}()
+		logm.Info("admin plane listening", "admin_addr", adminLn.Addr())
+	}
 
 	if *stats > 0 {
 		go func() {
@@ -166,8 +215,8 @@ func main() {
 					return
 				case <-t.C:
 					s := d.Stats()
-					log.Printf("received=%d filtered=%d written=%d lost=%d",
-						s.Received, s.Filtered, s.Written, s.Lost)
+					logm.Info("stats", "received", s.Received, "filtered", s.Filtered,
+						"written", s.Written, "lost", s.Lost)
 				}
 			}
 		}()
@@ -184,18 +233,18 @@ func main() {
 				case <-t.C:
 					if store != nil {
 						if err := store.WriteRIB(time.Now(), d.DumpRIB); err != nil {
-							log.Printf("rib dump: %v", err)
+							logm.Warn("rib dump failed", "err", err)
 						}
 						continue
 					}
 					name := fmt.Sprintf("%s.%d.mrt", *ribOut, n)
 					f, err := os.Create(name)
 					if err != nil {
-						log.Printf("rib dump: %v", err)
+						logm.Warn("rib dump failed", "err", err)
 						continue
 					}
 					if err := d.DumpRIB(f); err != nil {
-						log.Printf("rib dump: %v", err)
+						logm.Warn("rib dump failed", "err", err)
 					}
 					f.Close()
 					n++
@@ -209,31 +258,34 @@ func main() {
 	// drains the pipeline queues and flushes the archive stage (including
 	// the gzip stream) before the store and the output file are closed.
 	err = d.Serve(ctx, ln)
-	log.Printf("shutting down: draining ingest pipeline")
+	logm.Info("shutting down, draining ingest pipeline")
 	if cerr := d.Close(); cerr != nil {
-		log.Printf("pipeline close: %v", cerr)
+		logm.Error("pipeline close failed", "err", cerr)
 	}
 	if store != nil {
 		if cerr := store.Close(); cerr != nil {
-			log.Printf("archive close: %v", cerr)
+			logm.Error("archive close failed", "err", cerr)
 		}
 	}
 	if wal != nil {
 		if cerr := wal.Close(); cerr != nil {
-			log.Printf("wal close: %v", cerr)
+			logm.Error("wal close failed", "err", cerr)
 		}
 	}
 	if closer != nil {
 		if cerr := closer.Close(); cerr != nil {
-			log.Printf("output close: %v", cerr)
+			logm.Error("output close failed", "err", cerr)
 		}
 	}
 	s := d.Stats()
 	snap := d.PipelineSnapshot()
-	log.Printf("final: received=%d filtered=%d written=%d lost=%d withdrawn=%d rejected=%d (%v)",
-		s.Received, s.Filtered, s.Written, s.Lost, s.Withdrawn, s.Rejected, err)
-	log.Printf("final: loss fraction %.4f, mean batch %.1f updates",
-		s.LossFraction(), snap.BatchSizes.Mean())
+	logm.Info("final stats", "received", s.Received, "filtered", s.Filtered,
+		"written", s.Written, "lost", s.Lost, "withdrawn", s.Withdrawn,
+		"rejected", s.Rejected, "serve_err", err)
+	logm.Info("final pipeline", "loss_fraction", fmt.Sprintf("%.4f", s.LossFraction()),
+		"mean_batch", fmt.Sprintf("%.1f", snap.BatchSizes.Mean()),
+		"e2e_p50_ns", fmt.Sprintf("%.0f", snap.E2ENS.Quantile(0.5)),
+		"e2e_p99_ns", fmt.Sprintf("%.0f", snap.E2ENS.Quantile(0.99)))
 }
 
 // multiCloser closes the compressor before the file beneath it.

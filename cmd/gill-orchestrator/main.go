@@ -16,28 +16,71 @@ package main
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"math/rand"
+	"net"
 	"net/netip"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/mrt"
 	"repro/internal/orchestrator"
+	"repro/internal/telemetry"
 	"repro/internal/update"
 )
 
 func main() {
-	var registryFile = flag.String("registry", "", "ownership registry file with 'email asn' lines (empty: accept everyone)")
+	var (
+		registryFile = flag.String("registry", "", "ownership registry file with 'email asn' lines (empty: accept everyone)")
+		admin        = flag.String("admin", "", "admin-plane address (/metrics, /statusz, /healthz, pprof); bind loopback — unauthenticated")
+		logLevel     = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+	)
 	flag.Parse()
+
+	logg := telemetry.NewLogger(os.Stderr)
+	logg.SetLevel(telemetry.ParseLevel(*logLevel))
+	logm := logg.With("main")
 
 	verifier := loadRegistry(*registryFile)
 	o := orchestrator.New(verifier, nil)
+	o.SetLogger(logg)
+
+	if *admin != "" {
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			logm.Error("admin listen failed", "addr", *admin, "err", err)
+			os.Exit(1)
+		}
+		reg := metrics.NewRegistry()
+		reg.GaugeFunc("orchestrator.peers", func() int64 { return int64(len(o.Peers())) })
+		reg.GaugeFunc("orchestrator.pending", func() int64 { return int64(o.Pending()) })
+		a := &telemetry.Admin{
+			Registry: reg,
+			Log:      logg.With("admin"),
+			Status: func() any {
+				c1, c2 := o.Due()
+				return map[string]any{
+					"peers":          len(o.Peers()),
+					"pending":        o.Pending(),
+					"component1_due": c1,
+					"component2_due": c2,
+				}
+			},
+		}
+		go func() {
+			if err := a.Serve(context.Background(), ln); err != nil {
+				logm.Warn("admin plane exited", "err", err)
+			}
+		}()
+		logm.Info("admin plane listening", "admin_addr", ln.Addr())
+	}
 	fmt.Println("gill-orchestrator ready; commands: submit/confirm/peers/status/train/quit")
 
 	sc := bufio.NewScanner(os.Stdin)

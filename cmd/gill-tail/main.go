@@ -16,7 +16,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,18 +23,28 @@ import (
 
 	"repro/internal/live"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:1791", "live feed address")
-		prefix = flag.String("prefix", "", "subscribe to one prefix")
-		vp     = flag.String("vp", "", "subscribe to one vantage point")
-		asJSON = flag.Bool("json", false, "print raw JSON messages")
-		retry  = flag.Bool("retry", true, "reconnect with backoff when the feed drops")
-		maxTry = flag.Int("retry-max", 0, "give up after this many consecutive failed reconnects (0: never)")
+		addr     = flag.String("addr", "127.0.0.1:1791", "live feed address")
+		prefix   = flag.String("prefix", "", "subscribe to one prefix")
+		vp       = flag.String("vp", "", "subscribe to one vantage point")
+		asJSON   = flag.Bool("json", false, "print raw JSON messages")
+		retry    = flag.Bool("retry", true, "reconnect with backoff when the feed drops")
+		maxTry   = flag.Int("retry-max", 0, "give up after this many consecutive failed reconnects (0: never)")
+		logLevel = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 	)
 	flag.Parse()
+
+	logg := telemetry.NewLogger(os.Stderr)
+	logg.SetLevel(telemetry.ParseLevel(*logLevel))
+	logm := logg.With("tail")
+	fatal := func(msg string, kv ...any) {
+		logm.Error(msg, kv...)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -63,7 +72,7 @@ func main() {
 	if !*retry {
 		c, err := live.Dial(ctx, *addr, sub)
 		if err != nil {
-			log.Fatalf("gill-tail: %v", err)
+			fatal("dial failed", "addr", *addr, "err", err)
 		}
 		defer c.Close()
 		go func() {
@@ -76,7 +85,7 @@ func main() {
 				if ctx.Err() != nil {
 					return
 				}
-				log.Fatalf("gill-tail: %v", err)
+				fatal("feed lost", "err", err)
 			}
 			_ = print(m)
 		}
@@ -86,10 +95,10 @@ func main() {
 		Backoff:     resilience.Backoff{Base: time.Second, Max: 30 * time.Second},
 		MaxRestarts: *maxTry,
 		OnRetry: func(restart int, err error) {
-			log.Printf("gill-tail: feed lost (%v), reconnecting (attempt %d)", err, restart)
+			logm.Warn("feed lost, reconnecting", "attempt", restart, "err", err)
 		},
 	}, print)
 	if err != nil {
-		log.Fatalf("gill-tail: %v", err)
+		fatal("tail failed", "err", err)
 	}
 }

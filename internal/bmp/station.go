@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"repro/internal/filter"
+	"repro/internal/metrics"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 	"repro/internal/update"
 )
 
@@ -31,6 +33,12 @@ type Station struct {
 	// AcceptBackoff paces Serve's retries of transient Accept errors; the
 	// zero value uses the resilience defaults.
 	AcceptBackoff resilience.Backoff
+	// Log receives session lifecycle events; nil discards them. Set before
+	// Serve.
+	Log *telemetry.Logger
+	// Registry, when set, receives the station's accept-retry counter
+	// (bmp.accept_retries). Set before Serve.
+	Registry *metrics.Registry
 
 	received atomic.Uint64
 	filtered atomic.Uint64
@@ -64,7 +72,18 @@ func (s *Station) Stats() Stats {
 // handler to finish. A closed listener or canceled context returns nil
 // (clean shutdown).
 func (s *Station) Serve(ctx context.Context, ln net.Listener) error {
-	err := resilience.AcceptLoop(ctx, ln, s.AcceptBackoff, 0, func(conn net.Conn) {
+	log := s.Log.With("bmp")
+	var retries *metrics.Counter
+	if s.Registry != nil {
+		retries = s.Registry.Counter("bmp.accept_retries")
+	}
+	err := resilience.AcceptLoopOpts(ctx, ln, resilience.AcceptOptions{
+		Backoff: s.AcceptBackoff,
+		Retries: retries,
+		OnRetry: func(failures int, err error, delay time.Duration) {
+			log.Warn("accept failed, retrying", "failures", failures, "delay", delay, "err", err)
+		},
+	}, func(conn net.Conn) {
 		s.conns.Add(1)
 		go func() {
 			defer s.conns.Done()
@@ -78,6 +97,8 @@ func (s *Station) Serve(ctx context.Context, ln net.Listener) error {
 // HandleConn processes one BMP session until EOF, error, or idle timeout.
 func (s *Station) HandleConn(conn net.Conn) error {
 	defer conn.Close()
+	log := s.Log.With("bmp")
+	log.Info("session up", "peer", conn.RemoteAddr())
 	br := bufio.NewReader(conn)
 	for {
 		if s.IdleTimeout > 0 {
@@ -87,13 +108,18 @@ func (s *Station) HandleConn(conn net.Conn) error {
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				s.timeouts.Add(1)
+				log.Warn("session idle timeout", "peer", conn.RemoteAddr(), "idle", s.IdleTimeout)
+			} else {
+				log.Info("session down", "peer", conn.RemoteAddr(), "err", err)
 			}
 			return err
 		}
 		switch m.Type {
 		case TypePeerUp:
 			s.peersUp.Add(1)
+			log.Info("monitored peer up", "peer", conn.RemoteAddr())
 		case TypeTermination:
+			log.Info("session terminated by peer", "peer", conn.RemoteAddr())
 			return nil
 		case TypeRouteMonitoring:
 			for _, u := range m.CanonicalUpdates() {

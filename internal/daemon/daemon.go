@@ -32,6 +32,7 @@ import (
 	"repro/internal/mrt"
 	"repro/internal/pipeline"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 	"repro/internal/update"
 	"repro/internal/validity"
 )
@@ -83,6 +84,12 @@ type Config struct {
 	// AcceptBackoff paces Serve's retries of transient Accept errors; the
 	// zero value uses the resilience defaults.
 	AcceptBackoff resilience.Backoff
+	// Log receives the daemon's structured events (session up/down,
+	// degrade transitions, accept retries); nil discards them.
+	Log *telemetry.Logger
+	// Tracer samples updates through the ingest pipeline into the flight
+	// recorder (dumpable via the admin plane's /tracez); nil disables.
+	Tracer *telemetry.Recorder
 }
 
 // Stats are the daemon's monotonic counters.
@@ -110,8 +117,11 @@ type Daemon struct {
 	pipe *pipeline.Pipeline
 	arch *pipeline.ArchiveStage
 	filt *pipeline.FilterStage
+	log  *telemetry.Logger
 
 	received  atomic.Uint64
+	filterGen atomic.Uint64 // SetFilters installs, the /statusz generation
+	accRetry  *metrics.Counter
 	withdrawn atomic.Uint64
 	rejected  atomic.Uint64
 	forwarded atomic.Uint64
@@ -163,6 +173,7 @@ func New(cfg Config) *Daemon {
 	}
 	d := &Daemon{
 		cfg:     cfg,
+		log:     cfg.Log.With("daemon"),
 		rib:     make(map[string]map[netip.Prefix]*update.Update),
 		peerIPs: make(map[string]netip.Addr),
 	}
@@ -188,6 +199,7 @@ func New(cfg Config) *Daemon {
 	d.lastRefresh.Store(cfg.Clock().UnixNano())
 	d.degradedGauge = reg.Gauge("daemon.degraded")
 	d.degradeEvents = reg.Counter("daemon.degrade_events")
+	d.accRetry = reg.Counter("daemon.accept_retries")
 	d.pipe = pipeline.New(pipeline.Config{
 		Shards:    cfg.Shards,
 		QueueSize: cfg.QueueSize,
@@ -195,6 +207,7 @@ func New(cfg Config) *Daemon {
 		Overflow:  pipeline.DropNewest, // never stall the BGP session
 		Registry:  reg,
 		Name:      "daemon.pipeline",
+		Tracer:    cfg.Tracer,
 	}, stages...)
 	_ = d.pipe.Start(context.Background())
 	return d
@@ -206,10 +219,13 @@ func New(cfg Config) *Daemon {
 // staleness clock.
 func (d *Daemon) SetFilters(fs *filter.Set) {
 	d.filt.Swap(fs)
+	gen := d.filterGen.Add(1)
 	d.lastRefresh.Store(d.cfg.Clock().UnixNano())
 	if d.degraded.CompareAndSwap(true, false) {
 		d.degradedGauge.Set(0)
+		d.log.Info("degraded mode cleared by filter refresh", "generation", gen)
 	}
+	d.log.Info("filter set installed", "generation", gen)
 }
 
 // Degraded reports whether the daemon has fallen back to
@@ -231,6 +247,9 @@ func (d *Daemon) maybeDegrade(now time.Time) {
 		d.filt.Swap(nil)
 		d.degradedGauge.Set(1)
 		d.degradeEvents.Inc()
+		d.log.Warn("filter set stale, degrading to retain-everything mode",
+			"ttl", d.cfg.FilterTTL,
+			"last_refresh", time.Unix(0, d.lastRefresh.Load()).UTC())
 	}
 }
 
@@ -289,21 +308,26 @@ func (d *Daemon) ServeConn(ctx context.Context, conn net.Conn) error {
 		HoldTime: 180,
 	})
 	if err != nil {
+		d.log.Warn("session establishment failed", "peer", conn.RemoteAddr(), "err", err)
 		return err
 	}
 	defer sess.Close()
 	peerIP := remoteAddr(conn)
+	d.log.Info("session up", "peer_as", sess.PeerAS, "peer", peerIP)
 	stop := ctx.Done()
 	for {
 		select {
 		case <-stop:
+			d.log.Info("session closing on shutdown", "peer_as", sess.PeerAS)
 			return ctx.Err()
 		case u, ok := <-sess.Updates():
 			if !ok {
 				err := sess.Err()
 				if err == nil || errors.Is(err, io.EOF) {
+					d.log.Info("session down", "peer_as", sess.PeerAS)
 					return nil
 				}
+				d.log.Warn("session down", "peer_as", sess.PeerAS, "err", err)
 				return err
 			}
 			d.ingest(sess.PeerAS, peerIP, u)
@@ -482,7 +506,13 @@ func parseVPAS(vp string) uint32 {
 // nil. Per-session fault handling lives in the BGP speaker itself
 // (hold-timer read deadlines tear down silent peers; see bgp.Establish).
 func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
-	err := resilience.AcceptLoop(ctx, ln, d.cfg.AcceptBackoff, 0, func(conn net.Conn) {
+	err := resilience.AcceptLoopOpts(ctx, ln, resilience.AcceptOptions{
+		Backoff: d.cfg.AcceptBackoff,
+		Retries: d.accRetry,
+		OnRetry: func(failures int, err error, delay time.Duration) {
+			d.log.Warn("accept failed, retrying", "failures", failures, "delay", delay, "err", err)
+		},
+	}, func(conn net.Conn) {
 		d.conns.Add(1)
 		go func() {
 			defer d.conns.Done()
@@ -491,4 +521,53 @@ func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
 	})
 	d.conns.Wait()
 	return err
+}
+
+// SessionStatus is one peering session's /statusz row.
+type SessionStatus struct {
+	VP       string `json:"vp"`
+	PeerIP   string `json:"peer_ip"`
+	Prefixes int    `json:"prefixes"` // adj-rib-in size
+}
+
+// Status is the daemon's /statusz payload: counters, per-session state,
+// and the filter installation's generation and age.
+type Status struct {
+	Stats         Stats           `json:"stats"`
+	Sessions      []SessionStatus `json:"sessions"`
+	FilterGen     uint64          `json:"filter_generation"`
+	FilterAge     string          `json:"filter_age"`
+	Degraded      bool            `json:"degraded"`
+	QueueDepth    uint64          `json:"queue_depth"`
+	LossFraction  float64         `json:"loss_fraction"`
+	AcceptRetries uint64          `json:"accept_retries"`
+}
+
+// StatusSnapshot assembles the admin plane's /statusz payload.
+func (d *Daemon) StatusSnapshot() Status {
+	snap := d.pipe.Snapshot()
+	st := Status{
+		Stats:         d.Stats(),
+		FilterGen:     d.filterGen.Load(),
+		FilterAge:     d.cfg.Clock().Sub(time.Unix(0, d.lastRefresh.Load())).Round(time.Millisecond).String(),
+		Degraded:      d.degraded.Load(),
+		QueueDepth:    snap.Queued,
+		LossFraction:  snap.LossFraction(),
+		AcceptRetries: d.accRetry.Load(),
+	}
+	d.mu.Lock()
+	var vps []string
+	for vp := range d.rib {
+		vps = append(vps, vp)
+	}
+	sort.Strings(vps)
+	for _, vp := range vps {
+		st.Sessions = append(st.Sessions, SessionStatus{
+			VP:       vp,
+			PeerIP:   d.peerIPs[vp].String(),
+			Prefixes: len(d.rib[vp]),
+		})
+	}
+	d.mu.Unlock()
+	return st
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 	"repro/internal/update"
 )
 
@@ -88,6 +89,10 @@ const DefaultSendBuffer = 256
 // Server broadcasts updates to subscribed clients. Slow clients are
 // disconnected rather than allowed to stall the feed.
 type Server struct {
+	// Log receives client lifecycle events (connect, disconnect, slow-
+	// client eviction); nil discards them. Set before Serve.
+	Log *telemetry.Logger
+
 	mu      sync.Mutex
 	clients map[*client]bool
 	closed  bool
@@ -150,6 +155,8 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	s.clients[c] = true
 	s.mu.Unlock()
+	s.Log.With("live").Info("client connected", "peer", conn.RemoteAddr(),
+		"sub_prefix", c.sub.Prefix, "sub_vp", c.sub.VP)
 
 	w := bufio.NewWriter(conn)
 	enc := json.NewEncoder(w)
@@ -164,6 +171,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 	s.drop(c)
+	s.Log.With("live").Info("client disconnected", "peer", conn.RemoteAddr())
 }
 
 func (s *Server) drop(c *client) {
@@ -201,6 +209,9 @@ func (s *Server) Publish(u *update.Update) {
 		c.conn.Close()
 	}
 	s.mu.Unlock()
+	for _, c := range evict {
+		s.Log.With("live").Warn("slow client evicted", "peer", c.conn.RemoteAddr())
+	}
 }
 
 // Clients returns the number of connected clients.

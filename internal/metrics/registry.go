@@ -95,6 +95,51 @@ func (h HistogramSnapshot) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile estimates the p-th quantile (p in [0, 1]) by linear
+// interpolation within the bucket holding the target rank, the standard
+// fixed-bucket estimator. Observations in the unbounded overflow bucket
+// are credited the last finite bound — tails beyond the bucket layout
+// saturate rather than extrapolate. Returns 0 for an empty histogram.
+func (h HistogramSnapshot) Quantile(p float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(h.Bounds[i-1])
+			}
+			if i >= len(h.Bounds) {
+				// Overflow bucket: no upper bound to interpolate toward.
+				return lo
+			}
+			hi := float64(h.Bounds[i])
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += float64(c)
+	}
+	if len(h.Bounds) > 0 {
+		return float64(h.Bounds[len(h.Bounds)-1])
+	}
+	return 0
+}
+
 // Snapshot captures the histogram's current buckets.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
@@ -185,9 +230,13 @@ type Snapshot struct {
 // Snapshot captures all metrics. Counters are read atomically per metric;
 // the snapshot as a whole is not a single consistent cut, which is fine
 // for monotonic counters read at quiescence or for monitoring.
+//
+// GaugeFunc callbacks are invoked after the registry lock is released: a
+// callback that blocks, or that re-enters the registry (a queue-depth
+// reader asking for a counter, a breaker gauge taking its own lock), must
+// not stall every concurrent get-or-create.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters:   make(map[string]uint64, len(r.counters)),
 		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFns)),
@@ -199,11 +248,20 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Load()
 	}
+	type namedFn struct {
+		name string
+		f    func() int64
+	}
+	fns := make([]namedFn, 0, len(r.gaugeFns))
 	for name, f := range r.gaugeFns {
-		s.Gauges[name] = f()
+		fns = append(fns, namedFn{name, f})
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
+	}
+	r.mu.Unlock()
+	for _, nf := range fns {
+		s.Gauges[nf.name] = nf.f()
 	}
 	return s
 }
@@ -218,7 +276,8 @@ func (s Snapshot) String() string {
 		lines = append(lines, fmt.Sprintf("%s %d", name, v))
 	}
 	for name, h := range s.Histograms {
-		lines = append(lines, fmt.Sprintf("%s count=%d mean=%.1f", name, h.Count, h.Mean()))
+		lines = append(lines, fmt.Sprintf("%s count=%d mean=%.1f p50=%.0f p99=%.0f",
+			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99)))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d, want 5", c.Load())
+	}
+	if r.Counter("c") != c {
+		t.Error("get-or-create returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if g.Load() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Load())
+	}
+}
+
+// TestSnapshotGaugeFuncReentrant pins the fix for evaluating GaugeFunc
+// callbacks while holding the registry mutex: a callback that re-enters
+// the registry (here: a get-or-create on the same registry) must not
+// deadlock Snapshot.
+func TestSnapshotGaugeFuncReentrant(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("backing").Add(42)
+	r.GaugeFunc("derived", func() int64 {
+		// Re-entrant: get-or-create takes the registry lock.
+		return int64(r.Counter("backing").Load())
+	})
+	done := make(chan Snapshot, 1)
+	go func() { done <- r.Snapshot() }()
+	select {
+	case s := <-done:
+		if s.Gauges["derived"] != 42 {
+			t.Errorf("derived gauge = %d, want 42", s.Gauges["derived"])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Snapshot deadlocked on a re-entrant GaugeFunc")
+	}
+}
+
+// TestSnapshotGaugeFuncBlockedDoesNotStallRegistry verifies that a
+// GaugeFunc stuck in a slow read lets concurrent get-or-create proceed:
+// the function list is collected under the lock but invoked outside it.
+func TestSnapshotGaugeFuncBlockedDoesNotStallRegistry(t *testing.T) {
+	r := NewRegistry()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	r.GaugeFunc("slow", func() int64 {
+		close(entered)
+		<-release
+		return 1
+	})
+	go r.Snapshot()
+	<-entered // snapshot is parked inside the callback
+	done := make(chan struct{})
+	go func() {
+		r.Counter("independent").Inc()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("get-or-create stalled behind a blocked GaugeFunc")
+	}
+	close(release)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20, 40})
+	// 10 observations uniformly in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	// Rank 10 of 20 falls exactly at the first bucket's upper edge.
+	if got := s.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %v, want 10", got)
+	}
+	// Rank 19.8 of 20: 9.8/10 through the (10,20] bucket.
+	if got := s.Quantile(0.99); got < 19 || got > 20 {
+		t.Errorf("p99 = %v, want within (19, 20]", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("p0 = %v, want 0", got)
+	}
+	if got := s.Quantile(1); got != 20 {
+		t.Errorf("p100 = %v, want 20", got)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]uint64{10})
+	h.Observe(1000) // overflow bucket
+	h.Observe(1000)
+	s := h.Snapshot()
+	// Everything sits above the last bound: the estimate saturates there.
+	if got := s.Quantile(0.99); got != 10 {
+		t.Errorf("overflow p99 = %v, want 10 (last finite bound)", got)
+	}
+}
+
+func TestSnapshotStringIncludesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	str := r.Snapshot().String()
+	if !strings.Contains(str, "p50=") || !strings.Contains(str, "p99=") {
+		t.Errorf("Snapshot.String missing quantiles:\n%s", str)
+	}
+}
+
+// TestRegistryContention hammers concurrent get-or-create, Observe and
+// Snapshot; run under -race this pins the metrics layer's thread safety.
+func TestRegistryContention(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("fn", func() int64 { return int64(r.Counter("c0").Load()) })
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("c%d", i%4)
+				r.Counter(name).Inc()
+				r.Gauge(fmt.Sprintf("g%d", i%4)).Set(int64(i))
+				r.Histogram("h", []uint64{1, 10, 100}).Observe(uint64(i % 200))
+				if i%16 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c0"] == 0 || s.Histograms["h"].Count == 0 {
+		t.Errorf("contention run recorded nothing: %+v", s.Counters)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 	"repro/internal/update"
 )
 
@@ -73,6 +74,7 @@ type Orchestrator struct {
 	mu       sync.Mutex
 	verifier OwnershipVerifier
 	clock    func() time.Time
+	log      *telemetry.Logger
 
 	peers   map[uint32]*Peer
 	pending map[uint32]PeeringRequest
@@ -102,15 +104,26 @@ func New(verifier OwnershipVerifier, clock func() time.Time) *Orchestrator {
 	}
 }
 
+// SetLogger routes the orchestrator's structured events (peering
+// workflow, filter distribution) to l; nil discards them.
+func (o *Orchestrator) SetLogger(l *telemetry.Logger) {
+	o.mu.Lock()
+	o.log = l.With("orchestrator")
+	o.mu.Unlock()
+}
+
 // SubmitPeering registers a web-form request; the session activates only
 // after ConfirmEmail (the §9 two-step scheme).
 func (o *Orchestrator) SubmitPeering(req PeeringRequest) error {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	if _, ok := o.peers[req.ASN]; ok {
+		o.mu.Unlock()
 		return ErrAlreadyPeered
 	}
 	o.pending[req.ASN] = req
+	log := o.log
+	o.mu.Unlock()
+	log.Info("peering request submitted", "asn", req.ASN, "router", req.RouterIP)
 	return nil
 }
 
@@ -118,17 +131,23 @@ func (o *Orchestrator) SubmitPeering(req PeeringRequest) error {
 // must be authoritative for the ASN per the registry.
 func (o *Orchestrator) ConfirmEmail(asn uint32, senderEmail string) (*Peer, error) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	req, ok := o.pending[asn]
 	if !ok {
+		o.mu.Unlock()
 		return nil, fmt.Errorf("%w: no pending request for AS%d", ErrNoSuchPeer, asn)
 	}
 	if o.verifier != nil && !o.verifier.Owns(senderEmail, asn) {
+		log := o.log
+		o.mu.Unlock()
+		log.Warn("ownership verification failed", "asn", asn)
 		return nil, ErrUnverified
 	}
 	delete(o.pending, asn)
 	p := &Peer{ASN: asn, RouterIP: req.RouterIP, AddedAt: o.clock(), Confirmed: true}
 	o.peers[asn] = p
+	log := o.log
+	o.mu.Unlock()
+	log.Info("peering session activated", "asn", asn, "router", p.RouterIP)
 	return p, nil
 }
 
@@ -142,6 +161,13 @@ func (o *Orchestrator) Peers() []*Peer {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
 	return out
+}
+
+// Pending returns the number of peering requests awaiting confirmation.
+func (o *Orchestrator) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pending)
 }
 
 // RemovePeer tears a session down.
@@ -180,7 +206,11 @@ func (o *Orchestrator) LoadFilters(fs *filter.Set, component int) {
 	}
 	subs := make([]func(*filter.Set), len(o.subscribers))
 	copy(subs, o.subscribers)
+	gen := o.gen1 + o.gen2
+	log := o.log
 	o.mu.Unlock()
+	log.Info("filter set distributed", "component", component, "generation", gen,
+		"subscribers", len(subs))
 	for _, fn := range subs {
 		fn(fs)
 	}

@@ -14,8 +14,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/update"
 )
 
@@ -92,13 +94,27 @@ type Config struct {
 	// Name prefixes metric names (default "pipeline"). Must be unique
 	// within a shared Registry.
 	Name string
+	// Tracer, when set, samples roughly one update per its interval into
+	// the flight recorder: per-stage latencies, queue wait, and the final
+	// verdict, dumpable over /tracez. Nil disables tracing; the latency
+	// histograms below are recorded either way.
+	Tracer *telemetry.Recorder
+}
+
+// item is one queued update: the enqueue timestamp carries the monotonic
+// clock reading captured at Ingest (queue-wait and end-to-end latency are
+// measured from it), tr is non-nil on the ~1/interval sampled updates.
+type item struct {
+	u   *update.Update
+	enq time.Time
+	tr  *telemetry.Trace
 }
 
 // Pipeline runs updates through a stage chain across sharded workers.
 type Pipeline struct {
 	cfg    Config
 	stages []Stage
-	queues []chan *update.Update
+	queues []chan item
 	reg    *metrics.Registry
 
 	in    *metrics.Counter // updates offered to Ingest
@@ -106,8 +122,11 @@ type Pipeline struct {
 	taken *metrics.Counter // popped from queues into batches
 	out   *metrics.Counter // emerged from the final stage
 	batch *metrics.Histogram
+	qwait *metrics.Histogram // ns from Ingest to worker pop, per update
+	e2e   *metrics.Histogram // ns from Ingest to chain exit, per update
 	stIn  []*metrics.Counter
 	stOut []*metrics.Counter
+	stLat []*metrics.Histogram // ns per Process call, per stage
 
 	mu      sync.RWMutex
 	closed  bool
@@ -141,23 +160,30 @@ func New(cfg Config, stages ...Stage) *Pipeline {
 	if perShard < 1 {
 		perShard = 1
 	}
+	// Latency bounds: 1µs to ~2.1s in powers of two, in nanoseconds. The
+	// low end resolves an uncontended pop, the high end a queue sitting
+	// behind a stalled archive write.
+	latBounds := metrics.ExpBuckets(1024, 2, 22)
 	p := &Pipeline{
 		cfg:    cfg,
 		stages: stages,
-		queues: make([]chan *update.Update, cfg.Shards),
+		queues: make([]chan item, cfg.Shards),
 		reg:    reg,
 		in:     reg.Counter(cfg.Name + ".in"),
 		drop:   reg.Counter(cfg.Name + ".dropped"),
 		taken:  reg.Counter(cfg.Name + ".taken"),
 		out:    reg.Counter(cfg.Name + ".out"),
 		batch:  reg.Histogram(cfg.Name+".batch_size", metrics.ExpBuckets(1, 2, 11)),
+		qwait:  reg.Histogram(cfg.Name+".queue_wait_ns", latBounds),
+		e2e:    reg.Histogram(cfg.Name+".e2e_latency_ns", latBounds),
 	}
 	for i := range p.queues {
-		p.queues[i] = make(chan *update.Update, perShard)
+		p.queues[i] = make(chan item, perShard)
 	}
 	for _, st := range stages {
 		p.stIn = append(p.stIn, reg.Counter(fmt.Sprintf("%s.stage.%s.in", cfg.Name, st.Name())))
 		p.stOut = append(p.stOut, reg.Counter(fmt.Sprintf("%s.stage.%s.out", cfg.Name, st.Name())))
+		p.stLat = append(p.stLat, reg.Histogram(fmt.Sprintf("%s.stage.%s.latency_ns", cfg.Name, st.Name()), latBounds))
 	}
 	reg.GaugeFunc(cfg.Name+".queue_depth", func() int64 {
 		var d int64
@@ -203,38 +229,83 @@ func (p *Pipeline) Start(ctx context.Context) error {
 }
 
 // worker drains one shard queue, batching whatever is ready up to
-// BatchSize, and runs each batch through the stage chain.
+// BatchSize, and runs each batch through the stage chain. It observes
+// queue wait per update at pop, stage latency per Process call, and
+// end-to-end latency per update when its batch exits the chain (updates a
+// stage discards are included — their journey ended inside the chain).
 func (p *Pipeline) worker(shard int) {
 	defer p.wg.Done()
 	q := p.queues[shard]
-	batch := make([]*update.Update, 0, p.cfg.BatchSize)
-	for u := range q {
-		batch = append(batch[:0], u)
+	batch := make([]item, 0, p.cfg.BatchSize)
+	us := make([]*update.Update, 0, p.cfg.BatchSize)
+	var traced []item // sampled items in the current batch (usually empty)
+	for it := range q {
+		batch = append(batch[:0], it)
 	fill:
 		for len(batch) < cap(batch) {
 			select {
-			case u2, ok := <-q:
+			case it2, ok := <-q:
 				if !ok {
 					break fill
 				}
-				batch = append(batch, u2)
+				batch = append(batch, it2)
 			default:
 				break fill
 			}
 		}
 		p.taken.Add(uint64(len(batch)))
 		p.batch.Observe(uint64(len(batch)))
-		cur := batch
+		popped := time.Now()
+		us = us[:0]
+		traced = traced[:0]
+		for _, b := range batch {
+			us = append(us, b.u)
+			p.qwait.Observe(uint64(popped.Sub(b.enq)))
+			if b.tr != nil {
+				b.tr.ObserveQueueWait(popped.Sub(b.enq))
+				traced = append(traced, b)
+			}
+		}
+		cur := us
 		for i, st := range p.stages {
 			p.stIn[i].Add(uint64(len(cur)))
+			t0 := time.Now()
 			cur = st.Process(cur)
+			d := time.Since(t0)
+			p.stLat[i].Observe(uint64(d))
 			p.stOut[i].Add(uint64(len(cur)))
+			for _, b := range traced {
+				if b.tr.Done() {
+					continue
+				}
+				b.tr.ObserveStage(st.Name(), d)
+				if !containsUpdate(cur, b.u) {
+					b.tr.Finish(telemetry.VerdictFiltered(st.Name()), time.Since(b.enq))
+				}
+			}
 			if len(cur) == 0 {
 				break
 			}
 		}
 		p.out.Add(uint64(len(cur)))
+		end := time.Now()
+		for _, b := range batch {
+			p.e2e.Observe(uint64(end.Sub(b.enq)))
+			b.tr.Finish(telemetry.VerdictOK, end.Sub(b.enq))
+		}
 	}
+}
+
+// containsUpdate reports whether u survived into the batch cur (pointer
+// identity — stages pass updates through, they do not copy them). Only
+// consulted for sampled updates, so the linear scan is off the hot path.
+func containsUpdate(cur []*update.Update, u *update.Update) bool {
+	for _, c := range cur {
+		if c == u {
+			return true
+		}
+	}
+	return false
 }
 
 // shardKey hashes (VP, prefix) with FNV-1a. The key choice keeps every
@@ -265,24 +336,31 @@ func (p *Pipeline) Ingest(u *update.Update) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	p.in.Inc()
+	var tr *telemetry.Trace
+	if p.cfg.Tracer.ShouldSample() {
+		tr = p.cfg.Tracer.Begin(u.VP, u.Prefix.String(), u.Withdraw)
+	}
 	if p.closed {
 		p.drop.Inc()
+		tr.Finish(telemetry.VerdictClosed, 0)
 		return false
 	}
+	it := item{u: u, enq: time.Now(), tr: tr}
 	q := p.queues[int(shardKey(u))%len(p.queues)]
 	switch p.cfg.Overflow {
 	case DropNewest:
 		select {
-		case q <- u:
+		case q <- it:
 			return true
 		default:
 			p.drop.Inc()
+			tr.Finish(telemetry.VerdictOverflow, time.Since(it.enq))
 			return false
 		}
 	case DropOldest:
 		for {
 			select {
-			case q <- u:
+			case q <- it:
 				return true
 			default:
 			}
@@ -290,13 +368,14 @@ func (p *Pipeline) Ingest(u *update.Update) bool {
 			// the race and drain it first, in which case the retry simply
 			// succeeds without an eviction.
 			select {
-			case <-q:
+			case old := <-q:
 				p.drop.Inc()
+				old.tr.Finish(telemetry.VerdictEvicted, time.Since(old.enq))
 			default:
 			}
 		}
 	default: // Block
-		q <- u
+		q <- it
 		return true
 	}
 }
@@ -319,8 +398,9 @@ func (p *Pipeline) Close() error {
 			// Never started: drain and drop whatever was queued so the
 			// accounting invariant still holds.
 			for _, q := range p.queues {
-				for range q {
+				for it := range q {
 					p.drop.Inc()
+					it.tr.Finish(telemetry.VerdictClosed, time.Since(it.enq))
 				}
 			}
 		}
@@ -340,6 +420,8 @@ func (p *Pipeline) Close() error {
 type StageSnapshot struct {
 	Name             string
 	In, Out, Dropped uint64
+	// LatencyNS is the distribution of Process-call durations (ns).
+	LatencyNS metrics.HistogramSnapshot
 }
 
 // Snapshot is a point-in-time view of the pipeline's accounting. At
@@ -355,6 +437,10 @@ type Snapshot struct {
 	Stages   []StageSnapshot
 	// BatchSizes is the distribution of batch sizes handed to stages.
 	BatchSizes metrics.HistogramSnapshot
+	// QueueWaitNS is the per-update Ingest→pop wait distribution (ns).
+	QueueWaitNS metrics.HistogramSnapshot
+	// E2ENS is the per-update Ingest→chain-exit latency distribution (ns).
+	E2ENS metrics.HistogramSnapshot
 }
 
 // Stage returns the named stage's snapshot (zero value if absent).
@@ -382,17 +468,20 @@ func (p *Pipeline) Snapshot() Snapshot {
 		queued += uint64(len(q))
 	}
 	s := Snapshot{
-		Ingested:   p.in.Load(),
-		Dropped:    p.drop.Load(),
-		Taken:      p.taken.Load(),
-		Out:        p.out.Load(),
-		Queued:     queued,
-		BatchSizes: p.batch.Snapshot(),
+		Ingested:    p.in.Load(),
+		Dropped:     p.drop.Load(),
+		Taken:       p.taken.Load(),
+		Out:         p.out.Load(),
+		Queued:      queued,
+		BatchSizes:  p.batch.Snapshot(),
+		QueueWaitNS: p.qwait.Snapshot(),
+		E2ENS:       p.e2e.Snapshot(),
 	}
 	for i, st := range p.stages {
 		in, out := p.stIn[i].Load(), p.stOut[i].Load()
 		s.Stages = append(s.Stages, StageSnapshot{
 			Name: st.Name(), In: in, Out: out, Dropped: in - out,
+			LatencyNS: p.stLat[i].Snapshot(),
 		})
 	}
 	return s

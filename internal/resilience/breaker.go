@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // BreakerState is a circuit breaker's position.
@@ -50,12 +52,31 @@ type Breaker struct {
 	ResetTimeout time.Duration
 	// Clock supplies time (tests); nil uses time.Now.
 	Clock func() time.Time
+	// OnStateChange, when set, observes every transition — the logging
+	// hook (breaker trips become structured events). It is called after
+	// the breaker's lock is released and may re-enter the breaker. Set it
+	// before first use; it is read without synchronization.
+	OnStateChange func(from, to BreakerState)
 
 	mu       sync.Mutex
 	state    BreakerState
 	failures int
 	openedAt time.Time
 	probing  bool
+
+	trips  *metrics.Counter // transitions into open
+	resets *metrics.Counter // transitions into closed
+}
+
+// Instrument registers the breaker's observability surface in reg:
+// <name>.state (gauge: 0 closed, 1 open, 2 half-open), <name>.trips and
+// <name>.resets (counters). Safe to call once, before concurrent use.
+func (b *Breaker) Instrument(reg *metrics.Registry, name string) {
+	b.mu.Lock()
+	b.trips = reg.Counter(name + ".trips")
+	b.resets = reg.Counter(name + ".resets")
+	b.mu.Unlock()
+	reg.GaugeFunc(name+".state", func() int64 { return int64(b.State()) })
 }
 
 func (b *Breaker) threshold() int {
@@ -79,20 +100,54 @@ func (b *Breaker) now() time.Time {
 	return time.Now()
 }
 
+// transition is a state change pending notification.
+type transition struct{ from, to BreakerState }
+
+// setStateLocked moves the breaker, counting trips and resets; returned
+// transitions must be notified after the lock is released.
+func (b *Breaker) setStateLocked(to BreakerState) (transition, bool) {
+	from := b.state
+	if from == to {
+		return transition{}, false
+	}
+	b.state = to
+	switch to {
+	case BreakerOpen:
+		if b.trips != nil {
+			b.trips.Inc()
+		}
+	case BreakerClosed:
+		if b.resets != nil {
+			b.resets.Inc()
+		}
+	}
+	return transition{from, to}, true
+}
+
+func (b *Breaker) notify(tr transition, ok bool) {
+	if ok && b.OnStateChange != nil {
+		b.OnStateChange(tr.from, tr.to)
+	}
+}
+
 // State returns the current position, promoting open→half-open when the
 // reset timeout has elapsed.
 func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.maybeHalfOpenLocked()
-	return b.state
+	tr, changed := b.maybeHalfOpenLocked()
+	s := b.state
+	b.mu.Unlock()
+	b.notify(tr, changed)
+	return s
 }
 
-func (b *Breaker) maybeHalfOpenLocked() {
+func (b *Breaker) maybeHalfOpenLocked() (transition, bool) {
 	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.resetTimeout() {
-		b.state = BreakerHalfOpen
+		tr, changed := b.setStateLocked(BreakerHalfOpen)
 		b.probing = false
+		return tr, changed
 	}
+	return transition{}, false
 }
 
 // Allow reports whether a call may proceed now. In the half-open state
@@ -100,39 +155,43 @@ func (b *Breaker) maybeHalfOpenLocked() {
 // the probe's Record decides the circuit.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.maybeHalfOpenLocked()
+	tr, changed := b.maybeHalfOpenLocked()
+	var ok bool
 	switch b.state {
 	case BreakerClosed:
-		return true
+		ok = true
 	case BreakerHalfOpen:
-		if b.probing {
-			return false
+		if !b.probing {
+			b.probing = true
+			ok = true
 		}
-		b.probing = true
-		return true
-	default:
-		return false
 	}
+	b.mu.Unlock()
+	b.notify(tr, changed)
+	return ok
 }
 
 // Record feeds a call outcome into the breaker.
 func (b *Breaker) Record(err error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.maybeHalfOpenLocked()
+	tr0, ch0 := b.maybeHalfOpenLocked()
+	var tr1 transition
+	var ch1 bool
 	if err == nil {
-		b.state = BreakerClosed
+		tr1, ch1 = b.setStateLocked(BreakerClosed)
 		b.failures = 0
 		b.probing = false
-		return
+	} else {
+		b.failures++
+		if b.state == BreakerHalfOpen || b.failures >= b.threshold() {
+			tr1, ch1 = b.setStateLocked(BreakerOpen)
+			b.openedAt = b.now()
+			b.probing = false
+		}
 	}
-	b.failures++
-	if b.state == BreakerHalfOpen || b.failures >= b.threshold() {
-		b.state = BreakerOpen
-		b.openedAt = b.now()
-		b.probing = false
-	}
+	b.mu.Unlock()
+	b.notify(tr0, ch0)
+	b.notify(tr1, ch1)
 }
 
 // Do runs op through the breaker: ErrBreakerOpen when the circuit refuses

@@ -1,0 +1,169 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestBreakerInstrument(t *testing.T) {
+	now := time.Unix(0, 0)
+	reg := metrics.NewRegistry()
+	b := &Breaker{FailureThreshold: 2, ResetTimeout: time.Second,
+		Clock: func() time.Time { return now }}
+	b.Instrument(reg, "breaker.orchestrator")
+
+	s := reg.Snapshot()
+	if g := s.Gauges["breaker.orchestrator.state"]; g != int64(BreakerClosed) {
+		t.Fatalf("state gauge = %d, want closed", g)
+	}
+
+	boom := errors.New("down")
+	b.Record(boom)
+	b.Record(boom)
+	s = reg.Snapshot()
+	if g := s.Gauges["breaker.orchestrator.state"]; g != int64(BreakerOpen) {
+		t.Fatalf("state gauge = %d after threshold, want open", g)
+	}
+	if c := s.Counters["breaker.orchestrator.trips"]; c != 1 {
+		t.Fatalf("trips = %d, want 1", c)
+	}
+
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(nil)
+	s = reg.Snapshot()
+	if g := s.Gauges["breaker.orchestrator.state"]; g != int64(BreakerClosed) {
+		t.Fatalf("state gauge = %d after probe, want closed", g)
+	}
+	if c := s.Counters["breaker.orchestrator.resets"]; c != 1 {
+		t.Fatalf("resets = %d, want 1", c)
+	}
+}
+
+func TestBreakerOnStateChange(t *testing.T) {
+	now := time.Unix(0, 0)
+	type change struct{ from, to BreakerState }
+	var seen []change
+	b := &Breaker{FailureThreshold: 1, ResetTimeout: time.Second,
+		Clock: func() time.Time { return now }}
+	b.OnStateChange = func(from, to BreakerState) {
+		seen = append(seen, change{from, to})
+		// Re-entrancy must not deadlock: the hook fires outside the lock.
+		_ = b.State()
+	}
+
+	b.Record(errors.New("down")) // closed -> open
+	now = now.Add(time.Second)
+	if !b.Allow() { // open -> half-open
+		t.Fatal("probe refused")
+	}
+	b.Record(nil) // half-open -> closed
+
+	want := []change{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i, w := range want {
+		if seen[i] != w {
+			t.Errorf("transition %d = %v, want %v", i, seen[i], w)
+		}
+	}
+}
+
+func TestSupervisorRestartCounter(t *testing.T) {
+	reg := metrics.NewRegistry()
+	runs := 0
+	s := &Supervisor{SleepFn: noSleep, Registry: reg}
+	err := s.Run(context.Background(), "vp-flap", func(context.Context) error {
+		runs++
+		if runs < 4 {
+			return errors.New("flap")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if c := reg.Snapshot().Counters["supervisor.vp-flap.restarts"]; c != 3 {
+		t.Fatalf("restarts = %d, want 3", c)
+	}
+}
+
+// flakyListener fails Accept transiently `fail` times, then reports
+// net.ErrClosed so the loop exits cleanly.
+type flakyListener struct {
+	fail int
+	seen int
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.seen++
+	if l.seen <= l.fail {
+		return nil, errors.New("transient accept failure")
+	}
+	return nil, net.ErrClosed
+}
+
+func (l *flakyListener) Close() error   { return nil }
+func (l *flakyListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+func TestAcceptLoopOptsCountsRetries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var hook int
+	ln := &flakyListener{fail: 3}
+	err := AcceptLoopOpts(context.Background(), ln, AcceptOptions{
+		Backoff: Backoff{Base: time.Nanosecond, Jitter: -1},
+		Retries: reg.Counter("daemon.accept_retries"),
+		OnRetry: func(failures int, err error, delay time.Duration) {
+			hook++
+			if failures != hook || err == nil {
+				t.Errorf("OnRetry(failures=%d, err=%v) at call %d", failures, err, hook)
+			}
+		},
+	}, func(net.Conn) {})
+	if err != nil {
+		t.Fatalf("AcceptLoopOpts = %v, want clean shutdown", err)
+	}
+	if c := reg.Snapshot().Counters["daemon.accept_retries"]; c != 3 {
+		t.Fatalf("accept_retries = %d, want 3", c)
+	}
+	if hook != 3 {
+		t.Fatalf("OnRetry fired %d times, want 3", hook)
+	}
+}
+
+func TestAcceptLoopOptsFailureBudget(t *testing.T) {
+	boom := errors.New("torn fd")
+	calls := 0
+	ln := listenerFunc(func() (net.Conn, error) {
+		calls++
+		return nil, boom
+	})
+	err := AcceptLoopOpts(context.Background(), ln, AcceptOptions{
+		Backoff:     Backoff{Base: time.Nanosecond, Jitter: -1},
+		MaxFailures: 4,
+	}, func(net.Conn) {})
+	if !errors.Is(err, boom) {
+		t.Fatalf("AcceptLoopOpts = %v, want the accept error", err)
+	}
+	if calls != 4 {
+		t.Fatalf("Accept called %d times, want 4", calls)
+	}
+}
+
+type listenerFunc func() (net.Conn, error)
+
+func (f listenerFunc) Accept() (net.Conn, error) { return f() }
+func (f listenerFunc) Close() error              { return nil }
+func (f listenerFunc) Addr() net.Addr            { return &net.TCPAddr{} }

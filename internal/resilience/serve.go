@@ -5,12 +5,31 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // DefaultMaxAcceptFailures is AcceptLoop's consecutive-failure budget: a
 // listener whose Accept keeps failing (not ErrClosed — a torn fd, an
 // exhausted fd table) is eventually surfaced instead of retried forever.
 const DefaultMaxAcceptFailures = 10
+
+// AcceptOptions parameterizes AcceptLoopOpts. The zero value selects the
+// same behavior as AcceptLoop with a zero Backoff.
+type AcceptOptions struct {
+	// Backoff paces retries of transient Accept errors.
+	Backoff Backoff
+	// MaxFailures bounds consecutive Accept failures (<= 0 selects
+	// DefaultMaxAcceptFailures).
+	MaxFailures int
+	// Retries, when set, counts every transient Accept failure that was
+	// retried — the shared registry's accept_retries series.
+	Retries *metrics.Counter
+	// OnRetry, when set, observes each scheduled retry — the structured
+	// logging hook (failures is the consecutive count, 1-based).
+	OnRetry func(failures int, err error, delay time.Duration)
+}
 
 // AcceptLoop runs a fault-tolerant accept loop on ln: transient Accept
 // errors are retried with backoff instead of killing the server, and the
@@ -24,6 +43,14 @@ const DefaultMaxAcceptFailures = 10
 // last Accept error after maxFailures consecutive failures
 // (maxFailures ≤ 0 selects DefaultMaxAcceptFailures).
 func AcceptLoop(ctx context.Context, ln net.Listener, b Backoff, maxFailures int, handle func(net.Conn)) error {
+	return AcceptLoopOpts(ctx, ln, AcceptOptions{Backoff: b, MaxFailures: maxFailures}, handle)
+}
+
+// AcceptLoopOpts is AcceptLoop with observability hooks: a transient-retry
+// counter for the metrics registry and a per-retry callback for
+// structured logging.
+func AcceptLoopOpts(ctx context.Context, ln net.Listener, opts AcceptOptions, handle func(net.Conn)) error {
+	maxFailures := opts.MaxFailures
 	if maxFailures <= 0 {
 		maxFailures = DefaultMaxAcceptFailures
 	}
@@ -50,7 +77,14 @@ func AcceptLoop(ctx context.Context, ln net.Listener, b Backoff, maxFailures int
 			if failures >= maxFailures {
 				return err
 			}
-			if serr := Sleep(ctx, b.Delay(failures-1)); serr != nil {
+			if opts.Retries != nil {
+				opts.Retries.Inc()
+			}
+			delay := opts.Backoff.Delay(failures - 1)
+			if opts.OnRetry != nil {
+				opts.OnRetry(failures, err, delay)
+			}
+			if serr := Sleep(ctx, delay); serr != nil {
 				return nil
 			}
 			continue

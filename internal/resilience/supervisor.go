@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // EventKind classifies supervisor lifecycle events.
@@ -54,6 +56,10 @@ type Supervisor struct {
 	ResetAfter time.Duration
 	// OnEvent observes lifecycle transitions (may be nil).
 	OnEvent func(Event)
+	// Registry, when set, receives a per-session restart counter
+	// (supervisor.<name>.restarts) so session churn is visible on the
+	// shared metrics surface.
+	Registry *metrics.Registry
 	// SleepFn replaces the backoff wait (tests); nil uses Sleep.
 	SleepFn func(ctx context.Context, d time.Duration) error
 	// Clock supplies time for run-length measurement; nil uses time.Now.
@@ -96,6 +102,10 @@ func (s *Supervisor) emit(e Event) {
 // deliberate stop, ctx.Err() when the context ended, the permanent error,
 // or ErrRestartsExceeded wrapping the last failure.
 func (s *Supervisor) Run(ctx context.Context, name string, fn func(ctx context.Context) error) error {
+	var restarts *metrics.Counter
+	if s.Registry != nil {
+		restarts = s.Registry.Counter("supervisor." + name + ".restarts")
+	}
 	failures := 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -124,6 +134,9 @@ func (s *Supervisor) Run(ctx context.Context, name string, fn func(ctx context.C
 			return fmt.Errorf("%w for %s after %d: %w", ErrRestartsExceeded, name, failures, err)
 		}
 		delay := s.Backoff.Delay(failures - 1)
+		if restarts != nil {
+			restarts.Inc()
+		}
 		s.emit(Event{Kind: EventBackoff, Name: name, Restart: failures, Err: err, Delay: delay})
 		if serr := s.sleep(ctx, delay); serr != nil {
 			return serr

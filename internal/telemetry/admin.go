@@ -1,0 +1,183 @@
+package telemetry
+
+// The admin plane is the embedded HTTP server every long-running GILL
+// process exposes for operation: Prometheus metrics, a JSON status page,
+// health/readiness probes, the flight-recorder dump, and pprof. It is an
+// operator surface, not a public one — bind it to loopback (the commands
+// document 127.0.0.1:8471) or put it behind the deployment's own
+// authentication; there is none here by design (stdlib only, and secrets
+// never belong on a metrics port anyway).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Admin serves the observability endpoints for one process. All fields
+// are optional: a nil Registry renders an empty /metrics, a nil Recorder
+// an empty /tracez, a nil Ready means always ready.
+type Admin struct {
+	// Registry supplies /metrics and the histogram summary on /statusz.
+	Registry *metrics.Registry
+	// Recorder supplies /tracez.
+	Recorder *Recorder
+	// Log receives request-level debug events (may be nil).
+	Log *Logger
+	// Ready decides /readyz: ok plus a human-readable reason either way.
+	Ready func() (ok bool, reason string)
+	// Status returns the component-specific payload embedded in /statusz
+	// (daemon stats, per-session state, filter generation, ...).
+	Status func() any
+
+	start time.Time
+}
+
+// HistogramSummary is the compact latency view on /statusz: tails are
+// readable without exporting to an external system.
+type HistogramSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// statuszPayload is the /statusz envelope.
+type statuszPayload struct {
+	Uptime      string                      `json:"uptime"`
+	Ready       bool                        `json:"ready"`
+	ReadyReason string                      `json:"ready_reason,omitempty"`
+	Status      any                         `json:"status,omitempty"`
+	Histograms  map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+// Handler builds the admin mux. Calling it marks the process start time
+// for /statusz uptime.
+func (a *Admin) Handler() http.Handler {
+	if a.start.IsZero() {
+		a.start = time.Now()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.metricsHandler)
+	mux.HandleFunc("/statusz", a.statuszHandler)
+	mux.HandleFunc("/healthz", a.healthzHandler)
+	mux.HandleFunc("/readyz", a.readyzHandler)
+	mux.HandleFunc("/tracez", a.tracezHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve runs the admin server on ln until ctx ends; a context-driven
+// shutdown returns nil.
+func (a *Admin) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutCtx)
+		case <-done:
+		}
+	}()
+	err := srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+func (a *Admin) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if a.Registry == nil {
+		return
+	}
+	if err := WriteProm(w, a.Registry.Snapshot()); err != nil {
+		a.Log.Debug("metrics render aborted", "err", err)
+	}
+}
+
+func (a *Admin) statuszHandler(w http.ResponseWriter, r *http.Request) {
+	p := statuszPayload{
+		Uptime: time.Since(a.start).Round(time.Millisecond).String(),
+		Ready:  true,
+	}
+	if a.Ready != nil {
+		p.Ready, p.ReadyReason = a.Ready()
+	}
+	if a.Status != nil {
+		p.Status = a.Status()
+	}
+	if a.Registry != nil {
+		snap := a.Registry.Snapshot()
+		if len(snap.Histograms) > 0 {
+			p.Histograms = make(map[string]HistogramSummary, len(snap.Histograms))
+			for name, h := range snap.Histograms {
+				p.Histograms[name] = HistogramSummary{
+					Count: h.Count,
+					Mean:  h.Mean(),
+					P50:   h.Quantile(0.50),
+					P99:   h.Quantile(0.99),
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (a *Admin) healthzHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (a *Admin) readyzHandler(w http.ResponseWriter, r *http.Request) {
+	ok, reason := true, "ready"
+	if a.Ready != nil {
+		ok, reason = a.Ready()
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_, _ = w.Write([]byte(reason + "\n"))
+}
+
+func (a *Admin) tracezHandler(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	traces := a.Recorder.Last(n)
+	if traces == nil {
+		traces = []Trace{}
+	}
+	offered, sampled := a.Recorder.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"offered": offered,
+		"sampled": sampled,
+		"traces":  traces,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func newTestAdmin(t *testing.T) (*Admin, *httptest.Server) {
+	t.Helper()
+	a := &Admin{Recorder: NewRecorder(16, 1)}
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+	return a, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminHealthz(t *testing.T) {
+	_, srv := newTestAdmin(t)
+	code, body := get(t, srv.URL+"/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+}
+
+func TestAdminReadyz(t *testing.T) {
+	a, srv := newTestAdmin(t)
+	code, body := get(t, srv.URL+"/readyz")
+	if code != 200 || !strings.Contains(body, "ready") {
+		t.Errorf("default readyz = %d %q, want 200 ready", code, body)
+	}
+	ready := false
+	a.Ready = func() (bool, string) {
+		if ready {
+			return true, "filters loaded"
+		}
+		return false, "wal recovery in progress"
+	}
+	code, body = get(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "wal recovery") {
+		t.Errorf("not-ready readyz = %d %q", code, body)
+	}
+	ready = true
+	code, body = get(t, srv.URL+"/readyz")
+	if code != 200 || !strings.Contains(body, "filters loaded") {
+		t.Errorf("ready readyz = %d %q", code, body)
+	}
+}
+
+func TestAdminMetricsExposition(t *testing.T) {
+	a, srv := newTestAdmin(t)
+	a.Registry = newBusyRegistry()
+	code, body := get(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	checkExposition(t, body)
+	if !strings.Contains(body, "pipe_in 7") {
+		t.Errorf("counter missing from exposition:\n%s", body)
+	}
+	if !strings.Contains(body, `pipe_lat_ns_bucket{le="+Inf"}`) {
+		t.Errorf("histogram buckets missing:\n%s", body)
+	}
+}
+
+func TestAdminStatusz(t *testing.T) {
+	a, srv := newTestAdmin(t)
+	a.Registry = newBusyRegistry()
+	a.Status = func() any {
+		return map[string]any{"degraded": false, "sessions": 3}
+	}
+	code, body := get(t, srv.URL+"/statusz")
+	if code != 200 {
+		t.Fatalf("statusz = %d", code)
+	}
+	var p struct {
+		Uptime     string                      `json:"uptime"`
+		Ready      bool                        `json:"ready"`
+		Status     map[string]any              `json:"status"`
+		Histograms map[string]HistogramSummary `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("statusz not JSON: %v\n%s", err, body)
+	}
+	if p.Uptime == "" || !p.Ready {
+		t.Errorf("uptime/ready wrong: %+v", p)
+	}
+	if p.Status["sessions"] != float64(3) {
+		t.Errorf("component status not embedded: %+v", p.Status)
+	}
+	h, ok := p.Histograms["pipe.lat_ns"]
+	if !ok || h.Count == 0 || h.P99 < h.P50 {
+		t.Errorf("histogram summary wrong: %+v", p.Histograms)
+	}
+}
+
+func TestAdminTracez(t *testing.T) {
+	a, srv := newTestAdmin(t)
+	for i := 0; i < 5; i++ {
+		tr := a.Recorder.Begin("vp65001", "10.0.0.0/24", false)
+		tr.ObserveStage("filter", time.Microsecond)
+		tr.Finish(VerdictOK, 2*time.Microsecond)
+	}
+	code, body := get(t, srv.URL+"/tracez?n=3")
+	if code != 200 {
+		t.Fatalf("tracez = %d", code)
+	}
+	var p struct {
+		Sampled uint64  `json:"sampled"`
+		Traces  []Trace `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("tracez not JSON: %v\n%s", err, body)
+	}
+	if len(p.Traces) != 3 || p.Sampled != 5 {
+		t.Errorf("tracez returned %d traces, sampled=%d", len(p.Traces), p.Sampled)
+	}
+	if p.Traces[0].ID != 5 || p.Traces[0].Verdict != VerdictOK {
+		t.Errorf("newest-first or verdict wrong: %+v", p.Traces[0])
+	}
+}
+
+func TestAdminTracezEmpty(t *testing.T) {
+	a, srv := newTestAdmin(t)
+	a.Recorder = nil
+	code, body := get(t, srv.URL+"/tracez")
+	if code != 200 || !strings.Contains(body, `"traces": []`) {
+		t.Errorf("empty tracez = %d %q", code, body)
+	}
+}
+
+func TestAdminPprof(t *testing.T) {
+	_, srv := newTestAdmin(t)
+	code, body := get(t, srv.URL+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %d", code)
+	}
+}
+
+func newBusyRegistry() *metrics.Registry {
+	r := metrics.NewRegistry()
+	r.Counter("pipe.in").Add(7)
+	r.Gauge("pipe.queue_depth").Set(2)
+	h := r.Histogram("pipe.lat_ns", []uint64{1000, 10000, 100000})
+	for i := uint64(1); i <= 20; i++ {
+		h.Observe(i * 4000)
+	}
+	return r
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4) rendered straight
+// from a metrics.Snapshot. The registry's dotted metric names
+// (daemon.pipeline.stage.filter.in) are sanitized into the Prometheus
+// grammar (daemon_pipeline_stage_filter_in); histograms expand into the
+// conventional cumulative _bucket series with an +Inf terminal bucket,
+// plus _sum and _count. Output is sorted, so it doubles as a golden
+// surface for tests.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// sanitizeMetricName maps a registry name into [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format.
+func WriteProm(w io.Writer, s metrics.Snapshot) error {
+	type series struct {
+		name string
+		emit func(io.Writer, string) error
+	}
+	var all []series
+
+	for name, v := range s.Counters {
+		v := v
+		all = append(all, series{name, func(w io.Writer, n string) error {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", n); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s %d\n", n, v)
+			return err
+		}})
+	}
+	for name, v := range s.Gauges {
+		v := v
+		all = append(all, series{name, func(w io.Writer, n string) error {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", n); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s %d\n", n, v)
+			return err
+		}})
+	}
+	for name, h := range s.Histograms {
+		h := h
+		all = append(all, series{name, func(w io.Writer, n string) error {
+			return writePromHistogram(w, n, h)
+		}})
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	seen := make(map[string]bool, len(all))
+	for _, sr := range all {
+		n := sanitizeMetricName(sr.name)
+		if seen[n] {
+			// Two registry names collapsing onto one sanitized name would
+			// produce an invalid exposition; keep the first.
+			continue
+		}
+		seen[n] = true
+		if err := sr.emit(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h metrics.HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			name, strconv.FormatUint(bound, 10), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	return err
+}

@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// checkExposition is the hand-rolled Prometheus text-format checker the
+// issue asks for: every series has a # TYPE line, every sample line
+// parses as `name[{le="..."}] value`, histogram bucket counts are
+// monotone non-decreasing, and the terminal bucket is le="+Inf" with the
+// _count value.
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	typed := make(map[string]string) // metric name -> declared type
+	type bucketState struct {
+		last    uint64
+		sawInf  bool
+		infVal  uint64
+		buckets int
+	}
+	hist := make(map[string]*bucketState)
+	counts := make(map[string]uint64)
+
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Errorf("line %d: empty line in exposition", ln+1)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Errorf("line %d: malformed comment %q", ln+1, line)
+				continue
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("line %d: unknown type %q", ln+1, fields[3])
+			}
+			typed[fields[2]] = fields[3]
+			continue
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Errorf("line %d: no value separator in %q", ln+1, line)
+			continue
+		}
+		namePart, valPart := line[:sp], line[sp+1:]
+		val, err := strconv.ParseUint(valPart, 10, 64)
+		if err != nil {
+			// Gauges may legitimately be negative.
+			if _, err2 := strconv.ParseInt(valPart, 10, 64); err2 != nil {
+				t.Errorf("line %d: bad value %q", ln+1, valPart)
+			}
+		}
+		name, labels := namePart, ""
+		if i := strings.IndexByte(namePart, '{'); i >= 0 {
+			if !strings.HasSuffix(namePart, "}") {
+				t.Errorf("line %d: unterminated labels in %q", ln+1, line)
+				continue
+			}
+			name, labels = namePart[:i], namePart[i+1:len(namePart)-1]
+		}
+		for _, c := range name {
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+				t.Errorf("line %d: invalid metric name char %q in %q", ln+1, c, name)
+			}
+		}
+		base := name
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base = strings.TrimSuffix(name, "_bucket")
+			if !strings.HasPrefix(labels, `le="`) || !strings.HasSuffix(labels, `"`) {
+				t.Errorf("line %d: bucket without le label: %q", ln+1, line)
+				continue
+			}
+			st := hist[base]
+			if st == nil {
+				st = &bucketState{}
+				hist[base] = st
+			}
+			le := labels[len(`le="`) : len(labels)-1]
+			if le == "+Inf" {
+				st.sawInf = true
+				st.infVal = val
+			}
+			if val < st.last {
+				t.Errorf("line %d: bucket counts not monotone for %s (%d < %d)", ln+1, base, val, st.last)
+			}
+			st.last = val
+			st.buckets++
+		case strings.HasSuffix(name, "_sum"):
+			base = strings.TrimSuffix(name, "_sum")
+		case strings.HasSuffix(name, "_count"):
+			base = strings.TrimSuffix(name, "_count")
+			counts[base] = val
+		}
+		if typed[base] == "" && typed[name] == "" {
+			t.Errorf("line %d: sample %q has no preceding # TYPE", ln+1, name)
+		}
+	}
+	for base, st := range hist {
+		if !st.sawInf {
+			t.Errorf("histogram %s missing le=\"+Inf\" terminal bucket", base)
+		}
+		if c, ok := counts[base]; !ok || c != st.infVal {
+			t.Errorf("histogram %s: +Inf bucket %d != _count %d", base, st.infVal, c)
+		}
+	}
+}
+
+func TestWritePromGolden(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("daemon.pipeline.in").Add(12)
+	r.Gauge("daemon.degraded").Set(1)
+	h := r.Histogram("daemon.pipeline.batch_size", []uint64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE daemon_degraded gauge
+daemon_degraded 1
+# TYPE daemon_pipeline_batch_size histogram
+daemon_pipeline_batch_size_bucket{le="1"} 1
+daemon_pipeline_batch_size_bucket{le="2"} 1
+daemon_pipeline_batch_size_bucket{le="4"} 2
+daemon_pipeline_batch_size_bucket{le="+Inf"} 3
+daemon_pipeline_batch_size_sum 104
+daemon_pipeline_batch_size_count 3
+# TYPE daemon_pipeline_in counter
+daemon_pipeline_in 12
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	checkExposition(t, got)
+}
+
+func TestWritePromParsesUnderChecker(t *testing.T) {
+	// A messy registry: dotted names, spaces, dashes, a leading digit, a
+	// negative gauge — everything must sanitize into a valid exposition.
+	r := metrics.NewRegistry()
+	r.Counter("supervisor.live-tail 127.0.0.1:999.restarts").Add(3)
+	r.Counter("1weird").Inc()
+	r.Gauge("depth").Set(-4)
+	r.GaugeFunc("fn.gauge", func() int64 { return 9 })
+	h := r.Histogram("lat.ns", []uint64{10, 100, 1000})
+	for i := uint64(0); i < 50; i++ {
+		h.Observe(i * 40)
+	}
+	var b strings.Builder
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, b.String())
+	if !strings.Contains(b.String(), "supervisor_live_tail_127_0_0_1:999_restarts 3") {
+		t.Errorf("sanitized name missing:\n%s", b.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"a.b.c":   "a_b_c",
+		"9lives":  "_9lives",
+		"ok_name": "ok_name",
+		"":        "_",
+		"a b-c":   "a_b_c",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePromDeterministicOrder(t *testing.T) {
+	r := metrics.NewRegistry()
+	for _, n := range []string{"z", "a", "m"} {
+		r.Counter(n).Inc()
+	}
+	var b strings.Builder
+	_ = WriteProm(&b, r.Snapshot())
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			names = append(names, strings.Fields(line)[0])
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("series not sorted: %v", names)
+	}
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecorderSamplingDeterministic(t *testing.T) {
+	r := NewRecorder(64, 100)
+	sampled := 0
+	for i := 0; i < 1000; i++ {
+		if r.ShouldSample() {
+			sampled++
+		}
+	}
+	if sampled != 10 {
+		t.Errorf("sampled %d of 1000 at 1/100, want exactly 10", sampled)
+	}
+	// The very first offered update is picked, so fresh daemons trace.
+	r2 := NewRecorder(64, 1024)
+	if !r2.ShouldSample() {
+		t.Error("first offered update must be sampled")
+	}
+}
+
+func TestRecorderSampleEveryUpdate(t *testing.T) {
+	r := NewRecorder(8, 1)
+	for i := 0; i < 5; i++ {
+		if !r.ShouldSample() {
+			t.Fatalf("interval=1 must sample every update (i=%d)", i)
+		}
+	}
+}
+
+func TestTraceLifecycleAndRing(t *testing.T) {
+	r := NewRecorder(4, 1)
+	for i := 0; i < 6; i++ {
+		tr := r.Begin("vp65001", "10.0.0.0/24", false)
+		tr.ObserveQueueWait(3 * time.Microsecond)
+		tr.ObserveStage("filter", 2*time.Microsecond)
+		tr.Finish(VerdictOK, 10*time.Microsecond)
+	}
+	last := r.Last(10)
+	if len(last) != 4 {
+		t.Fatalf("ring of 4 returned %d traces", len(last))
+	}
+	// Newest first: IDs 6, 5, 4, 3.
+	if last[0].ID != 6 || last[3].ID != 3 {
+		t.Errorf("order wrong: ids %d..%d", last[0].ID, last[3].ID)
+	}
+	tr := last[0]
+	if tr.Verdict != VerdictOK || tr.QueueNS != 3000 || tr.TotalNS != 10000 {
+		t.Errorf("trace fields: %+v", tr)
+	}
+	if len(tr.Stages) != 1 || tr.Stages[0].Stage != "filter" || tr.Stages[0].NS != 2000 {
+		t.Errorf("stage timing: %+v", tr.Stages)
+	}
+}
+
+func TestTraceDoubleFinishIgnored(t *testing.T) {
+	r := NewRecorder(8, 1)
+	tr := r.Begin("vp1", "p", true)
+	tr.Finish(VerdictOverflow, time.Microsecond)
+	tr.Finish(VerdictOK, time.Second) // must be a no-op
+	last := r.Last(10)
+	if len(last) != 1 {
+		t.Fatalf("double Finish committed twice: %d traces", len(last))
+	}
+	if last[0].Verdict != VerdictOverflow {
+		t.Errorf("verdict overwritten: %q", last[0].Verdict)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	if r.ShouldSample() {
+		t.Error("nil recorder must not sample")
+	}
+	tr := r.Begin("vp", "p", false)
+	if tr != nil {
+		t.Error("nil recorder must not create traces")
+	}
+	tr.ObserveQueueWait(time.Second)
+	tr.ObserveStage("x", time.Second)
+	tr.Finish(VerdictOK, time.Second)
+	if r.Last(5) != nil {
+		t.Error("nil recorder must return no traces")
+	}
+}
+
+func TestRecorderPartialRing(t *testing.T) {
+	r := NewRecorder(100, 1)
+	r.Begin("vp", "p", false).Finish(VerdictOK, 0)
+	r.Begin("vp", "p", false).Finish(VerdictClosed, 0)
+	last := r.Last(100)
+	if len(last) != 2 {
+		t.Fatalf("partial ring returned %d", len(last))
+	}
+	if last[0].Verdict != VerdictClosed {
+		t.Errorf("newest-first violated: %q", last[0].Verdict)
+	}
+	offered, sampled := r.Stats()
+	if offered != 0 || sampled != 2 {
+		t.Errorf("stats = %d offered, %d sampled", offered, sampled)
+	}
+}
