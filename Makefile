@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pipeline chaos obs-smoke verify
+.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke verify
 
 all: build
 
@@ -18,6 +18,18 @@ race:
 # -benchtime 3000x .`
 bench-pipeline:
 	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime 1x ./...
+
+# bench-recompute exercises the parallel, incremental sampling-component
+# recompute: the new correlation/anchors/orchestrator recompute tests under
+# the race detector, a smoke pass of BenchmarkRecompute (asserts the
+# marshaled filter output is byte-identical at every worker count and
+# across warm-cache refreshes), then the env-gated speedup guard — on a
+# ≥4-core machine the 4-worker refresh must beat 1 worker by ≥2×.
+bench-recompute:
+	$(GO) test -race -count=1 -run 'Parallel|Cache|CrossPrefix|Recompute|Stale|Fanout|Due|Scores' \
+		./internal/correlation/ ./internal/anchors/ ./internal/orchestrator/
+	$(GO) test -run xxx -bench BenchmarkRecompute -benchtime 1x .
+	GILL_BENCH_GUARD=1 $(GO) test -run TestRecomputeSpeedupGuard -count=1 -v .
 
 # chaos runs the fault-injection suite under the race detector: the
 # seeded faults harness itself, crash/kill recovery of the archive
@@ -38,12 +50,14 @@ obs-smoke:
 	GILL_BENCH_GUARD=1 $(GO) test -run TestTracingOverheadGuard -count=1 -v .
 
 # verify is the full pre-merge gate: vet, build, race-enabled tests, the
-# fault-injection suite, a smoke run of the pipeline benchmark, and the
-# observability smoke (admin endpoints + tracing overhead).
+# fault-injection suite, smoke runs of the pipeline and recompute
+# benchmarks, and the observability smoke (admin endpoints + tracing
+# overhead).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime 1x ./...
+	$(MAKE) bench-recompute
 	$(MAKE) obs-smoke

@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net"
 	"net/netip"
 	"os"
@@ -41,6 +40,7 @@ func main() {
 		registryFile = flag.String("registry", "", "ownership registry file with 'email asn' lines (empty: accept everyone)")
 		admin        = flag.String("admin", "", "admin-plane address (/metrics, /statusz, /healthz, pprof); bind loopback — unauthenticated")
 		logLevel     = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		workers      = flag.Int("recompute-workers", 0, "worker pool for the sampling-component recompute (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
 
@@ -52,13 +52,22 @@ func main() {
 	o := orchestrator.New(verifier, nil)
 	o.SetLogger(logg)
 
+	reg := metrics.NewRegistry()
+	rec := orchestrator.NewRecomputer(o, orchestrator.RecomputeConfig{
+		Core:     core.DefaultConfig(),
+		Workers:  *workers,
+		Registry: reg,
+		Seed:     1,
+		Log:      logg,
+	})
+	logm.Info("recompute engine ready", "workers", rec.Workers())
+
 	if *admin != "" {
 		ln, err := net.Listen("tcp", *admin)
 		if err != nil {
 			logm.Error("admin listen failed", "addr", *admin, "err", err)
 			os.Exit(1)
 		}
-		reg := metrics.NewRegistry()
 		reg.GaugeFunc("orchestrator.peers", func() int64 { return int64(len(o.Peers())) })
 		reg.GaugeFunc("orchestrator.pending", func() int64 { return int64(o.Pending()) })
 		a := &telemetry.Admin{
@@ -71,6 +80,7 @@ func main() {
 					"pending":        o.Pending(),
 					"component1_due": c1,
 					"component2_due": c2,
+					"recompute":      rec.Status(),
 				}
 			},
 		}
@@ -134,7 +144,7 @@ func main() {
 				fmt.Println("usage: train <stream.mrt[.gz]> <out.filters>")
 				continue
 			}
-			if err := trainFromMRT(o, fields[1], fields[2]); err != nil {
+			if err := trainFromMRT(rec, fields[1], fields[2]); err != nil {
 				fmt.Println("train:", err)
 			}
 		case "quit", "exit":
@@ -181,9 +191,10 @@ func loadRegistry(path string) orchestrator.OwnershipVerifier {
 	})
 }
 
-// trainFromMRT replays an MRT stream through the sampling pipeline and
-// writes the resulting filter file.
-func trainFromMRT(o *orchestrator.Orchestrator, inPath, outPath string) error {
+// trainFromMRT replays an MRT stream through the recompute engine —
+// parallel, incremental, and installed via the generation-token path —
+// and writes the resulting filter file.
+func trainFromMRT(rec *orchestrator.Recomputer, inPath, outPath string) error {
 	f, err := os.Open(inPath)
 	if err != nil {
 		return err
@@ -228,12 +239,14 @@ func trainFromMRT(o *orchestrator.Orchestrator, inPath, outPath string) error {
 			m[u.Prefix] = u.Path
 		}
 	}
-	m := core.Train(core.TrainingData{
+	m, err := rec.Refresh(1, core.TrainingData{
 		Updates:  us,
 		Baseline: baseline,
 		TotalVPs: len(baseline),
-	}, core.DefaultConfig(), rand.New(rand.NewSource(1)))
-	o.LoadFilters(m.Filters, 1)
+	})
+	if err != nil {
+		return err
+	}
 
 	out, err := os.Create(outPath)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/features"
@@ -192,27 +193,76 @@ const FeatureQuantum = 0.25
 // over all events, averages, and min-max rescales into redundancy scores
 // R = 1 − ∐(avg distance) (§18.3).
 func Scores(vps []string, vectors [][][]float64) *ScoreMatrix {
+	return ScoresParallel(vps, vectors, 1)
+}
+
+// ScoresParallel computes the same matrix as Scores with the per-event
+// pairwise distance scoring — the O(|events|·n²·dim) hot loop behind
+// SelectAnchors — fanned across a bounded worker pool (≤1 = sequential).
+// Each event's distance matrix is computed concurrently into its own slot
+// and the accumulation folds the slots in event order, so the
+// floating-point result is bit-identical at every worker count.
+func ScoresParallel(vps []string, vectors [][][]float64, workers int) *ScoreMatrix {
 	n := len(vps)
-	sum := make([][]float64, n)
-	for i := range sum {
-		sum[i] = make([]float64, n)
-	}
-	for _, byVP := range vectors {
-		m := standardScale(byVP, n)
+	dists := make([][][]float64, len(vectors))
+	eventDist := func(e int) {
+		m := standardScale(vectors[e], n)
 		for i := range m {
 			for k := range m[i] {
 				m[i][k] = math.Round(m[i][k]/FeatureQuantum) * FeatureQuantum
 			}
 		}
+		d := make([][]float64, n)
+		for i := range d {
+			d[i] = make([]float64, n)
+		}
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				d := 0.0
+				dd := 0.0
 				for k := range m[i] {
 					diff := m[i][k] - m[j][k]
-					d += diff * diff
+					dd += diff * diff
 				}
-				sum[i][j] += d
-				sum[j][i] += d
+				d[i][j] = dd
+				d[j][i] = dd
+			}
+		}
+		dists[e] = d
+	}
+	if workers > len(vectors) {
+		workers = len(vectors)
+	}
+	if workers <= 1 {
+		for e := range vectors {
+			eventDist(e)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for e := range idx {
+					eventDist(e)
+				}
+			}()
+		}
+		for e := range vectors {
+			idx <- e
+		}
+		close(idx)
+		wg.Wait()
+	}
+	sum := make([][]float64, n)
+	for i := range sum {
+		sum[i] = make([]float64, n)
+	}
+	for _, d := range dists {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				sum[i][j] += d[i][j]
+				sum[j][i] += d[j][i]
 			}
 		}
 	}

@@ -1,0 +1,57 @@
+package anchors
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestScoresParallelBitIdentical: the parallel per-event distance scoring
+// folds event matrices in event order, so the floating-point score matrix
+// is bit-identical to the sequential one at any worker count.
+func TestScoresParallelBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vps := []string{"vp1", "vp2", "vp3", "vp4", "vp5"}
+	events := 40
+	vectors := make([][][]float64, events)
+	for e := range vectors {
+		byVP := make([][]float64, len(vps))
+		for v := range byVP {
+			if r.Intn(8) == 0 {
+				continue // VP missed the event
+			}
+			vec := make([]float64, 15)
+			for k := range vec {
+				vec[k] = r.NormFloat64() * 3
+			}
+			byVP[v] = vec
+		}
+		vectors[e] = byVP
+	}
+	seq := Scores(vps, vectors)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), events + 3} {
+		par := ScoresParallel(vps, vectors, workers)
+		if !reflect.DeepEqual(seq.R, par.R) || !reflect.DeepEqual(seq.VPs, par.VPs) {
+			t.Errorf("workers=%d: parallel score matrix diverges from sequential", workers)
+		}
+	}
+	// The anchors selected from either matrix are the same.
+	volume := map[string]int{"vp1": 5, "vp2": 4, "vp3": 3, "vp4": 2, "vp5": 1}
+	a := SelectAnchors(seq, volume, DefaultSelectConfig())
+	b := SelectAnchors(ScoresParallel(vps, vectors, 4), volume, DefaultSelectConfig())
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("anchor sets diverge: %v vs %v", a, b)
+	}
+}
+
+// TestScoresParallelEmptyAndSingle: degenerate inputs stay well-defined.
+func TestScoresParallelEmptyAndSingle(t *testing.T) {
+	if s := ScoresParallel(nil, nil, 4); len(s.VPs) != 0 {
+		t.Errorf("empty input: %v", s.VPs)
+	}
+	s := ScoresParallel([]string{"vp1"}, [][][]float64{{{1, 2}}}, 4)
+	if len(s.R) != 1 || s.R[0][0] != 1 {
+		t.Errorf("single VP: R = %v", s.R)
+	}
+}

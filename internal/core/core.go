@@ -30,6 +30,14 @@ type Config struct {
 	EventsPerCell int
 	// Granularity of the generated filters (production: VP+prefix).
 	Granularity filter.Granularity
+	// Workers bounds the recompute worker pool both components fan their
+	// per-prefix / per-event loops across (≤1 = sequential). Results are
+	// identical at every worker count.
+	Workers int
+	// Cache, when non-nil, makes Component #1 incremental across the §7
+	// 16-day refreshes: prefixes whose mirrored training slice is
+	// unchanged reuse their cached analysis.
+	Cache *correlation.Cache
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -76,7 +84,10 @@ func Train(data TrainingData, cfg Config, r *rand.Rand) *Model {
 	m := &Model{Config: cfg}
 
 	// Component #1: redundant updates.
-	m.Correlation = correlation.Run(data.Updates, cfg.Correlation)
+	ccfg := cfg.Correlation
+	ccfg.Workers = cfg.Workers
+	ccfg.Cache = cfg.Cache
+	m.Correlation = correlation.Run(data.Updates, ccfg)
 
 	// Component #2: anchor VPs.
 	totalVPs := data.TotalVPs
@@ -91,7 +102,7 @@ func Train(data TrainingData, cfg Config, r *rand.Rand) *Model {
 	if len(events) > 0 {
 		rep := anchors.NewReplayer(data.Baseline, data.Updates)
 		vecs := rep.EventVectors(events)
-		m.Scores = anchors.Scores(rep.VPs(), vecs)
+		m.Scores = anchors.ScoresParallel(rep.VPs(), vecs, cfg.Workers)
 		m.Anchors = anchors.SelectAnchors(m.Scores, VolumeByVP(data.Updates), cfg.Select)
 	}
 

@@ -1,0 +1,125 @@
+package correlation
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Cache makes Run incremental across the §7 16-day refreshes: a prefix
+// whose mirrored training slice is unchanged since the previous refresh
+// (identified by an order-independent digest of its updates) reuses the
+// cached per-prefix analysis and greedy selection instead of re-running
+// them. Only the cross-prefix collapse — which depends on every prefix —
+// reruns each refresh.
+//
+// A Cache is safe for concurrent use by Run's worker pool. It invalidates
+// itself wholesale when the algorithm parameters (Window, StopRP) change,
+// since every cached greedy result depends on them.
+type Cache struct {
+	mu      sync.Mutex
+	window  time.Duration
+	stopRP  float64
+	valid   bool
+	entries map[netip.Prefix]*cacheEntry
+
+	hits, misses *metrics.Counter
+}
+
+// cacheEntry is one prefix's memoized analysis. retained is the per-prefix
+// greedy result *before* the cross-prefix step; Run hands out clones so
+// the collapse never mutates the cached copy.
+type cacheEntry struct {
+	digest   trainDigest
+	pa       *PrefixAnalysis
+	retained map[string]bool
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[netip.Prefix]*cacheEntry),
+		hits:    &metrics.Counter{},
+		misses:  &metrics.Counter{},
+	}
+}
+
+// Instrument routes the cache's hit/miss counts and entry count into reg
+// (correlation.cache.hits, .misses, .entries). Call before the first Run;
+// counts accumulated earlier stay on the internal instruments.
+func (c *Cache) Instrument(reg *metrics.Registry) {
+	c.mu.Lock()
+	c.hits = reg.Counter("correlation.cache.hits")
+	c.misses = reg.Counter("correlation.cache.misses")
+	c.mu.Unlock()
+	reg.GaugeFunc("correlation.cache.entries", func() int64 { return int64(c.Len()) })
+}
+
+// Len returns the number of cached prefixes.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[netip.Prefix]*cacheEntry)
+	c.valid = false
+}
+
+// reconcile pins the cache to cfg's algorithm parameters, flushing every
+// entry when they changed: a cached greedy result computed under a
+// different Window or StopRP is not reusable.
+func (c *Cache) reconcile(cfg Config) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.valid && c.window == cfg.Window && c.stopRP == cfg.StopRP {
+		return
+	}
+	c.entries = make(map[netip.Prefix]*cacheEntry)
+	c.window, c.stopRP, c.valid = cfg.Window, cfg.StopRP, true
+}
+
+// lookup returns the cached analysis for p if its training digest matches,
+// handing out a clone of the retained set.
+func (c *Cache) lookup(p netip.Prefix, d trainDigest) (*PrefixAnalysis, map[string]bool, bool) {
+	c.mu.Lock()
+	e := c.entries[p]
+	if e == nil || e.digest != d {
+		c.misses.Inc()
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	c.hits.Inc()
+	pa, retained := e.pa, cloneSet(e.retained)
+	c.mu.Unlock()
+	return pa, retained, true
+}
+
+// store memoizes p's analysis under digest d, keeping its own clone of the
+// retained set.
+func (c *Cache) store(p netip.Prefix, d trainDigest, pa *PrefixAnalysis, retained map[string]bool) {
+	c.mu.Lock()
+	c.entries[p] = &cacheEntry{digest: d, pa: pa, retained: cloneSet(retained)}
+	c.mu.Unlock()
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

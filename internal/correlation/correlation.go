@@ -23,6 +23,14 @@ type Config struct {
 	// StopRP is the reconstitution power at which the greedy selection
 	// stops (§17.2, default 0.94).
 	StopRP float64
+	// Workers bounds the pool Run fans the per-prefix analysis across
+	// (≤1 = sequential). The cross-prefix merge stays sequential at any
+	// setting, so the result is identical for every worker count.
+	Workers int
+	// Cache, when non-nil, makes Run incremental across refreshes:
+	// prefixes whose training slice is unchanged reuse their cached
+	// analysis and greedy selection.
+	Cache *Cache
 }
 
 // DefaultConfig returns the paper's parameters.

@@ -1,0 +1,129 @@
+package correlation
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/update"
+)
+
+// This file holds the hashing substrate of the recompute engine. The seed
+// implementation fingerprinted §17.3 subsets with fmt.Sprintf + sorted
+// strings.Join, which dominated the allocation profile of a refresh; the
+// digests below are plain FNV-64a arithmetic over the already-computed
+// attribute keys, combined order-independently so mirror snapshot order
+// never changes a fingerprint. FNV (not hash/maphash) keeps digests stable
+// across processes, so two orchestrators replaying the same history emit
+// byte-identical filter files.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvString folds s into h (FNV-64a).
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvUint64 folds v into h byte-wise (FNV-64a).
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// subsetDigest is an order-independent fingerprint of a subset's attribute
+// multiset. Timestamps are deliberately excluded: they are compared with
+// pairwise slack (boundary-insensitive, §17.3's 100 s) by slackEqual, not
+// bucketed into the hash where a window boundary would split near-identical
+// subsets. Sum and xor of per-item hashes plus the item count make the
+// digest both commutative and collision-resistant enough to bucket on;
+// exactness comes from the slackEqual scan within a bucket.
+type subsetDigest struct {
+	sum, xor uint64
+	n        int
+}
+
+// subsetItem is one update of a canonicalized subset: its attribute-key
+// hash and raw timestamp.
+type subsetItem struct {
+	attr uint64
+	t    int64
+}
+
+// canonicalSubset fingerprints one (VP, prefix) update subset: the
+// order-independent attribute digest used as the bucket key, and the
+// (attr, time)-sorted items used for the exact pairwise-slack comparison.
+func canonicalSubset(us []*update.Update) (subsetDigest, []subsetItem) {
+	items := make([]subsetItem, len(us))
+	var d subsetDigest
+	for i, u := range us {
+		h := fnvString(fnvOffset64, u.AttrKey())
+		items[i] = subsetItem{attr: h, t: u.Time.UnixNano()}
+		d.sum += h
+		d.xor ^= h
+	}
+	d.n = len(items)
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].attr != items[j].attr {
+			return items[i].attr < items[j].attr
+		}
+		return items[i].t < items[j].t
+	})
+	return d, items
+}
+
+// slackEqual reports whether two canonicalized subsets carry the same
+// attribute sequence with every paired timestamp within the window. Unlike
+// the seed's integer-division bucketing (UnixNano/window), this is
+// boundary-insensitive: two updates 2 s apart match whether or not a
+// window boundary falls between them.
+func slackEqual(a, b []subsetItem, window time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	w := int64(window)
+	for i := range a {
+		if a[i].attr != b[i].attr {
+			return false
+		}
+		dt := a[i].t - b[i].t
+		if dt < 0 {
+			dt = -dt
+		}
+		if dt >= w {
+			return false
+		}
+	}
+	return true
+}
+
+// trainDigest fingerprints one prefix's full training slice — the
+// incremental cache key. Each update contributes an FNV hash of its
+// attribute key folded with its exact timestamp; items combine
+// order-independently so the mirror's snapshot order is irrelevant.
+type trainDigest struct {
+	sum, xor uint64
+	n        int
+}
+
+// trainingDigest computes the cache key for one prefix's training slice.
+func trainingDigest(us []*update.Update) trainDigest {
+	var d trainDigest
+	for _, u := range us {
+		h := fnvString(fnvOffset64, u.AttrKey())
+		h = fnvUint64(h, uint64(u.Time.UnixNano()))
+		d.sum += h
+		d.xor ^= h
+	}
+	d.n = len(us)
+	return d
+}

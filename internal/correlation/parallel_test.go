@@ -1,0 +1,190 @@
+package correlation
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/update"
+)
+
+// randMultiPrefixStream builds a random stream across several prefixes with
+// recurring cross-VP events, some prefixes duplicating others' sequences
+// so the cross-prefix collapse has work to do.
+func randMultiPrefixStream(r *rand.Rand) []*update.Update {
+	base := time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+	paths := [][]uint32{{1, 2}, {3, 1, 2}, {4, 2}, {5, 2}}
+	nPrefixes := 2 + r.Intn(5)
+	var us []*update.Update
+	for pi := 0; pi < nPrefixes; pi++ {
+		p := netip.MustParsePrefix(netip.AddrFrom4([4]byte{16, 0, byte(pi), 0}).String() + "/24")
+		events := 2 + r.Intn(5)
+		vps := 2 + r.Intn(4)
+		// Half the prefixes clone prefix 0's timing exactly, making their
+		// subsets collapse candidates.
+		jitter := time.Duration(0)
+		if pi%2 == 1 {
+			jitter = time.Duration(r.Intn(90)) * time.Second
+		}
+		for e := 0; e < events; e++ {
+			at := base.Add(time.Duration(e)*20*time.Minute + jitter)
+			pathI := r.Intn(len(paths))
+			for v := 0; v < vps; v++ {
+				if r.Intn(4) == 0 {
+					continue
+				}
+				us = append(us, &update.Update{
+					VP:     "vp" + string(rune('a'+v)),
+					Time:   at.Add(time.Duration(v) * 3 * time.Second),
+					Prefix: p,
+					Path:   append([]uint32{uint32(10 + v)}, paths[pathI]...),
+				})
+			}
+		}
+	}
+	return us
+}
+
+// sameResult compares the caller-visible outcome of two runs.
+func sameResult(a, b *Result) bool {
+	return reflect.DeepEqual(a.Retained, b.Retained) &&
+		a.KeptBeforeCross == b.KeptBeforeCross &&
+		a.KeptAfterCross == b.KeptAfterCross
+}
+
+// TestParallelCachedRunEquivalenceProperty: the parallel and/or cached Run
+// produces identical Retained and kept fractions to the sequential,
+// uncached run, across worker counts and across cold/warm cache.
+func TestParallelCachedRunEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		us := randMultiPrefixStream(r)
+		if len(us) == 0 {
+			return true
+		}
+		seq := Run(us, DefaultConfig()) // sequential, uncached reference
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+			if !sameResult(seq, Run(us, cfg)) {
+				t.Logf("workers=%d diverged (seed %d)", workers, seed)
+				return false
+			}
+			cfg.Cache = NewCache()
+			cold := Run(us, cfg)
+			warm := Run(us, cfg) // every prefix hits the cache
+			if !sameResult(seq, cold) || !sameResult(seq, warm) {
+				t.Logf("cached run diverged (workers=%d seed %d)", workers, seed)
+				return false
+			}
+			if hits, _ := cfg.Cache.Stats(); hits == 0 {
+				t.Logf("warm run recorded no cache hits (seed %d)", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrossPrefixBoundaryStraddle pins the §17.3 slack semantics: two
+// prefixes see the same attribute sequence 2 s apart — well within the
+// 100 s slack — but positioned so the seed's integer-division bucketing
+// (UnixNano/window) placed them in different buckets. They must collapse.
+func TestCrossPrefixBoundaryStraddle(t *testing.T) {
+	cfg := DefaultConfig()
+	// Pick T exactly on a bucket boundary; T-1s and T+1s straddle it.
+	bucketT := time.Unix(0, (time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC).UnixNano()/int64(cfg.Window)+1)*int64(cfg.Window))
+	mkAt := func(vp string, at time.Time, p netip.Prefix) *update.Update {
+		return &update.Update{VP: vp, Time: at, Prefix: p, Path: []uint32{1, 2, 3}}
+	}
+	var us []*update.Update
+	// Two well-separated occurrences per prefix so each survives Greedy.
+	for occ := 0; occ < 2; occ++ {
+		at := bucketT.Add(time.Duration(occ) * 30 * time.Minute)
+		us = append(us,
+			mkAt("VP1", at.Add(-time.Second), p1),
+			mkAt("VP1", at.Add(time.Second), p2),
+		)
+	}
+	res := Run(us, cfg)
+	if got := len(res.Retained[p1]) + len(res.Retained[p2]); got != 1 {
+		t.Errorf("boundary-straddling identical subsets not collapsed: p1=%v p2=%v",
+			res.Retained[p1], res.Retained[p2])
+	}
+	// Control: the same layout shifted 2×slack apart must NOT collapse.
+	var far []*update.Update
+	for occ := 0; occ < 2; occ++ {
+		at := bucketT.Add(time.Duration(occ) * 30 * time.Minute)
+		far = append(far,
+			mkAt("VP1", at, p1),
+			mkAt("VP1", at.Add(2*cfg.Window), p2),
+		)
+	}
+	resFar := Run(far, cfg)
+	if len(resFar.Retained[p1]) == 0 || len(resFar.Retained[p2]) == 0 {
+		t.Errorf("subsets beyond the slack wrongly collapsed: p1=%v p2=%v",
+			resFar.Retained[p1], resFar.Retained[p2])
+	}
+}
+
+// TestCacheInvalidationOnConfigChange: cached greedy results depend on
+// Window and StopRP; changing either flushes the cache.
+func TestCacheInvalidationOnConfigChange(t *testing.T) {
+	us := fig10()
+	cache := NewCache()
+	cfg := DefaultConfig()
+	cfg.Cache = cache
+	Run(us, cfg)
+	if cache.Len() == 0 {
+		t.Fatal("nothing cached")
+	}
+	Run(us, cfg)
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Fatal("same-config rerun missed the cache")
+	}
+	hitsBefore, _ := cache.Stats()
+	cfg.StopRP = 0.80
+	Run(us, cfg)
+	if hits, _ := cache.Stats(); hits != hitsBefore {
+		t.Errorf("config change did not invalidate the cache: hits %d → %d", hitsBefore, hits)
+	}
+	// And the changed-config result is itself cached again.
+	Run(us, cfg)
+	if hits, _ := cache.Stats(); hits == hitsBefore {
+		t.Error("rerun after invalidation did not repopulate the cache")
+	}
+}
+
+// TestCacheDigestDetectsChangedSlice: touching one prefix's training slice
+// re-analyzes only that prefix.
+func TestCacheDigestDetectsChangedSlice(t *testing.T) {
+	var us []*update.Update
+	us = append(us, fig10()...)
+	us = append(us,
+		mk("VP9", 0, p2, 9, 8, 7),
+		mk("VP9", 20*time.Minute, p2, 9, 7),
+	)
+	cache := NewCache()
+	cfg := DefaultConfig()
+	cfg.Cache = cache
+	Run(us, cfg)
+	_, misses0 := cache.Stats()
+
+	// One new update on p2 only: p1 hits, p2 misses.
+	us2 := append(append([]*update.Update(nil), us...), mk("VP9", 40*time.Minute, p2, 9, 6, 7))
+	Run(us2, cfg)
+	hits, misses := cache.Stats()
+	if hits != 1 {
+		t.Errorf("unchanged prefix did not hit: hits=%d", hits)
+	}
+	if misses != misses0+1 {
+		t.Errorf("changed prefix did not miss: misses=%d, want %d", misses, misses0+1)
+	}
+}

@@ -1,10 +1,9 @@
 package correlation
 
 import (
-	"fmt"
 	"net/netip"
 	"sort"
-	"strings"
+	"sync"
 
 	"repro/internal/update"
 )
@@ -45,6 +44,15 @@ func (r *Result) RetainedCount(us []*update.Update) int {
 }
 
 // Run executes Component #1 (§17.1–§17.3) over a training set of updates.
+//
+// The per-prefix work (AnalyzePrefix + Greedy) is embarrassingly parallel
+// and fans across cfg.Workers goroutines; each prefix's outcome lands in a
+// slot indexed by the sorted prefix order, and everything order-sensitive —
+// the kept-fraction accumulation and the cross-prefix collapse — runs as a
+// sequential merge over those slots. The result is therefore identical at
+// any worker count. With cfg.Cache set, prefixes whose training slice
+// digest is unchanged since the last refresh skip straight to their cached
+// analysis.
 func Run(us []*update.Update, cfg Config) *Result {
 	byPrefix := make(map[netip.Prefix][]*update.Update)
 	for _, u := range us {
@@ -56,19 +64,72 @@ func Run(us []*update.Update, cfg Config) *Result {
 	}
 	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Addr().Less(prefixes[j].Addr()) })
 
+	if cfg.Cache != nil {
+		cfg.Cache.reconcile(cfg)
+	}
+	type slot struct {
+		pa       *PrefixAnalysis
+		retained map[string]bool
+	}
+	slots := make([]slot, len(prefixes))
+	analyze := func(i int) {
+		p := prefixes[i]
+		ups := byPrefix[p]
+		if cfg.Cache != nil {
+			d := trainingDigest(ups)
+			if pa, retained, ok := cfg.Cache.lookup(p, d); ok {
+				slots[i] = slot{pa, retained}
+				return
+			}
+			pa := AnalyzePrefix(p, ups, cfg)
+			retained, _ := pa.Greedy()
+			cfg.Cache.store(p, d, pa, retained)
+			slots[i] = slot{pa, retained}
+			return
+		}
+		pa := AnalyzePrefix(p, ups, cfg)
+		retained, _ := pa.Greedy()
+		slots[i] = slot{pa, retained}
+	}
+	workers := cfg.Workers
+	if workers > len(prefixes) {
+		workers = len(prefixes)
+	}
+	if workers <= 1 {
+		for i := range prefixes {
+			analyze(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					analyze(i)
+				}
+			}()
+		}
+		for i := range prefixes {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Sequential merge, in sorted prefix order.
 	res := &Result{
 		Retained:  make(map[netip.Prefix]map[string]bool),
 		PerPrefix: make(map[netip.Prefix]*PrefixAnalysis),
 	}
 	total, keptBefore := 0, 0
-	for _, p := range prefixes {
-		pa := AnalyzePrefix(p, byPrefix[p], cfg)
-		retained, _ := pa.Greedy()
-		res.Retained[p] = retained
-		res.PerPrefix[p] = pa
+	for i, p := range prefixes {
+		res.Retained[p] = slots[i].retained
+		res.PerPrefix[p] = slots[i].pa
 		total += len(byPrefix[p])
-		for vp := range retained {
-			keptBefore += len(pa.ByVP[vp])
+		for vp := range slots[i].retained {
+			keptBefore += len(slots[i].pa.ByVP[vp])
 		}
 	}
 	if total > 0 {
@@ -93,13 +154,18 @@ func Run(us []*update.Update, cfg Config) *Result {
 // VP; subsets with identical attributes (prefix excluded, 100 s slack on
 // timestamps) across different prefixes are collapsed, keeping only the
 // first prefix's subset.
+//
+// Subsets bucket on an order-independent FNV digest of their attribute
+// multiset; within a bucket, timestamps compare with pairwise slack, so
+// two updates within the window always match regardless of where a
+// window-boundary falls between them. Claims are visited in sorted
+// (prefix, VP) insertion order, keeping the collapse deterministic.
 func crossPrefix(res *Result, prefixes []netip.Prefix, cfg Config) {
-	// signature → first (prefix, vp) seen.
 	type claim struct {
 		prefix netip.Prefix
-		vp     string
+		items  []subsetItem
 	}
-	seen := make(map[string]claim)
+	seen := make(map[subsetDigest][]claim)
 	for _, p := range prefixes {
 		pa := res.PerPrefix[p]
 		vps := make([]string, 0, len(res.Retained[p]))
@@ -108,28 +174,22 @@ func crossPrefix(res *Result, prefixes []netip.Prefix, cfg Config) {
 		}
 		sort.Strings(vps)
 		for _, vp := range vps {
-			sig := subsetSignature(pa.ByVP[vp], cfg)
-			if c, dup := seen[sig]; dup {
-				if c.prefix != p {
-					// Same update sequence already retained for another
-					// prefix: this one is redundant.
-					delete(res.Retained[p], vp)
+			d, items := canonicalSubset(pa.ByVP[vp])
+			matched := false
+			for _, c := range seen[d] {
+				if slackEqual(c.items, items, cfg.Window) {
+					if c.prefix != p {
+						// Same update sequence already retained for another
+						// prefix: this one is redundant.
+						delete(res.Retained[p], vp)
+					}
+					matched = true
+					break
 				}
-				continue
 			}
-			seen[sig] = claim{prefix: p, vp: vp}
+			if !matched {
+				seen[d] = append(seen[d], claim{prefix: p, items: items})
+			}
 		}
 	}
-}
-
-// subsetSignature fingerprints one (VP, prefix) update subset by its
-// attribute keys and slack-bucketed timestamps.
-func subsetSignature(us []*update.Update, cfg Config) string {
-	items := make([]string, 0, len(us))
-	for _, u := range us {
-		bucket := u.Time.UnixNano() / int64(cfg.Window)
-		items = append(items, fmt.Sprintf("%s@%d", u.AttrKey(), bucket))
-	}
-	sort.Strings(items)
-	return strings.Join(items, ";")
 }

@@ -79,12 +79,21 @@ type Orchestrator struct {
 	peers   map[uint32]*Peer
 	pending map[uint32]PeeringRequest
 
+	// filters is nil until the first refresh installs a set: before any
+	// recompute has run there are no filters to distribute, and the
+	// accept-everything default applies implicitly.
 	filters *filter.Set
 
 	lastComponent1 time.Time
 	lastComponent2 time.Time
 	gen1, gen2     uint64 // completed refreshes, indexes the jitter stream
 	jitterSeed     int64
+
+	// began counts refreshes begun per component (the generation-token
+	// stream); inflight counts those begun but not yet committed or
+	// aborted. Indexed by component (1, 2).
+	began    [3]uint64
+	inflight [3]int
 
 	// subscribers receive new filter sets (the daemons' loading hook).
 	subscribers []func(*filter.Set)
@@ -100,7 +109,6 @@ func New(verifier OwnershipVerifier, clock func() time.Time) *Orchestrator {
 		clock:    clock,
 		peers:    make(map[uint32]*Peer),
 		pending:  make(map[uint32]PeeringRequest),
-		filters:  filter.NewSet(filter.GranVPPrefix),
 	}
 }
 
@@ -182,18 +190,88 @@ func (o *Orchestrator) RemovePeer(asn uint32) error {
 }
 
 // Subscribe registers a filter-loading hook called with every refreshed
-// filter set (and immediately with the current one).
+// filter set. If a refresh has already produced filters, the hook is also
+// invoked immediately with the current set; before the first refresh it is
+// not — there are no filters yet, and fanning out a placeholder would
+// overwrite whatever set a daemon bootstrapped from disk with nothing.
 func (o *Orchestrator) Subscribe(fn func(*filter.Set)) {
 	o.mu.Lock()
 	o.subscribers = append(o.subscribers, fn)
 	cur := o.filters
 	o.mu.Unlock()
-	fn(cur)
+	if cur != nil {
+		fn(cur)
+	}
 }
 
-// LoadFilters installs a freshly generated filter set and fans it out.
+// RefreshToken authorizes one recompute result: BeginRefresh hands it out
+// when a refresh starts, and CommitFilters only installs a result carrying
+// the newest token for its component. A recompute overtaken by a fresher
+// one (trained on a more recent window) is rejected instead of racing it.
+type RefreshToken struct {
+	Component int
+	gen       uint64
+}
+
+// ErrStaleRefresh reports a recompute result that was overtaken by a newer
+// refresh of the same component and therefore not installed.
+var ErrStaleRefresh = errors.New("orchestrator: stale recompute result rejected")
+
+// BeginRefresh registers the start of a recompute for component 1 or 2 and
+// returns the token its result must present to CommitFilters. While a
+// refresh is in flight, Due no longer reports the component due, so
+// callers polling the schedule cannot launch overlapping recomputes.
+func (o *Orchestrator) BeginRefresh(component int) RefreshToken {
+	if component != 1 && component != 2 {
+		panic("orchestrator: BeginRefresh component must be 1 or 2")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.began[component]++
+	o.inflight[component]++
+	return RefreshToken{Component: component, gen: o.began[component]}
+}
+
+// AbortRefresh releases a token whose recompute failed, re-arming Due.
+func (o *Orchestrator) AbortRefresh(tok RefreshToken) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.inflight[tok.Component] > 0 {
+		o.inflight[tok.Component]--
+	}
+}
+
+// CommitFilters installs a refresh result if its token is still the newest
+// begun for the component; a stale result — another refresh began after
+// this one — is rejected with ErrStaleRefresh, so the install order can
+// never regress to an older training window.
+func (o *Orchestrator) CommitFilters(fs *filter.Set, tok RefreshToken) error {
+	o.mu.Lock()
+	if o.inflight[tok.Component] > 0 {
+		o.inflight[tok.Component]--
+	}
+	if tok.gen != o.began[tok.Component] {
+		log := o.log
+		o.mu.Unlock()
+		log.Warn("stale recompute result rejected", "component", tok.Component)
+		return ErrStaleRefresh
+	}
+	o.installLocked(fs, tok.Component)
+	return nil
+}
+
+// LoadFilters installs a freshly generated filter set and fans it out,
+// bypassing the generation-token check (single-caller deployments and
+// tests); concurrent refreshes should use BeginRefresh + CommitFilters.
 func (o *Orchestrator) LoadFilters(fs *filter.Set, component int) {
 	o.mu.Lock()
+	o.installLocked(fs, component)
+}
+
+// installLocked records the refresh and fans fs out to subscribers. Called
+// with o.mu held; returns with it released (fan-out runs unlocked so a
+// slow subscriber never stalls the control plane).
+func (o *Orchestrator) installLocked(fs *filter.Set, component int) {
 	o.filters = fs
 	now := o.clock()
 	switch component {
@@ -216,7 +294,8 @@ func (o *Orchestrator) LoadFilters(fs *filter.Set, component int) {
 	}
 }
 
-// Filters returns the current filter set.
+// Filters returns the current filter set, or nil before the first refresh
+// (accept everything).
 func (o *Orchestrator) Filters() *filter.Set {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -250,15 +329,20 @@ func (o *Orchestrator) RefreshPeriods() (component1, component2 time.Duration) {
 }
 
 // Due reports which components need refreshing (§7 periods, each spread
-// by ±RefreshJitter). A component that never ran is always due.
+// by ±RefreshJitter). A component that never ran is always due; a
+// component with a refresh in flight (begun via BeginRefresh, not yet
+// committed or aborted) is never due, so schedule pollers cannot launch
+// overlapping recomputes.
 func (o *Orchestrator) Due() (component1, component2 bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	now := o.clock()
-	component1 = o.lastComponent1.IsZero() ||
-		now.Sub(o.lastComponent1) >= o.jitteredPeriod(Component1Period, 1, o.gen1)
-	component2 = o.lastComponent2.IsZero() ||
-		now.Sub(o.lastComponent2) >= o.jitteredPeriod(Component2Period, 2, o.gen2)
+	component1 = o.inflight[1] == 0 &&
+		(o.lastComponent1.IsZero() ||
+			now.Sub(o.lastComponent1) >= o.jitteredPeriod(Component1Period, 1, o.gen1))
+	component2 = o.inflight[2] == 0 &&
+		(o.lastComponent2.IsZero() ||
+			now.Sub(o.lastComponent2) >= o.jitteredPeriod(Component2Period, 2, o.gen2))
 	return
 }
 

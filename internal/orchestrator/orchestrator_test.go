@@ -98,18 +98,102 @@ func TestRefreshScheduling(t *testing.T) {
 func TestFilterFanout(t *testing.T) {
 	o := New(nil, nil)
 	var got []*filter.Set
+	// Regression: before any recompute has run there are no filters, and
+	// the hook must NOT fire — the seed implementation fanned out the
+	// initial placeholder set (effectively nothing) to every daemon.
 	o.Subscribe(func(fs *filter.Set) { got = append(got, fs) })
-	if len(got) != 1 {
-		t.Fatal("subscriber must receive the current set immediately")
+	if len(got) != 0 {
+		t.Fatalf("subscriber invoked before any refresh: got %d sets", len(got))
+	}
+	if o.Filters() != nil {
+		t.Error("Filters() must be nil before the first refresh")
 	}
 	fs := filter.NewSet(filter.GranVPPrefix)
 	fs.AddAnchor("vp1")
 	o.LoadFilters(fs, 1)
-	if len(got) != 2 || !got[1].IsAnchor("vp1") {
+	if len(got) != 1 || !got[0].IsAnchor("vp1") {
 		t.Fatalf("fanout failed: %d sets", len(got))
 	}
 	if o.Filters() != fs {
 		t.Error("Filters() does not return the loaded set")
+	}
+	// A late subscriber receives the current set immediately.
+	var late []*filter.Set
+	o.Subscribe(func(fs *filter.Set) { late = append(late, fs) })
+	if len(late) != 1 || late[0] != fs {
+		t.Fatalf("late subscriber got %d sets", len(late))
+	}
+}
+
+func TestStaleRecomputeRejected(t *testing.T) {
+	o := New(nil, nil)
+	// Two refreshes of component #1 interleave: R1 begins over an old
+	// training window, R2 begins over a newer one. Whatever the commit
+	// order, only R2's result may install.
+	tok1 := o.BeginRefresh(1)
+	tok2 := o.BeginRefresh(1)
+
+	old := filter.NewSet(filter.GranVPPrefix)
+	old.AddAnchor("old")
+	fresh := filter.NewSet(filter.GranVPPrefix)
+	fresh.AddAnchor("fresh")
+
+	// R1 (overtaken) commits first: rejected, nothing installed.
+	if err := o.CommitFilters(old, tok1); !errors.Is(err, ErrStaleRefresh) {
+		t.Fatalf("stale commit: err = %v, want ErrStaleRefresh", err)
+	}
+	if o.Filters() != nil {
+		t.Fatal("stale result was installed")
+	}
+	// R2 commits: accepted.
+	if err := o.CommitFilters(fresh, tok2); err != nil {
+		t.Fatalf("fresh commit: %v", err)
+	}
+	if got := o.Filters(); got == nil || !got.IsAnchor("fresh") {
+		t.Fatalf("Filters() = %v, want the fresh set", got)
+	}
+	// Replay with the reverse commit order: the newest-begun refresh wins
+	// and the older one is rejected afterwards too.
+	o2 := New(nil, nil)
+	t1 := o2.BeginRefresh(1)
+	t2 := o2.BeginRefresh(1)
+	if err := o2.CommitFilters(fresh, t2); err != nil {
+		t.Fatalf("newest commit: %v", err)
+	}
+	if err := o2.CommitFilters(old, t1); !errors.Is(err, ErrStaleRefresh) {
+		t.Fatalf("late stale commit: err = %v, want ErrStaleRefresh", err)
+	}
+	if got := o2.Filters(); !got.IsAnchor("fresh") {
+		t.Error("late stale commit overwrote the fresher result")
+	}
+}
+
+func TestDueSuppressedWhileRefreshInflight(t *testing.T) {
+	clk := &fixedClock{now: t0}
+	o := New(nil, clk.Now)
+	if c1, c2 := o.Due(); !c1 || !c2 {
+		t.Fatal("both components due initially")
+	}
+	// Launching a refresh de-arms Due for that component only, so a
+	// schedule poller cannot start an overlapping recompute.
+	tok := o.BeginRefresh(1)
+	if c1, c2 := o.Due(); c1 || !c2 {
+		t.Fatalf("during inflight refresh: c1=%v c2=%v, want false/true", c1, c2)
+	}
+	if err := o.CommitFilters(filter.NewSet(filter.GranVPPrefix), tok); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if c1, _ := o.Due(); c1 {
+		t.Error("component 1 due right after a successful refresh")
+	}
+	// An aborted refresh re-arms Due.
+	tok2 := o.BeginRefresh(2)
+	if _, c2 := o.Due(); c2 {
+		t.Error("component 2 due while its refresh is in flight")
+	}
+	o.AbortRefresh(tok2)
+	if _, c2 := o.Due(); !c2 {
+		t.Error("component 2 not due again after its refresh aborted")
 	}
 }
 

@@ -1,0 +1,125 @@
+package orchestrator
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/correlation"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+// RecomputeConfig tunes a Recomputer.
+type RecomputeConfig struct {
+	// Core is the sampling-pipeline configuration; its Workers and Cache
+	// fields are managed by the Recomputer and overridden.
+	Core core.Config
+	// Workers bounds the per-prefix / per-event worker pool (≤0 =
+	// GOMAXPROCS). Results are identical at every worker count.
+	Workers int
+	// Registry, when non-nil, receives the cache hit/miss counters
+	// (correlation.cache.*) and the recompute-duration histogram
+	// (recompute.duration_ns), surfaced by the admin plane's /metrics
+	// and /statusz.
+	Registry *metrics.Registry
+	// Seed drives the balanced event selection; refreshes replaying the
+	// same history reproduce the same model.
+	Seed int64
+	// Log receives recompute events; nil discards them.
+	Log *telemetry.Logger
+}
+
+// Recomputer executes the §7 sampling-component refreshes off the
+// orchestrator mutex: the training run happens against a caller-provided
+// snapshot of mirrored data with a bounded worker pool and an incremental
+// per-prefix cache, and only the Begin/Commit bookkeeping briefly takes
+// the orchestrator lock. The generation-token path guarantees a slow
+// refresh can never overwrite a newer one.
+type Recomputer struct {
+	o       *Orchestrator
+	cfg     core.Config
+	workers int
+	seed    int64
+	cache   *correlation.Cache
+	log     *telemetry.Logger
+
+	dur         *metrics.Histogram
+	runs, stale *metrics.Counter
+}
+
+// NewRecomputer builds a recompute engine installing into o.
+func NewRecomputer(o *Orchestrator, rc RecomputeConfig) *Recomputer {
+	workers := rc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := correlation.NewCache()
+	r := &Recomputer{
+		o:       o,
+		workers: workers,
+		seed:    rc.Seed,
+		cache:   cache,
+		log:     rc.Log.With("recompute"),
+	}
+	r.cfg = rc.Core
+	r.cfg.Workers = workers
+	r.cfg.Cache = cache
+	if rc.Registry != nil {
+		cache.Instrument(rc.Registry)
+		// 1 ms .. ~1.2 h exponential duration buckets.
+		r.dur = rc.Registry.Histogram("recompute.duration_ns", metrics.ExpBuckets(1_000_000, 2, 23))
+		r.runs = rc.Registry.Counter("recompute.runs")
+		r.stale = rc.Registry.Counter("recompute.stale_rejected")
+	} else {
+		r.dur = metrics.NewHistogram(metrics.ExpBuckets(1_000_000, 2, 23))
+		r.runs = &metrics.Counter{}
+		r.stale = &metrics.Counter{}
+	}
+	return r
+}
+
+// Workers returns the bounded pool size the engine trains with.
+func (r *Recomputer) Workers() int { return r.workers }
+
+// Cache returns the incremental per-prefix cache (for stats and tests).
+func (r *Recomputer) Cache() *correlation.Cache { return r.cache }
+
+// Refresh trains the sampling pipeline on the snapshot and installs the
+// produced filters for the component (1 = correlation groups every 16
+// days, 2 = anchors yearly). The training run holds no orchestrator lock;
+// if another refresh of the same component begins meanwhile, this result
+// is rejected as stale and discarded.
+func (r *Recomputer) Refresh(component int, data core.TrainingData) (*core.Model, error) {
+	tok := r.o.BeginRefresh(component)
+	start := time.Now()
+	m := core.Train(data, r.cfg, rand.New(rand.NewSource(r.seed)))
+	elapsed := time.Since(start)
+	r.dur.Observe(uint64(elapsed))
+	if err := r.o.CommitFilters(m.Filters, tok); err != nil {
+		r.stale.Inc()
+		r.log.Warn("recompute result discarded", "component", component, "err", err)
+		return nil, err
+	}
+	r.runs.Inc()
+	hits, misses := r.cache.Stats()
+	r.log.Info("recompute complete", "component", component,
+		"dur_ms", elapsed.Milliseconds(), "updates", len(data.Updates),
+		"drop_rules", m.Filters.NumDrops(), "anchors", len(m.Filters.Anchors()),
+		"cache_hits", hits, "cache_misses", misses)
+	return m, nil
+}
+
+// Status summarizes the engine for /statusz.
+func (r *Recomputer) Status() map[string]any {
+	hits, misses := r.cache.Stats()
+	return map[string]any{
+		"workers":        r.workers,
+		"runs":           r.runs.Load(),
+		"stale_rejected": r.stale.Load(),
+		"cache_entries":  r.cache.Len(),
+		"cache_hits":     hits,
+		"cache_misses":   misses,
+	}
+}

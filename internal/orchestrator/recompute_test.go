@@ -1,0 +1,105 @@
+package orchestrator
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/update"
+)
+
+// trainingSnapshot builds a small two-prefix, three-VP stream in which vpB
+// mirrors vpA (redundant) and vpC is distinct, so a refresh produces real
+// drop rules.
+func trainingSnapshot() core.TrainingData {
+	pA := netip.MustParsePrefix("16.0.0.0/24")
+	pB := netip.MustParsePrefix("16.0.1.0/24")
+	var us []*update.Update
+	for i := 0; i < 6; i++ {
+		at := t0.Add(time.Duration(i) * 10 * time.Minute)
+		for _, p := range []netip.Prefix{pA, pB} {
+			us = append(us,
+				&update.Update{VP: "vpA", Time: at, Prefix: p, Path: []uint32{1, 2, uint32(3 + i%2)}},
+				&update.Update{VP: "vpB", Time: at.Add(5 * time.Second), Prefix: p, Path: []uint32{9, 2, uint32(3 + i%2)}},
+			)
+		}
+		us = append(us, &update.Update{VP: "vpC", Time: at.Add(3 * time.Minute), Prefix: pA, Path: []uint32{7, 8}})
+	}
+	return core.TrainingData{Updates: us, TotalVPs: 3}
+}
+
+func TestRecomputerRefreshInstallsFilters(t *testing.T) {
+	o := New(nil, nil)
+	reg := metrics.NewRegistry()
+	rc := NewRecomputer(o, RecomputeConfig{Core: core.DefaultConfig(), Workers: 4, Registry: reg, Seed: 1})
+
+	var fanned int
+	o.Subscribe(func(*filter.Set) { fanned++ })
+
+	m, err := rc.Refresh(1, trainingSnapshot())
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if o.Filters() != m.Filters {
+		t.Error("refresh did not install the trained filters")
+	}
+	if fanned != 1 {
+		t.Errorf("fanned out %d times, want 1", fanned)
+	}
+	if c1, _ := o.Due(); c1 {
+		t.Error("component 1 still due after refresh")
+	}
+	snap := reg.Snapshot()
+	if snap.Histograms["recompute.duration_ns"].Count != 1 {
+		t.Errorf("duration histogram count = %d, want 1", snap.Histograms["recompute.duration_ns"].Count)
+	}
+	if snap.Counters["recompute.runs"] != 1 {
+		t.Errorf("recompute.runs = %d, want 1", snap.Counters["recompute.runs"])
+	}
+
+	// Second refresh over the identical snapshot: every prefix hits the
+	// incremental cache and the result is byte-identical.
+	m2, err := rc.Refresh(1, trainingSnapshot())
+	if err != nil {
+		t.Fatalf("second Refresh: %v", err)
+	}
+	hits, misses := rc.Cache().Stats()
+	if hits == 0 {
+		t.Errorf("warm refresh recorded no cache hits (hits=%d misses=%d)", hits, misses)
+	}
+	var cold, warm bytes.Buffer
+	if err := m.Filters.Marshal(&cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Filters.Marshal(&warm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Error("warm-cache refresh produced different filters")
+	}
+}
+
+func TestRecomputerStaleRunDiscarded(t *testing.T) {
+	o := New(nil, nil)
+	rc := NewRecomputer(o, RecomputeConfig{Core: core.DefaultConfig(), Workers: 2, Seed: 1})
+
+	// A competing refresh begins after ours would have: simulate by
+	// beginning one refresh before calling Refresh — Refresh's own Begin
+	// is then the newest, so the earlier token turns stale.
+	tokOld := o.BeginRefresh(1)
+	if _, err := rc.Refresh(1, trainingSnapshot()); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if err := o.CommitFilters(nil, tokOld); !errors.Is(err, ErrStaleRefresh) {
+		t.Fatalf("old token commit: err = %v, want ErrStaleRefresh", err)
+	}
+
+	if status := rc.Status(); status["runs"].(uint64) != 1 {
+		t.Errorf("status runs = %v, want 1", status["runs"])
+	}
+}
