@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke verify
+.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke verify
 
 all: build
 
@@ -49,9 +49,21 @@ obs-smoke:
 	sh scripts/obs_smoke.sh
 	GILL_BENCH_GUARD=1 $(GO) test -run TestTracingOverheadGuard -count=1 -v .
 
+# quality-smoke exercises the data-quality plane: the quality package and
+# shadow-lane/drift tests under the race detector, the end-to-end
+# completeness-ledger tests (clean and chaos runs both must balance to
+# zero residual), then the env-gated overhead guard — the shadow lane at
+# the default 1/64 fraction must stay within 5% of shadow-off throughput.
+quality-smoke:
+	$(GO) test -race -count=1 ./internal/quality/
+	$(GO) test -race -count=1 -run 'Shadow|Drift|NoteDrift' ./internal/pipeline/ ./internal/orchestrator/
+	$(GO) test -race -count=1 -run 'TestQualityLedger' .
+	GILL_BENCH_GUARD=1 $(GO) test -run TestShadowOverheadGuard -count=1 -v .
+
 # verify is the full pre-merge gate: vet, build, race-enabled tests, the
 # fault-injection suite, smoke runs of the pipeline and recompute
-# benchmarks, and the observability smoke (admin endpoints + tracing
+# benchmarks, the observability smoke (admin endpoints + tracing
+# overhead), and the data-quality smoke (ledger conservation + shadow
 # overhead).
 verify:
 	$(GO) vet ./...
@@ -61,3 +73,4 @@ verify:
 	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime 1x ./...
 	$(MAKE) bench-recompute
 	$(MAKE) obs-smoke
+	$(MAKE) quality-smoke

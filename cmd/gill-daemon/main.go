@@ -35,6 +35,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/metrics"
 	"repro/internal/mrt"
+	"repro/internal/quality"
 	"repro/internal/telemetry"
 )
 
@@ -54,8 +55,9 @@ func main() {
 		walDir   = flag.String("wal", "", "crash-safe record journal directory (recovered on startup)")
 		filtTTL  = flag.Duration("filter-ttl", 0, "degrade to retain-everything when filters go stale (0: never)")
 		chaos    = flag.String("chaos", "", "fault-injection spec, e.g. seed=7,reset=0.01,drop-accept=50 (testing only)")
-		admin    = flag.String("admin", "", "admin-plane address (/metrics, /statusz, /healthz, /readyz, /tracez, pprof); bind loopback — unauthenticated")
+		admin    = flag.String("admin", "", "admin-plane address (/metrics, /statusz, /healthz, /readyz, /tracez, /qualityz, pprof); bind loopback — unauthenticated")
 		logLevel = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		shadow   = flag.String("shadow-fraction", "1/64", "fraction of (VP,prefix) slots mirrored into the data-quality shadow lane (1/N, all, or off)")
 	)
 	flag.Parse()
 
@@ -104,6 +106,20 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	rec := telemetry.NewRecorder(0, 0) // defaults: 4096-trace ring, 1/1024 sampling
+
+	denom, err := quality.ParseFraction(*shadow)
+	if err != nil {
+		fatal("bad -shadow-fraction", "err", err)
+	}
+	// The plane is always built (so /qualityz and the completeness ledger
+	// exist even with the shadow lane off); the selector decides whether
+	// any slots are mirrored.
+	qp := quality.NewPlane(quality.Config{
+		Selector: quality.Selector{Seed: 1, Denom: denom},
+		Registry: reg,
+		Log:      logg.With("quality"),
+	})
+
 	cfgD := daemon.Config{
 		LocalAS:   uint32(*localAS),
 		RouterID:  rid,
@@ -115,6 +131,7 @@ func main() {
 		FilterTTL: *filtTTL,
 		Log:       logg,
 		Tracer:    rec,
+		Quality:   qp,
 	}
 	var store *archive.Store
 	if *archDir != "" {
@@ -173,6 +190,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	go qp.Run(ctx)
+	logm.Info("data-quality plane running", "shadow_fraction", qp.Selector().String())
+
 	if *admin != "" {
 		adminLn, err := net.Listen("tcp", *admin)
 		if err != nil {
@@ -195,7 +215,8 @@ func main() {
 				}
 				return true, "collecting everything (no filters configured)"
 			},
-			Status: func() any { return d.StatusSnapshot() },
+			Status:  func() any { return d.StatusSnapshot() },
+			Quality: func() any { return qp.Status() },
 		}
 		go func() {
 			if err := a.Serve(ctx, adminLn); err != nil {
@@ -286,6 +307,10 @@ func main() {
 		"mean_batch", fmt.Sprintf("%.1f", snap.BatchSizes.Mean()),
 		"e2e_p50_ns", fmt.Sprintf("%.0f", snap.E2ENS.Quantile(0.5)),
 		"e2e_p99_ns", fmt.Sprintf("%.0f", snap.E2ENS.Quantile(0.99)))
+	lc := d.LedgerCounts()
+	logm.Info("final ledger", "in", lc.In, "archived", lc.Archived,
+		"filtered", lc.Filtered, "dropped", lc.Dropped, "rejected", lc.Rejected,
+		"lost", lc.Lost, "unaccounted", lc.Unaccounted())
 }
 
 // multiCloser closes the compressor before the file beneath it.

@@ -10,6 +10,7 @@
 //	peers                              list active sessions
 //	status                             refresh schedule state
 //	train <stream.mrt[.gz]> <out.filters>  run components #1+#2, write filters
+//	audit <stream.mrt[.gz]>            replay a stream through the data-quality plane
 //	quit
 package main
 
@@ -26,11 +27,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/mrt"
 	"repro/internal/orchestrator"
+	"repro/internal/quality"
 	"repro/internal/telemetry"
 	"repro/internal/update"
 )
@@ -41,6 +44,7 @@ func main() {
 		admin        = flag.String("admin", "", "admin-plane address (/metrics, /statusz, /healthz, pprof); bind loopback — unauthenticated")
 		logLevel     = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		workers      = flag.Int("recompute-workers", 0, "worker pool for the sampling-component recompute (0 = GOMAXPROCS); results are identical at any count")
+		qualityAuto  = flag.Bool("quality-autorefresh", false, "act on data-quality drift signals by re-running the last training (default: signals are advisory)")
 	)
 	flag.Parse()
 
@@ -61,6 +65,35 @@ func main() {
 		Log:      logg,
 	})
 	logm.Info("recompute engine ready", "workers", rec.Workers())
+
+	// The data-quality plane on the orchestrator audits offline streams
+	// (the `audit` command) against the currently installed filters, and
+	// feeds drift-threshold crossings into the recompute engine — advisory
+	// by default, acted on with -quality-autorefresh.
+	qp := quality.NewPlane(quality.Config{
+		Selector: quality.Selector{Seed: 1, Denom: 1}, // audits see the whole replayed stream
+		Registry: reg,
+		Log:      logg.With("quality"),
+		OnDrift:  func(dr quality.DriftReport) { rec.NoteDrift(dr.Score) },
+	})
+	var trainMu sync.Mutex
+	var lastTrainIn, lastTrainOut string
+	if *qualityAuto {
+		rec.SetAutoRefresh(func() {
+			trainMu.Lock()
+			in, out := lastTrainIn, lastTrainOut
+			trainMu.Unlock()
+			if in == "" {
+				logm.Warn("drift-triggered refresh skipped: nothing trained yet")
+				return
+			}
+			logm.Info("drift-triggered retrain starting", "stream", in, "out", out)
+			if err := trainFromMRT(rec, qp, in, out); err != nil {
+				logm.Error("drift-triggered retrain failed", "err", err)
+			}
+		})
+		logm.Info("quality autorefresh armed")
+	}
 
 	if *admin != "" {
 		ln, err := net.Listen("tcp", *admin)
@@ -83,6 +116,7 @@ func main() {
 					"recompute":      rec.Status(),
 				}
 			},
+			Quality: func() any { return qp.Status() },
 		}
 		go func() {
 			if err := a.Serve(context.Background(), ln); err != nil {
@@ -91,7 +125,7 @@ func main() {
 		}()
 		logm.Info("admin plane listening", "admin_addr", ln.Addr())
 	}
-	fmt.Println("gill-orchestrator ready; commands: submit/confirm/peers/status/train/quit")
+	fmt.Println("gill-orchestrator ready; commands: submit/confirm/peers/status/train/audit/quit")
 
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
@@ -144,8 +178,20 @@ func main() {
 				fmt.Println("usage: train <stream.mrt[.gz]> <out.filters>")
 				continue
 			}
-			if err := trainFromMRT(rec, fields[1], fields[2]); err != nil {
+			if err := trainFromMRT(rec, qp, fields[1], fields[2]); err != nil {
 				fmt.Println("train:", err)
+				continue
+			}
+			trainMu.Lock()
+			lastTrainIn, lastTrainOut = fields[1], fields[2]
+			trainMu.Unlock()
+		case "audit":
+			if len(fields) != 2 {
+				fmt.Println("usage: audit <stream.mrt[.gz]>")
+				continue
+			}
+			if err := auditFromMRT(o, qp, fields[1]); err != nil {
+				fmt.Println("audit:", err)
 			}
 		case "quit", "exit":
 			return
@@ -191,20 +237,19 @@ func loadRegistry(path string) orchestrator.OwnershipVerifier {
 	})
 }
 
-// trainFromMRT replays an MRT stream through the recompute engine —
-// parallel, incremental, and installed via the generation-token path —
-// and writes the resulting filter file.
-func trainFromMRT(rec *orchestrator.Recomputer, inPath, outPath string) error {
+// readMRTUpdates loads and annotates the canonical per-prefix updates of
+// an (optionally gzipped) MRT stream.
+func readMRTUpdates(inPath string) ([]*update.Update, error) {
 	f, err := os.Open(inPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
 	var r io.Reader = f
 	if strings.HasSuffix(inPath, ".gz") {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer gz.Close()
 		r = gz
@@ -217,11 +262,23 @@ func trainFromMRT(rec *orchestrator.Recomputer, inPath, outPath string) error {
 			break
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		us = append(us, rec.CanonicalUpdates()...)
 	}
 	update.Annotate(us)
+	return us, nil
+}
+
+// trainFromMRT replays an MRT stream through the recompute engine —
+// parallel, incremental, and installed via the generation-token path —
+// writes the resulting filter file, and hands the training window's
+// per-prefix digests to the data-quality plane as the drift baseline.
+func trainFromMRT(rec *orchestrator.Recomputer, qp *quality.Plane, inPath, outPath string) error {
+	us, err := readMRTUpdates(inPath)
+	if err != nil {
+		return err
+	}
 	// MRT update streams carry no table dumps; bootstrap each VP's
 	// baseline RIB from the first path it announces per prefix, so event
 	// detection (component #2) has a reference state.
@@ -247,6 +304,9 @@ func trainFromMRT(rec *orchestrator.Recomputer, inPath, outPath string) error {
 	if err != nil {
 		return err
 	}
+	if m.Correlation != nil {
+		qp.SetBaseline(m.Correlation.Baseline())
+	}
 
 	out, err := os.Create(outPath)
 	if err != nil {
@@ -258,5 +318,37 @@ func trainFromMRT(rec *orchestrator.Recomputer, inPath, outPath string) error {
 	}
 	fmt.Printf("trained on %d updates from %d VPs: %d drop rules, %d anchors → %s\n",
 		len(us), len(baseline), m.Filters.NumDrops(), len(m.Filters.Anchors()), outPath)
+	return nil
+}
+
+// auditFromMRT replays an MRT stream through the data-quality plane
+// against the currently installed filter set: every update is shadowed
+// with the filters' keep/discard verdict, then one audit pass reports
+// live reconstitution power, use-case coverage, and drift against the
+// last training's digests.
+func auditFromMRT(o *orchestrator.Orchestrator, qp *quality.Plane, inPath string) error {
+	us, err := readMRTUpdates(inPath)
+	if err != nil {
+		return err
+	}
+	fs := o.Filters() // nil until the first train: audit a retain-everything view
+	kept := 0
+	for _, u := range us {
+		k := fs == nil || fs.Keep(u)
+		if k {
+			kept++
+		}
+		qp.ObserveShadow(u, k)
+	}
+	r := qp.Audit()
+	fmt.Printf("audited %d updates (%d kept, %d discarded): live_rp=%.3f (training %.2f), drift=%.3f (%s baseline), coverage:\n",
+		len(us), kept, len(us)-kept, r.LiveRP, r.TrainingRP, r.Drift.Score, r.Drift.Baseline)
+	for name, v := range r.Coverage {
+		fmt.Printf("  %-24s %.3f\n", name, v)
+	}
+	if r.Drift.Crossed {
+		fmt.Printf("  DRIFT threshold crossed: %d novel of %d updates, %d changed prefixes, %d new prefixes\n",
+			r.Drift.NovelUpdates, r.Drift.TotalUpdates, r.Drift.ChangedPrefixes, r.Drift.NewPrefixes)
+	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package correlation
 
 import (
+	"net/netip"
 	"sort"
 	"time"
 
@@ -104,6 +105,63 @@ func slackEqual(a, b []subsetItem, window time.Duration) bool {
 		}
 	}
 	return true
+}
+
+// AttrHash returns the stable FNV-64a fingerprint of an update's attribute
+// key (VP, path, communities — prefix and time excluded). It is the hashing
+// primitive the data-quality plane's drift detector shares with the
+// recompute engine: two processes hashing the same update always agree, so
+// a daemon can compare its live traffic against digests exported by the
+// orchestrator that trained the filters.
+func AttrHash(u *update.Update) uint64 {
+	return fnvString(fnvOffset64, u.AttrKey())
+}
+
+// Baseline is the per-prefix attribute-fingerprint index of a training
+// window: for each prefix, the set of AttrHash values observed while the
+// current filter set was trained. The data-quality plane scores live
+// traffic against it — an update whose fingerprint the training window
+// never saw is evidence the redundancy structure has moved since the
+// filters were compiled.
+type Baseline map[netip.Prefix]map[uint64]bool
+
+// NewBaseline indexes a training stream into a Baseline.
+func NewBaseline(us []*update.Update) Baseline {
+	b := make(Baseline)
+	for _, u := range us {
+		m := b[u.Prefix]
+		if m == nil {
+			m = make(map[uint64]bool)
+			b[u.Prefix] = m
+		}
+		m[AttrHash(u)] = true
+	}
+	return b
+}
+
+// Contains reports whether the baseline saw u's attribute fingerprint for
+// u's prefix during training. The second result reports whether the prefix
+// itself was part of the training window at all.
+func (b Baseline) Contains(u *update.Update) (seen, knownPrefix bool) {
+	m, ok := b[u.Prefix]
+	if !ok {
+		return false, false
+	}
+	return m[AttrHash(u)], true
+}
+
+// Baseline exports the training window's per-prefix attribute fingerprints
+// from a completed Component #1 run, for the drift detector.
+func (r *Result) Baseline() Baseline {
+	b := make(Baseline, len(r.PerPrefix))
+	for p, pa := range r.PerPrefix {
+		m := make(map[uint64]bool)
+		for _, u := range pa.Updates {
+			m[AttrHash(u)] = true
+		}
+		b[p] = m
+	}
+	return b
 }
 
 // trainDigest fingerprints one prefix's full training slice — the

@@ -31,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mrt"
 	"repro/internal/pipeline"
+	"repro/internal/quality"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/update"
@@ -90,6 +91,12 @@ type Config struct {
 	// Tracer samples updates through the ingest pipeline into the flight
 	// recorder (dumpable via the admin plane's /tracez); nil disables.
 	Tracer *telemetry.Recorder
+	// Quality, when set, wires the data-quality plane into the ingest
+	// path: its selector picks the shadow-mirrored (VP,prefix) slots at
+	// the filter stage, its auditor receives both filter verdicts for
+	// those slots, and its completeness ledger samples the daemon's
+	// accounting (LedgerCounts).
+	Quality *quality.Plane
 }
 
 // Stats are the daemon's monotonic counters.
@@ -186,6 +193,13 @@ func New(cfg Config) *Daemon {
 		WriteDelay: cfg.WriteDelay,
 	}
 	d.filt = &pipeline.FilterStage{Set: cfg.Filters}
+	if cfg.Quality != nil && cfg.Quality.Selector().Enabled() {
+		d.filt.ShadowSelect = cfg.Quality.Selected
+		d.filt.ShadowSink = cfg.Quality.ObserveShadow
+	}
+	if cfg.Quality != nil {
+		cfg.Quality.SetLedger(d.LedgerCounts)
+	}
 	stages := []pipeline.Stage{d.filt}
 	if cfg.Publish != nil {
 		stages = append(stages, &pipeline.LiveStage{Publish: cfg.Publish})
@@ -275,6 +289,28 @@ func (d *Daemon) Stats() Stats {
 		Rejected:  d.rejected.Load(),
 		Forwarded: d.forwarded.Load(),
 	}
+}
+
+// LedgerCounts samples the completeness ledger: every update accepted
+// from a socket must land in exactly one terminal bucket. The order of
+// loads matters for a sample raced against live traffic — terminal
+// buckets are read first and the intake counter last, so an in-flight
+// update can only surface as a transient positive residual (seen at
+// intake, not yet landed), never as phantom double counting. At
+// quiescence (and always after Close) the residual is exactly zero; a
+// persistent nonzero value is an accounting hole in the collection path.
+func (d *Daemon) LedgerCounts() quality.LedgerCounts {
+	snap := d.pipe.Snapshot()
+	c := quality.LedgerCounts{
+		Archived: d.arch.Written(),
+		Lost:     d.arch.Failed(),
+		Filtered: snap.Stage("filter").Dropped,
+		Dropped:  snap.Dropped,
+		Queued:   snap.Queued,
+		Rejected: d.rejected.Load(),
+	}
+	c.In = d.received.Load()
+	return c
 }
 
 // PipelineSnapshot exposes the ingest pipeline's full per-stage

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuantileMonotonic pins the estimator's one hard invariant: for any
+// observation mix, p ≤ q ⇒ Quantile(p) ≤ Quantile(q). The bucket-local
+// linear interpolation makes each quantile individually plausible; this
+// test makes sure the family of them never crosses, which is what /statusz
+// readers (p50 ≤ p90 ≤ p99) implicitly rely on.
+func TestQuantileMonotonic(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []uint64
+	}{
+		{"uniform", []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+		{"single", []uint64{42}},
+		{"repeated", []uint64{5, 5, 5, 5, 5}},
+		{"skewed", []uint64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1000}},
+		{"overflow-heavy", []uint64{1 << 40, 1 << 41, 1 << 42}},
+		{"mixed", []uint64{0, 1, 10, 100, 1000, 10000, 1 << 50}},
+	}
+	ps := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			h := reg.Histogram("q", ExpBuckets(1, 2, 20))
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			snap := reg.Snapshot().Histograms["q"]
+			prev := -1.0
+			for _, p := range ps {
+				v := snap.Quantile(p)
+				if v < prev {
+					t.Fatalf("Quantile(%v)=%v < Quantile(prev)=%v: not monotone", p, v, prev)
+				}
+				prev = v
+			}
+		})
+	}
+}
+
+// TestSnapshotStringIncludesP90 locks the String format in: the histogram
+// line must carry p50, p90 and p99 in order.
+func TestSnapshotStringIncludesP90(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", ExpBuckets(1, 2, 10))
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := reg.Snapshot().String()
+	i50 := strings.Index(s, "p50=")
+	i90 := strings.Index(s, "p90=")
+	i99 := strings.Index(s, "p99=")
+	if i50 < 0 || i90 < 0 || i99 < 0 {
+		t.Fatalf("String missing a quantile: %q", s)
+	}
+	if !(i50 < i90 && i90 < i99) {
+		t.Fatalf("quantiles out of order in %q", s)
+	}
+}

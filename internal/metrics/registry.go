@@ -276,8 +276,8 @@ func (s Snapshot) String() string {
 		lines = append(lines, fmt.Sprintf("%s %d", name, v))
 	}
 	for name, h := range s.Histograms {
-		lines = append(lines, fmt.Sprintf("%s count=%d mean=%.1f p50=%.0f p99=%.0f",
-			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99)))
+		lines = append(lines, fmt.Sprintf("%s count=%d mean=%.1f p50=%.0f p90=%.0f p99=%.0f",
+			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

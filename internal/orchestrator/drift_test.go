@@ -1,0 +1,90 @@
+package orchestrator
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestNoteDriftAdvisoryByDefault: without autorefresh armed, a drift
+// signal is counted and published but triggers nothing.
+func TestNoteDriftAdvisoryByDefault(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec := NewRecomputer(New(nil, nil), RecomputeConfig{Core: core.DefaultConfig(), Registry: reg, Seed: 1})
+	rec.NoteDrift(0.5)
+	rec.NoteDrift(0.7)
+	s := reg.Snapshot()
+	if got := s.Counters["recompute.drift_signals"]; got != 2 {
+		t.Fatalf("drift_signals = %d, want 2", got)
+	}
+	if got := s.Gauges["recompute.last_drift_ppm"]; got != 700_000 {
+		t.Fatalf("last_drift_ppm = %d, want 700000", got)
+	}
+	st := rec.Status()
+	if st["autorefresh"] != false {
+		t.Fatalf("autorefresh in Status = %v, want false", st["autorefresh"])
+	}
+}
+
+// TestNoteDriftAutoRefreshSingleFlight: with autorefresh armed, signals
+// run the refresh fn, but a signal arriving while one is in flight does
+// not stack a second run.
+func TestNoteDriftAutoRefreshSingleFlight(t *testing.T) {
+	rec := NewRecomputer(New(nil, nil), RecomputeConfig{Core: core.DefaultConfig(), Seed: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	runs := 0
+	rec.SetAutoRefresh(func() {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		started <- struct{}{}
+		<-release
+	})
+	rec.NoteDrift(0.9)
+	<-started // first refresh is now in flight
+	rec.NoteDrift(0.95)
+	rec.NoteDrift(0.99) // both must coalesce into the in-flight run
+	close(release)
+	// Drain the possible (but not expected) extra run before asserting.
+	select {
+	case <-started:
+		t.Fatal("a second refresh started while the first was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if runs != 1 {
+		t.Fatalf("refresh ran %d times, want 1", runs)
+	}
+}
+
+// TestNoteDriftDisarm: SetAutoRefresh(nil) returns the engine to
+// advisory mode.
+func TestNoteDriftDisarm(t *testing.T) {
+	rec := NewRecomputer(New(nil, nil), RecomputeConfig{Core: core.DefaultConfig(), Seed: 1})
+	ran := make(chan struct{}, 4)
+	rec.SetAutoRefresh(func() { ran <- struct{}{} })
+	rec.NoteDrift(0.5)
+	select {
+	case <-ran:
+	case <-time.After(time.Second):
+		t.Fatal("armed engine never ran the refresh")
+	}
+	rec.SetAutoRefresh(nil)
+	// Wait for the first run's single-flight slot to clear.
+	deadline := time.Now().Add(time.Second)
+	for rec.refreshing.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rec.NoteDrift(0.6)
+	select {
+	case <-ran:
+		t.Fatal("disarmed engine ran a refresh")
+	case <-time.After(50 * time.Millisecond):
+	}
+}

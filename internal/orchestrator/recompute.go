@@ -3,6 +3,7 @@ package orchestrator
 import (
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +48,11 @@ type Recomputer struct {
 
 	dur         *metrics.Histogram
 	runs, stale *metrics.Counter
+
+	driftSigs   *metrics.Counter
+	lastDrift   *metrics.Gauge
+	autoRefresh atomic.Pointer[func()]
+	refreshing  atomic.Bool
 }
 
 // NewRecomputer builds a recompute engine installing into o.
@@ -72,12 +78,56 @@ func NewRecomputer(o *Orchestrator, rc RecomputeConfig) *Recomputer {
 		r.dur = rc.Registry.Histogram("recompute.duration_ns", metrics.ExpBuckets(1_000_000, 2, 23))
 		r.runs = rc.Registry.Counter("recompute.runs")
 		r.stale = rc.Registry.Counter("recompute.stale_rejected")
+		r.driftSigs = rc.Registry.Counter("recompute.drift_signals")
+		r.lastDrift = rc.Registry.Gauge("recompute.last_drift_ppm")
 	} else {
 		r.dur = metrics.NewHistogram(metrics.ExpBuckets(1_000_000, 2, 23))
 		r.runs = &metrics.Counter{}
 		r.stale = &metrics.Counter{}
+		r.driftSigs = &metrics.Counter{}
+		r.lastDrift = &metrics.Gauge{}
 	}
 	return r
+}
+
+// SetAutoRefresh arms the drift-triggered early recompute: when a
+// NoteDrift signal arrives with autorefresh armed, fn runs once in its
+// own goroutine (single-flight — overlapping signals while a refresh is
+// in progress are recorded but do not stack refreshes). fn is whatever
+// re-runs the last training (the command wires it to replay its last
+// train input); the generation-token path already protects against a
+// slow refresh overwriting a newer one. Passing nil disarms.
+func (r *Recomputer) SetAutoRefresh(fn func()) {
+	if fn == nil {
+		r.autoRefresh.Store(nil)
+		return
+	}
+	r.autoRefresh.Store(&fn)
+}
+
+// NoteDrift consumes an early-recompute signal from the data-quality
+// plane (quality.Plane's OnDrift hook). Advisory by default: the signal
+// is counted, the score is published, and a structured event is logged —
+// an operator watching recompute.drift_signals decides. With autorefresh
+// armed (SetAutoRefresh / -quality-autorefresh), the engine additionally
+// kicks off the refresh itself.
+func (r *Recomputer) NoteDrift(score float64) {
+	r.driftSigs.Inc()
+	r.lastDrift.Set(int64(score * 1e6))
+	fn := r.autoRefresh.Load()
+	acting := fn != nil
+	r.log.Warn("drift signal received", "score", score, "autorefresh", acting)
+	if !acting {
+		return
+	}
+	if !r.refreshing.CompareAndSwap(false, true) {
+		r.log.Warn("drift-triggered refresh already in flight; signal recorded only")
+		return
+	}
+	go func() {
+		defer r.refreshing.Store(false)
+		(*fn)()
+	}()
 }
 
 // Workers returns the bounded pool size the engine trains with.
@@ -121,5 +171,8 @@ func (r *Recomputer) Status() map[string]any {
 		"cache_entries":  r.cache.Len(),
 		"cache_hits":     hits,
 		"cache_misses":   misses,
+		"drift_signals":  r.driftSigs.Load(),
+		"last_drift_ppm": r.lastDrift.Load(),
+		"autorefresh":    r.autoRefresh.Load() != nil,
 	}
 }

@@ -30,6 +30,17 @@ type FilterStage struct {
 	// Set is the initial filter set, read until the first Swap.
 	Set *filter.Set
 
+	// ShadowSelect picks the (VP,prefix) slots mirrored into the shadow
+	// lane (e.g. quality.Selector.Selected); ShadowSink receives every
+	// update of a selected slot together with the filter's verdict —
+	// including the updates the filter discarded, which is the point: the
+	// data-quality plane needs the would-have-been stream to audit the
+	// drops. Both must be set before Start and must not block (the sink is
+	// called from shard workers; selection is per-(VP,prefix) so a slot's
+	// updates all land on one shard and the sink sees them in order).
+	ShadowSelect func(*update.Update) bool
+	ShadowSink   func(u *update.Update, kept bool)
+
 	swapped atomic.Bool
 	dyn     atomic.Pointer[filter.Set]
 }
@@ -55,12 +66,17 @@ func (s *FilterStage) Current() *filter.Set {
 // Process implements Stage.
 func (s *FilterStage) Process(batch []*update.Update) []*update.Update {
 	set := s.Current()
-	if set == nil {
+	shadow := s.ShadowSink != nil && s.ShadowSelect != nil
+	if set == nil && !shadow {
 		return batch
 	}
 	kept := batch[:0]
 	for _, u := range batch {
-		if set.Keep(u) {
+		k := set == nil || set.Keep(u)
+		if shadow && s.ShadowSelect(u) {
+			s.ShadowSink(u, k)
+		}
+		if k {
 			kept = append(kept, u)
 		}
 	}
@@ -151,6 +167,7 @@ type ArchiveStage struct {
 
 	mu      sync.Mutex
 	written atomic.Uint64
+	failed  atomic.Uint64
 }
 
 // Name implements Stage.
@@ -158,6 +175,13 @@ func (s *ArchiveStage) Name() string { return "archive" }
 
 // Written returns the number of records archived.
 func (s *ArchiveStage) Written() uint64 { return s.written.Load() }
+
+// Failed returns the number of records that could not be archived —
+// encode errors, destination write errors, or sink errors. Every update
+// entering Process lands in exactly one of Written or Failed, which is
+// what lets the data-quality plane's completeness ledger balance even
+// under injected archive faults.
+func (s *ArchiveStage) Failed() uint64 { return s.failed.Load() }
 
 // Flush implements Flusher: buffered destinations (gzip, bufio) are
 // flushed so a drained pipeline leaves a readable archive.
@@ -185,6 +209,7 @@ func (s *ArchiveStage) Process(batch []*update.Update) []*update.Update {
 		if encode {
 			start := buf.Len()
 			if err := mrt.NewWriter(&buf).WriteRecord(rec); err != nil {
+				s.failed.Add(1)
 				continue
 			}
 			e.wire = buf.Bytes()[start:]
@@ -198,11 +223,13 @@ func (s *ArchiveStage) Process(batch []*update.Update) []*update.Update {
 	for _, e := range recs {
 		if s.Out != nil {
 			if _, err := s.Out.Write(e.wire); err != nil {
+				s.failed.Add(1)
 				continue
 			}
 		}
 		if s.Sink != nil {
 			if err := s.Sink(e.rec); err != nil {
+				s.failed.Add(1)
 				continue
 			}
 		}

@@ -36,6 +36,15 @@ type Admin struct {
 	// Status returns the component-specific payload embedded in /statusz
 	// (daemon stats, per-session state, filter generation, ...).
 	Status func() any
+	// Quality returns the data-quality plane's JSON payload served on
+	// /qualityz and embedded in /statusz (shadow fraction, live vs.
+	// training reconstitution power, drift scores, ledger residuals). Nil
+	// means no quality plane: /qualityz answers 404.
+	Quality func() any
+	// Build carries the build-identity labels rendered as the build_info
+	// gauge on /metrics and the "build" section of /statusz; nil defaults
+	// to BuildInfo().
+	Build map[string]string
 
 	start time.Time
 }
@@ -46,6 +55,7 @@ type HistogramSummary struct {
 	Count uint64  `json:"count"`
 	Mean  float64 `json:"mean"`
 	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
 }
 
@@ -54,7 +64,9 @@ type statuszPayload struct {
 	Uptime      string                      `json:"uptime"`
 	Ready       bool                        `json:"ready"`
 	ReadyReason string                      `json:"ready_reason,omitempty"`
+	Build       map[string]string           `json:"build,omitempty"`
 	Status      any                         `json:"status,omitempty"`
+	Quality     any                         `json:"quality,omitempty"`
 	Histograms  map[string]HistogramSummary `json:"histograms,omitempty"`
 }
 
@@ -67,6 +79,7 @@ func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.metricsHandler)
 	mux.HandleFunc("/statusz", a.statuszHandler)
+	mux.HandleFunc("/qualityz", a.qualityzHandler)
 	mux.HandleFunc("/healthz", a.healthzHandler)
 	mux.HandleFunc("/readyz", a.readyzHandler)
 	mux.HandleFunc("/tracez", a.tracezHandler)
@@ -100,8 +113,21 @@ func (a *Admin) Serve(ctx context.Context, ln net.Listener) error {
 	return err
 }
 
+// buildLabels returns the configured build-identity labels, defaulting
+// to BuildInfo().
+func (a *Admin) buildLabels() map[string]string {
+	if a.Build != nil {
+		return a.Build
+	}
+	return BuildInfo()
+}
+
 func (a *Admin) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WritePromInfo(w, "build_info", a.buildLabels()); err != nil {
+		a.Log.Debug("metrics render aborted", "err", err)
+		return
+	}
 	if a.Registry == nil {
 		return
 	}
@@ -114,12 +140,16 @@ func (a *Admin) statuszHandler(w http.ResponseWriter, r *http.Request) {
 	p := statuszPayload{
 		Uptime: time.Since(a.start).Round(time.Millisecond).String(),
 		Ready:  true,
+		Build:  a.buildLabels(),
 	}
 	if a.Ready != nil {
 		p.Ready, p.ReadyReason = a.Ready()
 	}
 	if a.Status != nil {
 		p.Status = a.Status()
+	}
+	if a.Quality != nil {
+		p.Quality = a.Quality()
 	}
 	if a.Registry != nil {
 		snap := a.Registry.Snapshot()
@@ -130,12 +160,24 @@ func (a *Admin) statuszHandler(w http.ResponseWriter, r *http.Request) {
 					Count: h.Count,
 					Mean:  h.Mean(),
 					P50:   h.Quantile(0.50),
+					P90:   h.Quantile(0.90),
 					P99:   h.Quantile(0.99),
 				}
 			}
 		}
 	}
 	writeJSON(w, http.StatusOK, p)
+}
+
+// qualityzHandler serves the data-quality plane's payload; without a
+// plane the endpoint 404s so probes can tell "no quality plane" from
+// "quality plane with empty data".
+func (a *Admin) qualityzHandler(w http.ResponseWriter, r *http.Request) {
+	if a.Quality == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, a.Quality())
 }
 
 func (a *Admin) healthzHandler(w http.ResponseWriter, r *http.Request) {

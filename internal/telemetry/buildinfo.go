@@ -1,0 +1,49 @@
+package telemetry
+
+// Build identity for the operator surfaces. Version and GitSHA are plain
+// package variables so release builds can stamp them without a code
+// change:
+//
+//	go build -ldflags "-X repro/internal/telemetry.Version=v1.2.0 \
+//	                   -X repro/internal/telemetry.GitSHA=$(git rev-parse --short HEAD)" ./...
+//
+// An unstamped binary falls back to the module's embedded VCS revision
+// (present when built from a git checkout) and reports "dev"/"unknown"
+// otherwise — the info series is always emitted, so dashboards can rely
+// on its presence and alert on fleets running unstamped builds.
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+var (
+	// Version is the release version, stamped via -ldflags.
+	Version = "dev"
+	// GitSHA is the source revision, stamped via -ldflags.
+	GitSHA = "unknown"
+)
+
+// BuildInfo returns the build-identity labels rendered as the
+// `build_info` gauge on /metrics and the `build` section of /statusz.
+func BuildInfo() map[string]string {
+	sha := GitSHA
+	if sha == "unknown" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" && s.Value != "" {
+					sha = s.Value
+					if len(sha) > 12 {
+						sha = sha[:12]
+					}
+					break
+				}
+			}
+		}
+	}
+	return map[string]string{
+		"version":    Version,
+		"git_sha":    sha,
+		"go_version": runtime.Version(),
+	}
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoggerRateLimitConservation hammers one (component, msg) key from
+// many concurrent writers and checks the conservation law the limiter
+// promises: every call is either an emitted line or counted in some
+// emitted line's suppressed=N field — no log call vanishes without trace.
+// Run under -race this also exercises the limiter's window state for data
+// races. The clock is an atomic counter (not a mutable closure variable)
+// so the test itself cannot introduce a race on the time source.
+func TestLoggerRateLimitConservation(t *testing.T) {
+	var buf bytes.Buffer
+	logg := NewLogger(&buf)
+	logg.SetRateLimit(4, 10*time.Second)
+
+	var nowNS atomic.Int64
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	logg.SetClock(func() time.Time { return base.Add(time.Duration(nowNS.Load())) })
+
+	lg := logg.With("hammer")
+	const writers = 16
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				lg.Info("flap detected", "writer", id, "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Advance past the window; the next call for the key opens a fresh
+	// window and carries the pending suppressed tally on its line.
+	nowNS.Store(int64(11 * time.Second))
+	lg.Info("flap detected", "final", true)
+
+	total := writers*perWriter + 1
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	emitted := 0
+	var suppressed uint64
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		emitted++
+		for _, f := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(f, "suppressed="); ok {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					t.Fatalf("bad suppressed field %q in %q: %v", f, line, err)
+				}
+				suppressed += n
+			}
+		}
+	}
+	if emitted+int(suppressed) != total {
+		t.Fatalf("conservation violated: %d emitted + %d suppressed != %d calls",
+			emitted, suppressed, total)
+	}
+	// With a cold window of burst 4 and a flush call in a fresh window,
+	// exactly burst+1 lines must have been emitted.
+	if emitted != 5 {
+		t.Fatalf("emitted %d lines, want burst+1 = 5", emitted)
+	}
+}

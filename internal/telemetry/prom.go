@@ -92,6 +92,57 @@ func WriteProm(w io.Writer, s metrics.Snapshot) error {
 	return nil
 }
 
+// WritePromInfo renders a Prometheus "info-style" gauge — a constant 1
+// whose labels carry the payload, the conventional shape for build
+// identity (build_info{version="v1.2.0",git_sha="abc123",...} 1). The
+// registry itself is label-free by design, so this is rendered alongside
+// WriteProm rather than through it. Labels are emitted sorted by key with
+// backslash/quote/newline escaping per the text exposition format.
+func WritePromInfo(w io.Writer, name string, labels map[string]string) error {
+	n := sanitizeMetricName(name)
+	if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", n); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if _, err := io.WriteString(w, n+"{"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		sep := ""
+		if i > 0 {
+			sep = ","
+		}
+		if _, err := fmt.Fprintf(w, "%s%s=\"%s\"", sep, sanitizeMetricName(k),
+			escapeLabelValue(labels[k])); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "} 1\n")
+	return err
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
 func writePromHistogram(w io.Writer, name string, h metrics.HistogramSnapshot) error {
 	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 		return err

@@ -223,6 +223,21 @@ func commsEqual(a, b []uint32) bool {
 	return true
 }
 
+// Coverage scores every evaluator at once: for each, the ground keys are
+// extracted from the full stream and the score is the fraction still
+// recoverable from the sample. The data-quality plane uses it with the
+// shadow lane's two views — full = kept ∪ would-have-been-discarded,
+// sample = kept — to measure live per-use-case event coverage of the
+// filters actually installed, the online counterpart of the §10 offline
+// benchmark.
+func Coverage(evs []Evaluator, full, sample []*update.Update) map[string]float64 {
+	out := make(map[string]float64, len(evs))
+	for _, ev := range evs {
+		out[ev.Name()] = Score(ev, ev.Keys(full), sample)
+	}
+	return out
+}
+
 // All returns the five §10 evaluators in paper order. isAction classifies
 // action communities for use case IV.
 func All(isAction func(uint32) bool) []Evaluator {

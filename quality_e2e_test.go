@@ -1,0 +1,260 @@
+package gill_test
+
+// End-to-end exercise of the data-quality plane: a daemon collects over
+// real TCP with the shadow lane and the completeness ledger wired, and the
+// conservation law In = Archived + Filtered + Dropped + Rejected + Lost +
+// Queued must balance to zero residual — in a clean run and under
+// injected archive faults. TestShadowOverheadGuard (env-gated, run by
+// `make quality-smoke`) asserts the shadow lane at its default 1/64
+// fraction costs at most 5% of ingest throughput.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/netip"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/daemon"
+	"repro/internal/faults"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/quality"
+	"repro/internal/update"
+	"repro/internal/workload"
+)
+
+// dialQualityPeer connects a fake peer to the daemon over loopback TCP
+// and returns the peer-side session.
+func dialQualityPeer(t *testing.T, d *daemon.Daemon, peerAS uint32) *bgp.Session {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go func() {
+		conn, err := ln.Accept()
+		ln.Close()
+		if err != nil {
+			return
+		}
+		_ = d.ServeConn(ctx, conn)
+	}()
+	hctx, hcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer hcancel()
+	sess, err := bgp.Dial(hctx, ln.Addr().String(), bgp.SpeakerConfig{
+		LocalAS:  peerAS,
+		RouterID: netip.AddrFrom4([4]byte{192, 0, 2, byte(peerAS)}),
+		HoldTime: 60,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	return sess
+}
+
+func waitForQuality(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+// qualityFilters drops vp65001's 20 hottest prefixes so the run exercises
+// the Filtered ledger bucket (the workload's prefixes are 32.x.y.0/24).
+func qualityFilters() *filter.Set {
+	fs := filter.NewSet(filter.GranVPPrefix)
+	for i := 0; i < 20; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{32, byte(i >> 8), byte(i), 0}), 24)
+		fs.AddDropVPPrefix("vp65001", p)
+	}
+	return fs
+}
+
+// TestQualityLedgerBalancesE2E: a clean TCP collection run ends with a
+// zero-residual completeness ledger, a working shadow lane, and the
+// residual published on quality.unaccounted.
+func TestQualityLedgerBalancesE2E(t *testing.T) {
+	reg := metrics.NewRegistry()
+	qp := quality.NewPlane(quality.Config{
+		Selector: quality.Selector{Seed: 1, Denom: 4},
+		Registry: reg,
+	})
+	var out bytes.Buffer
+	d := daemon.New(daemon.Config{
+		LocalAS:  65000,
+		Filters:  qualityFilters(),
+		Out:      &out,
+		Registry: reg,
+		Quality:  qp,
+	})
+	peer := dialQualityPeer(t, d, 65001)
+
+	const n = 400
+	stream := workload.Stream(workload.StreamConfig{PeerAS: 65001, Seed: 3, Prefixes: 50}, n)
+	for _, tu := range stream {
+		if err := peer.Send(tu.Update); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	waitForQuality(t, func() bool { return d.Stats().Received >= n })
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	lc := d.LedgerCounts()
+	if lc.In != n {
+		t.Errorf("ledger In = %d, want %d", lc.In, n)
+	}
+	if lc.Unaccounted() != 0 {
+		t.Errorf("ledger residual %d after drain, want 0: %+v", lc.Unaccounted(), lc)
+	}
+	if lc.Filtered == 0 {
+		t.Error("filters matched nothing — the Filtered bucket is unexercised")
+	}
+	if lc.Archived == 0 {
+		t.Error("nothing archived")
+	}
+
+	// The plane samples the same ledger and publishes the residual.
+	r := qp.Audit()
+	if r.Ledger == nil {
+		t.Fatal("audit carried no ledger sample despite a wired daemon")
+	}
+	if r.Ledger.Unaccounted != 0 {
+		t.Errorf("audited residual %d, want 0", r.Ledger.Unaccounted)
+	}
+	if r.ShadowObserved == 0 {
+		t.Error("shadow lane at 1/4 saw nothing over a 50-prefix stream")
+	}
+	if r.ShadowObserved != r.ShadowKept+r.ShadowDiscarded {
+		t.Errorf("shadow verdicts do not add up: %d observed, %d kept + %d discarded",
+			r.ShadowObserved, r.ShadowKept, r.ShadowDiscarded)
+	}
+	if g := reg.Snapshot().Gauges["quality.unaccounted"]; g != 0 {
+		t.Errorf("quality.unaccounted gauge = %d, want 0", g)
+	}
+}
+
+// TestQualityLedgerBalancesUnderChaos: with write faults injected into
+// the archive destination, updates land in Lost instead of Archived — and
+// the ledger still balances exactly. Loss is accounted, never silent.
+func TestQualityLedgerBalancesUnderChaos(t *testing.T) {
+	reg := metrics.NewRegistry()
+	qp := quality.NewPlane(quality.Config{
+		Selector: quality.Selector{Seed: 1, Denom: 4},
+		Registry: reg,
+	})
+	inj := faults.New(faults.Config{Seed: 7, ErrProb: 0.2, PartialProb: 0.1})
+	d := daemon.New(daemon.Config{
+		LocalAS:  65000,
+		Filters:  qualityFilters(),
+		Out:      inj.Writer(io.Discard),
+		Registry: reg,
+		Quality:  qp,
+	})
+	peer := dialQualityPeer(t, d, 65001)
+
+	const n = 400
+	stream := workload.Stream(workload.StreamConfig{PeerAS: 65001, Seed: 4, Prefixes: 50}, n)
+	for _, tu := range stream {
+		if err := peer.Send(tu.Update); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	waitForQuality(t, func() bool { return d.Stats().Received >= n })
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	lc := d.LedgerCounts()
+	if lc.Lost == 0 {
+		t.Error("20% injected write errors lost nothing — faults not reaching the archive path")
+	}
+	if lc.Unaccounted() != 0 {
+		t.Errorf("ledger residual %d under chaos, want 0: %+v", lc.Unaccounted(), lc)
+	}
+	if lc.In != n {
+		t.Errorf("ledger In = %d, want %d", lc.In, n)
+	}
+	if got := lc.Archived + lc.Filtered + lc.Dropped + lc.Rejected + lc.Lost + lc.Queued; got != n {
+		t.Errorf("buckets sum to %d, want %d: %+v", got, n, lc)
+	}
+}
+
+// runShadowPipeline pushes n updates through the filter → archive chain,
+// optionally with the shadow lane attached, and returns upd/s.
+func runShadowPipeline(tb testing.TB, us []*update.Update, qp *quality.Plane, n int) float64 {
+	fs := &pipeline.FilterStage{}
+	if qp != nil {
+		fs.ShadowSelect = qp.Selected
+		fs.ShadowSink = qp.ObserveShadow
+	}
+	p := pipeline.New(pipeline.Config{
+		Shards:    4,
+		QueueSize: 4096,
+		BatchSize: 64,
+		Overflow:  pipeline.Block, // measure capacity, not drops
+	},
+		fs,
+		&pipeline.ArchiveStage{
+			LocalAS:    65000,
+			Out:        io.Discard,
+			WriteDelay: 50 * time.Microsecond,
+		},
+	)
+	if err := p.Start(context.Background()); err != nil {
+		tb.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		p.Ingest(us[i%len(us)])
+	}
+	if err := p.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// TestShadowOverheadGuard asserts the shadow lane at the default 1/64
+// fraction sustains at least 95% of the shadow-off throughput. Like the
+// tracing guard it needs a quiet machine, so it only runs when
+// GILL_BENCH_GUARD=1 (make quality-smoke sets it).
+func TestShadowOverheadGuard(t *testing.T) {
+	if os.Getenv("GILL_BENCH_GUARD") != "1" {
+		t.Skip("set GILL_BENCH_GUARD=1 to run the shadow overhead guard")
+	}
+	us := obsWorkload()
+	const n = 250_000
+	plane := func() *quality.Plane {
+		return quality.NewPlane(quality.Config{Selector: quality.Selector{Seed: 1, Denom: 64}})
+	}
+	runShadowPipeline(t, us, nil, n) // warm caches and the scheduler
+	// Interleave and compare best-of-5, as in TestTracingOverheadGuard.
+	var off, on float64
+	for i := 0; i < 5; i++ {
+		if thr := runShadowPipeline(t, us, nil, n); thr > off {
+			off = thr
+		}
+		if thr := runShadowPipeline(t, us, plane(), n); thr > on {
+			on = thr
+		}
+	}
+	t.Logf("shadow off %.0f upd/s, on (1/64) %.0f upd/s (%.2f%%)", off, on, 100*on/off)
+	if on < 0.95*off {
+		t.Errorf("shadow-lane overhead exceeds 5%%: off %.0f upd/s, on %.0f upd/s", off, on)
+	}
+}

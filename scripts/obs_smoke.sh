@@ -1,8 +1,10 @@
 #!/bin/sh
 # obs_smoke.sh — boot a real gill-daemon with the admin plane on an
 # ephemeral loopback port and verify the operator endpoints end to end:
-# /healthz, /readyz, /statusz, /tracez, and a well-formed /metrics
-# exposition carrying the core pipeline series.
+# /healthz, /readyz, /statusz, /tracez, /qualityz, and a well-formed
+# /metrics exposition carrying the core pipeline series, the quality.*
+# data-quality series, and the ldflags-stamped build_info gauge. Then the
+# same admin-plane checks against gill-orchestrator.
 #
 # Run via `make obs-smoke` (which also runs the tracing-overhead guard).
 set -eu
@@ -10,15 +12,23 @@ set -eu
 GO=${GO:-go}
 dir=$(mktemp -d)
 pid=""
+opid=""
 cleanup() {
 	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
 	[ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+	[ -n "$opid" ] && kill "$opid" 2>/dev/null || true
+	[ -n "$opid" ] && wait "$opid" 2>/dev/null || true
 	rm -rf "$dir"
 }
 trap cleanup EXIT INT TERM
 
-echo "obs-smoke: building gill-daemon"
-$GO build -o "$dir/gill-daemon" ./cmd/gill-daemon
+# Stamp the build so the build_info check exercises the real ldflags path,
+# not just the baked-in defaults.
+LDFLAGS="-X repro/internal/telemetry.Version=smoke-test -X repro/internal/telemetry.GitSHA=0123abc"
+
+echo "obs-smoke: building gill-daemon and gill-orchestrator"
+$GO build -ldflags "$LDFLAGS" -o "$dir/gill-daemon" ./cmd/gill-daemon
+$GO build -ldflags "$LDFLAGS" -o "$dir/gill-orchestrator" ./cmd/gill-orchestrator
 
 "$dir/gill-daemon" -listen 127.0.0.1:0 -admin 127.0.0.1:0 -stats 0 \
 	2>"$dir/daemon.log" &
@@ -82,8 +92,79 @@ grep -q '^# TYPE daemon_pipeline_queue_wait_ns histogram' "$dir/metrics.txt" ||
 grep -q 'le="+Inf"' "$dir/metrics.txt" ||
 	fail "/metrics histogram missing +Inf terminal bucket"
 
+# Data-quality plane: the quality.* catalogue must be registered from
+# boot (not lazily on the first audit), and /qualityz must serve a fresh
+# audit report.
+for series in \
+	quality_shadow_observed \
+	quality_shadow_buffered \
+	quality_rp_live_ppm \
+	quality_drift_score_ppm \
+	quality_unaccounted; do
+	grep -q "^$series" "$dir/metrics.txt" ||
+		fail "/metrics missing series $series"
+done
+grep -q '^build_info{' "$dir/metrics.txt" ||
+	fail "/metrics missing build_info gauge"
+grep -q 'version="smoke-test"' "$dir/metrics.txt" ||
+	fail "build_info not carrying the ldflags-stamped version"
+grep -q 'git_sha="0123abc"' "$dir/metrics.txt" ||
+	fail "build_info not carrying the ldflags-stamped git sha"
+curl -fsS "http://$addr/qualityz" >"$dir/qualityz.json"
+grep -q '"shadow_fraction"' "$dir/qualityz.json" ||
+	fail "/qualityz missing shadow_fraction"
+grep -q '"ledger"' "$dir/qualityz.json" ||
+	fail "/qualityz missing the completeness ledger"
+grep -q '"unaccounted": 0' "$dir/qualityz.json" ||
+	fail "/qualityz ledger residual nonzero on an idle daemon"
+grep -q '"build"' "$dir/statusz.json" ||
+	fail "/statusz missing build info"
+
 kill "$pid"
 wait "$pid" 2>/dev/null || true
 pid=""
+echo "obs-smoke: daemon PASS ($(wc -l <"$dir/metrics.txt") metric lines)"
 
-echo "obs-smoke: PASS ($(wc -l <"$dir/metrics.txt") metric lines)"
+# Same checks against the orchestrator's admin plane. Its stdin is the
+# command console, so keep the pipe open for the run.
+sleep 60 | "$dir/gill-orchestrator" -admin 127.0.0.1:0 \
+	>"$dir/orch.out" 2>"$dir/orch.log" &
+opid=$!
+oaddr=""
+i=0
+while [ $i -lt 50 ]; do
+	oaddr=$(sed -n 's/.*admin_addr=\([0-9.:]*\).*/\1/p' "$dir/orch.log" | head -n1)
+	[ -n "$oaddr" ] && break
+	if ! kill -0 "$opid" 2>/dev/null; then
+		echo "obs-smoke: FAIL: orchestrator exited during startup" >&2
+		cat "$dir/orch.log" >&2
+		exit 1
+	fi
+	i=$((i + 1))
+	sleep 0.1
+done
+[ -n "$oaddr" ] || fail "orchestrator admin plane never came up"
+echo "obs-smoke: orchestrator admin plane at $oaddr"
+
+curl -fsS "http://$oaddr/healthz" | grep -q '^ok$' ||
+	fail "orchestrator /healthz did not answer ok"
+curl -fsS "http://$oaddr/metrics" >"$dir/orch-metrics.txt"
+for series in \
+	quality_shadow_observed \
+	quality_drift_score_ppm \
+	recompute_drift_signals \
+	recompute_last_drift_ppm; do
+	grep -q "^$series" "$dir/orch-metrics.txt" ||
+		fail "orchestrator /metrics missing series $series"
+done
+grep -q 'version="smoke-test"' "$dir/orch-metrics.txt" ||
+	fail "orchestrator build_info not stamped"
+curl -fsS "http://$oaddr/qualityz" | grep -q '"shadow_fraction": "all"' ||
+	fail "orchestrator /qualityz not auditing the full replayed stream"
+curl -fsS "http://$oaddr/statusz" | grep -q '"autorefresh"' ||
+	fail "orchestrator /statusz missing the autorefresh state"
+
+kill "$opid" 2>/dev/null || true
+wait "$opid" 2>/dev/null || true
+opid=""
+echo "obs-smoke: PASS"
