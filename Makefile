@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke verify
+.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke serve-smoke bench-serve verify
 
 all: build
 
@@ -60,11 +60,29 @@ quality-smoke:
 	$(GO) test -race -count=1 -run 'TestQualityLedger' .
 	GILL_BENCH_GUARD=1 $(GO) test -run TestShadowOverheadGuard -count=1 -v .
 
+# serve-smoke is the serving-plane end-to-end: boot a real daemon with a
+# WAL journal, attach a filtered NDJSON stream subscriber, feed it BGP
+# traffic over two peerings, then assert filtered delivery, the /api
+# query and RIB endpoints, the serving metrics, and an offline index
+# rebuild that answers the same question from the raw segments.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# bench-serve runs the streaming scale guards: 100K+ concurrent
+# subscribers with slow-client eviction, rate-limit drops, and healthy
+# delivery all asserted, plus the machine-readable BENCH_serve.json
+# report (fan-out throughput, delivery latency percentiles, publish
+# allocations). A benchmark smoke pass rides along.
+bench-serve:
+	$(GO) test -run xxx -bench BenchmarkStreamFanout -benchtime 1x .
+	GILL_BENCH_GUARD=1 $(GO) test -run 'TestStreamScaleGuard|TestServeBenchReport' -count=1 -v .
+
 # verify is the full pre-merge gate: vet, build, race-enabled tests, the
 # fault-injection suite, smoke runs of the pipeline and recompute
 # benchmarks, the observability smoke (admin endpoints + tracing
-# overhead), and the data-quality smoke (ledger conservation + shadow
-# overhead).
+# overhead), the data-quality smoke (ledger conservation + shadow
+# overhead), and the serving-plane smoke (indexed queries + filtered
+# streaming end to end).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -74,3 +92,4 @@ verify:
 	$(MAKE) bench-recompute
 	$(MAKE) obs-smoke
 	$(MAKE) quality-smoke
+	$(MAKE) serve-smoke

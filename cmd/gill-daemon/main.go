@@ -8,11 +8,14 @@
 //	    -filters filters.txt -out updates.mrt.gz -stats 10s -admin 127.0.0.1:8471
 //
 // A -wal directory adds a crash-safe record journal (recovered and
-// repaired on startup); -chaos injects deterministic faults into the
-// accept path for resilience testing. The -admin flag serves the
-// operator plane (/metrics, /statusz, /healthz, /readyz, /tracez,
-// /debug/pprof/) — bind it to loopback or an operator network, it is
-// unauthenticated.
+// repaired on startup) plus the serving plane's skip-index over its
+// segments; -chaos injects deterministic faults into the accept path for
+// resilience testing. The -admin flag serves the operator plane
+// (/metrics, /statusz, /healthz, /readyz, /tracez, /debug/pprof/) and,
+// when a WAL is configured, the query API under /api/ and the filtered
+// NDJSON live stream on /stream — bind it to loopback or an operator
+// network, it is unauthenticated. A -live address additionally serves
+// the legacy JSON-over-TCP live feed.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -33,10 +37,14 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/faults"
 	"repro/internal/filter"
+	"repro/internal/index"
+	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/mrt"
 	"repro/internal/quality"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/update"
 )
 
 func main() {
@@ -53,6 +61,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "ingest pipeline shards (0: default)")
 		batch    = flag.Int("batch", 0, "ingest pipeline batch size (0: default)")
 		walDir   = flag.String("wal", "", "crash-safe record journal directory (recovered on startup)")
+		walRot   = flag.Int("wal-rotate", 0, "records per journal segment before rotation (0: default)")
+		liveAddr = flag.String("live", "", "legacy JSON-over-TCP live feed address (empty: disabled)")
 		filtTTL  = flag.Duration("filter-ttl", 0, "degrade to retain-everything when filters go stale (0: never)")
 		chaos    = flag.String("chaos", "", "fault-injection spec, e.g. seed=7,reset=0.01,drop-accept=50 (testing only)")
 		admin    = flag.String("admin", "", "admin-plane address (/metrics, /statusz, /healthz, /readyz, /tracez, /qualityz, pprof); bind loopback — unauthenticated")
@@ -141,6 +151,7 @@ func main() {
 		}
 	}
 	var wal *archive.Journal
+	var ix *index.Service
 	if *walDir != "" {
 		// Recover first: repair torn tails from a previous crash and report
 		// exactly what survived before appending anything new.
@@ -153,10 +164,25 @@ func main() {
 				"recovered", rs.Recovered, "lost", rs.Lost,
 				"torn_segments", rs.TornSegments, "truncated_bytes", rs.TruncatedBytes)
 		}
-		wal, err = archive.OpenJournal(*walDir, 0)
+		wal, err = archive.OpenJournal(*walDir, *walRot)
 		if err != nil {
 			fatal("opening wal", "err", err)
 		}
+		// The serving plane's skip-index: Sync (inside NewService) picks up
+		// the recovered segments — rescanning any the repair truncated —
+		// and OnSeal keeps it current as the journal rotates.
+		ix, err = index.NewService(*walDir, reg)
+		if err != nil {
+			fatal("opening index", "err", err)
+		}
+		logi := logg.With("index")
+		wal.OnSeal = func(path string) {
+			if err := ix.Index.AddSegment(path); err != nil {
+				logi.Warn("indexing sealed segment failed", "segment", path, "err", err)
+			}
+		}
+		st := ix.Index.Stats()
+		logm.Info("index ready", "segments", st.Segments, "records", st.Records)
 	}
 	switch {
 	case store != nil && wal != nil:
@@ -170,6 +196,39 @@ func main() {
 		cfgD.RecordSink = store.Append
 	case wal != nil:
 		cfgD.RecordSink = wal.Append
+	}
+
+	// The live tee: retained updates fan out to the legacy TCP feed and
+	// the admin plane's NDJSON stream hub. Both are non-blocking by
+	// contract, so the tee is safe on the collection path.
+	var liveSrv *live.Server
+	var liveLn net.Listener
+	if *liveAddr != "" {
+		liveSrv = live.NewServer()
+		liveSrv.Log = logg
+		liveSrv.Instrument(reg)
+		liveLn, err = net.Listen("tcp", *liveAddr)
+		if err != nil {
+			fatal("live listen", "addr", *liveAddr, "err", err)
+		}
+	}
+	var hub *stream.Hub
+	if *admin != "" {
+		hub = stream.NewHub(stream.Config{Registry: reg, Log: logg})
+	}
+	var pubs []func(*update.Update)
+	if liveSrv != nil {
+		pubs = append(pubs, liveSrv.Publish)
+	}
+	if hub != nil {
+		pubs = append(pubs, hub.Publish)
+	}
+	if len(pubs) > 0 {
+		cfgD.Publish = func(u *update.Update) {
+			for _, p := range pubs {
+				p(u)
+			}
+		}
 	}
 	d := daemon.New(cfgD)
 
@@ -193,16 +252,33 @@ func main() {
 	go qp.Run(ctx)
 	logm.Info("data-quality plane running", "shadow_fraction", qp.Selector().String())
 
+	if liveSrv != nil {
+		go func() {
+			if err := liveSrv.Serve(ctx, liveLn); err != nil {
+				logm.Warn("live feed exited", "err", err)
+			}
+		}()
+		logm.Info("live feed listening", "live_addr", liveLn.Addr())
+	}
+
 	if *admin != "" {
 		adminLn, err := net.Listen("tcp", *admin)
 		if err != nil {
 			fatal("admin listen", "addr", *admin, "err", err)
 		}
 		filtersConfigured := *filters != ""
+		routes := map[string]http.Handler{}
+		if hub != nil {
+			routes["/stream"] = hub.StreamHandler()
+		}
+		if ix != nil {
+			routes["/api/"] = http.StripPrefix("/api", ix.Handler())
+		}
 		a := &telemetry.Admin{
 			Registry: reg,
 			Recorder: rec,
 			Log:      logg.With("admin"),
+			Routes:   routes,
 			Ready: func() (bool, string) {
 				// Startup is synchronous: by the time the admin plane
 				// serves, filters are parsed and the WAL is recovered. The
@@ -215,7 +291,30 @@ func main() {
 				}
 				return true, "collecting everything (no filters configured)"
 			},
-			Status:  func() any { return d.StatusSnapshot() },
+			Status: func() any {
+				// The daemon payload inlined (obs tooling greps its keys)
+				// plus a serving section when any serving plane is up.
+				p := statusPayload{Status: d.StatusSnapshot()}
+				if liveSrv != nil || hub != nil || ix != nil {
+					s := &servingStatus{}
+					if liveSrv != nil {
+						s.LiveClients = liveSrv.Clients()
+						s.LiveDroppedSlow = liveSrv.DroppedSlow()
+					}
+					if hub != nil {
+						s.StreamSubscribers = hub.Subscribers()
+						s.StreamPublished = hub.Published()
+						s.StreamEvictedSlow = hub.EvictedSlow()
+					}
+					if ix != nil {
+						st := ix.Index.Stats()
+						s.IndexSegments = st.Segments
+						s.IndexRecords = st.Records
+					}
+					p.Serving = s
+				}
+				return p
+			},
 			Quality: func() any { return qp.Status() },
 		}
 		go func() {
@@ -283,6 +382,12 @@ func main() {
 	if cerr := d.Close(); cerr != nil {
 		logm.Error("pipeline close failed", "err", cerr)
 	}
+	if liveSrv != nil {
+		liveSrv.Close()
+	}
+	if hub != nil {
+		hub.Close()
+	}
 	if store != nil {
 		if cerr := store.Close(); cerr != nil {
 			logm.Error("archive close failed", "err", cerr)
@@ -311,6 +416,25 @@ func main() {
 	logm.Info("final ledger", "in", lc.In, "archived", lc.Archived,
 		"filtered", lc.Filtered, "dropped", lc.Dropped, "rejected", lc.Rejected,
 		"lost", lc.Lost, "unaccounted", lc.Unaccounted())
+}
+
+// servingStatus is the /statusz "serving" section: the read side's
+// health at a glance.
+type servingStatus struct {
+	LiveClients       int    `json:"live_clients"`
+	LiveDroppedSlow   uint64 `json:"live_dropped_slow"`
+	StreamSubscribers int    `json:"stream_subscribers"`
+	StreamPublished   uint64 `json:"stream_published"`
+	StreamEvictedSlow uint64 `json:"stream_evicted_slow"`
+	IndexSegments     int    `json:"index_segments"`
+	IndexRecords      uint64 `json:"index_records"`
+}
+
+// statusPayload inlines the daemon status (its keys are a stable grep
+// surface for the smoke scripts) and appends the serving section.
+type statusPayload struct {
+	daemon.Status
+	Serving *servingStatus `json:"serving,omitempty"`
 }
 
 // multiCloser closes the compressor before the file beneath it.

@@ -1,43 +1,92 @@
-// Command gill-query reads a GILL archive directory (the §9 database of
-// rotating MRT files) and prints the updates in a time range.
+// Command gill-query is the serving plane's CLI: it answers range
+// queries and reconstructs routing state from a GILL daemon's archives,
+// in three modes.
 //
-// Usage:
+// Legacy store mode reads the §9 database of rotating MRT files:
 //
 //	gill-query -dir ./archive -from 2023-09-01T00:00:00Z -to 2023-09-01T06:00:00Z
 //	gill-query -dir ./archive -list            # inventory of archive files
 //	gill-query -dir ./archive -from ... -to ... -vp vp65001 -count
+//
+// WAL mode queries the crash-safe record journal through its skip-index
+// (built incrementally by the daemon, rebuildable offline):
+//
+//	gill-query -wal ./wal -stats               # index inventory
+//	gill-query -wal ./wal -rebuild             # rebuild the index by scanning
+//	gill-query -wal ./wal -from ... -to ... [-vp ...] [-prefix ...] [-count]
+//	gill-query -wal ./wal -rib -at 2023-09-01T06:00:00Z [-vp ...] [-prefix ...]
+//
+// HTTP mode asks a running daemon's admin plane the same questions over
+// its /api endpoints (timestamps additionally accept unix seconds and
+// "now"):
+//
+//	gill-query -http 127.0.0.1:8471 -stats
+//	gill-query -http 127.0.0.1:8471 -rib -at now -prefix 203.0.113.0/24
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/netip"
+	"net/url"
 	"strings"
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/index"
+	"repro/internal/live"
+	"repro/internal/update"
 )
 
 func main() {
 	var (
-		dir   = flag.String("dir", "", "archive directory")
-		from  = flag.String("from", "", "range start (RFC 3339)")
-		to    = flag.String("to", "", "range end (RFC 3339)")
-		vp    = flag.String("vp", "", "restrict to one vantage point")
-		list  = flag.Bool("list", false, "list archive files instead of querying")
-		count = flag.Bool("count", false, "print only the number of matching updates")
+		dir      = flag.String("dir", "", "legacy archive directory (rotating MRT store)")
+		walDir   = flag.String("wal", "", "record journal directory (indexed WAL segments)")
+		httpAddr = flag.String("http", "", "admin-plane host:port of a running daemon")
+		from     = flag.String("from", "", "range start (RFC 3339)")
+		to       = flag.String("to", "", "range end (RFC 3339)")
+		at       = flag.String("at", "", "RIB reconstruction time (RFC 3339; HTTP mode also unix seconds or \"now\")")
+		vp       = flag.String("vp", "", "restrict to one vantage point")
+		prefix   = flag.String("prefix", "", "restrict to one prefix (WAL and HTTP modes)")
+		rib      = flag.Bool("rib", false, "reconstruct routing state at -at instead of listing updates")
+		stats    = flag.Bool("stats", false, "print the index inventory")
+		rebuild  = flag.Bool("rebuild", false, "rebuild the index by scanning every segment (WAL mode)")
+		list     = flag.Bool("list", false, "list archive files instead of querying (store mode)")
+		count    = flag.Bool("count", false, "print only the number of matching updates")
 	)
 	flag.Parse()
-	if *dir == "" {
-		log.Fatal("gill-query: -dir is required")
+
+	modes := 0
+	for _, set := range []bool{*dir != "", *walDir != "", *httpAddr != ""} {
+		if set {
+			modes++
+		}
 	}
-	store, err := archive.Open(*dir, archive.DefaultRotation)
+	if modes != 1 {
+		log.Fatal("gill-query: exactly one of -dir, -wal, -http is required")
+	}
+	switch {
+	case *dir != "":
+		storeMode(*dir, *from, *to, *vp, *list, *count)
+	case *walDir != "":
+		walMode(*walDir, *from, *to, *at, *vp, *prefix, *rib, *stats, *rebuild, *count)
+	default:
+		httpMode(*httpAddr, *from, *to, *at, *vp, *prefix, *rib, *stats, *count)
+	}
+}
+
+// storeMode is the legacy rotating-MRT-store reader, unchanged behavior.
+func storeMode(dir, from, to, vp string, list, count bool) {
+	store, err := archive.Open(dir, archive.DefaultRotation)
 	if err != nil {
 		log.Fatalf("gill-query: %v", err)
 	}
 	defer store.Close()
 
-	if *list {
+	if list {
 		files, err := store.Files()
 		if err != nil {
 			log.Fatalf("gill-query: %v", err)
@@ -52,11 +101,11 @@ func main() {
 		return
 	}
 
-	start, err := time.Parse(time.RFC3339, *from)
+	start, err := time.Parse(time.RFC3339, from)
 	if err != nil {
 		log.Fatalf("gill-query: bad -from: %v", err)
 	}
-	end, err := time.Parse(time.RFC3339, *to)
+	end, err := time.Parse(time.RFC3339, to)
 	if err != nil {
 		log.Fatalf("gill-query: bad -to: %v", err)
 	}
@@ -66,24 +115,182 @@ func main() {
 	}
 	n := 0
 	for _, u := range us {
-		if *vp != "" && u.VP != *vp {
+		if vp != "" && u.VP != vp {
 			continue
 		}
 		n++
-		if *count {
-			continue
+		if !count {
+			printUpdate(u)
 		}
-		if u.Withdraw {
-			fmt.Printf("%s %-10s WITHDRAW %s\n", u.Time.Format(time.RFC3339), u.VP, u.Prefix)
-			continue
-		}
-		path := make([]string, len(u.Path))
-		for i, as := range u.Path {
-			path[i] = fmt.Sprint(as)
-		}
-		fmt.Printf("%s %-10s %s via %s\n", u.Time.Format(time.RFC3339), u.VP, u.Prefix, strings.Join(path, " "))
 	}
-	if *count {
+	if count {
 		fmt.Println(n)
 	}
+}
+
+// walMode queries the journal through the skip-index.
+func walMode(dir, from, to, at, vp, prefix string, rib, stats, rebuild, count bool) {
+	svc, err := index.NewService(dir, nil)
+	if err != nil {
+		log.Fatalf("gill-query: %v", err)
+	}
+	if rebuild {
+		if err := svc.Index.Rebuild(); err != nil {
+			log.Fatalf("gill-query: rebuild: %v", err)
+		}
+	}
+	if stats || rebuild {
+		printStats(svc.Index.Stats())
+		if !rib && from == "" {
+			return
+		}
+	}
+	pfx := parsePrefixFlag(prefix)
+	if rib {
+		when, err := time.Parse(time.RFC3339, at)
+		if err != nil {
+			log.Fatalf("gill-query: bad -at: %v", err)
+		}
+		routes, err := svc.RIBAt(when, pfx, vp)
+		if err != nil {
+			log.Fatalf("gill-query: %v", err)
+		}
+		printUpdates(routes, count)
+		return
+	}
+	var q index.Query
+	if from != "" {
+		if q.From, err = time.Parse(time.RFC3339, from); err != nil {
+			log.Fatalf("gill-query: bad -from: %v", err)
+		}
+	}
+	if to != "" {
+		if q.To, err = time.Parse(time.RFC3339, to); err != nil {
+			log.Fatalf("gill-query: bad -to: %v", err)
+		}
+	}
+	q.Prefix, q.VP = pfx, vp
+	us, err := svc.Query(q)
+	if err != nil {
+		log.Fatalf("gill-query: %v", err)
+	}
+	printUpdates(us, count)
+}
+
+// httpMode asks a running daemon over its admin-plane /api endpoints.
+func httpMode(addr, from, to, at, vp, prefix string, rib, stats, count bool) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if stats {
+		var st index.Stats
+		getJSON(base+"/api/index", &st)
+		printStats(st)
+		return
+	}
+	v := url.Values{}
+	if vp != "" {
+		v.Set("vp", vp)
+	}
+	if prefix != "" {
+		v.Set("prefix", prefix)
+	}
+	var path string
+	if rib {
+		if at == "" {
+			at = "now"
+		}
+		v.Set("at", at)
+		path = "/api/rib"
+	} else {
+		if from != "" {
+			v.Set("from", from)
+		}
+		if to != "" {
+			v.Set("to", to)
+		}
+		path = "/api/query"
+	}
+	var envelope struct {
+		Count     int             `json:"count"`
+		Truncated bool            `json:"truncated"`
+		Updates   []*live.Message `json:"updates"`
+	}
+	getJSON(base+path+"?"+v.Encode(), &envelope)
+	if count {
+		fmt.Println(envelope.Count)
+		return
+	}
+	for _, m := range envelope.Updates {
+		u, err := m.ToUpdate()
+		if err != nil {
+			log.Fatalf("gill-query: bad update in response: %v", err)
+		}
+		printUpdate(u)
+	}
+	if envelope.Truncated {
+		fmt.Println("... (truncated by the server's response limit)")
+	}
+}
+
+func getJSON(u string, into any) {
+	resp, err := http.Get(u)
+	if err != nil {
+		log.Fatalf("gill-query: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("gill-query: %s: %s %s", u, resp.Status, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		log.Fatalf("gill-query: decoding %s: %v", u, err)
+	}
+}
+
+func parsePrefixFlag(s string) netip.Prefix {
+	if s == "" {
+		return netip.Prefix{}
+	}
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		log.Fatalf("gill-query: bad -prefix: %v", err)
+	}
+	return p
+}
+
+func printStats(st index.Stats) {
+	fmt.Printf("segments %d (%d sealed)  records %d  vps %d  bytes %d\n",
+		st.Segments, st.Sealed, st.Records, st.VPs, st.Bytes)
+	if st.Records > 0 {
+		fmt.Printf("window %s .. %s\n",
+			time.Unix(st.MinTime, 0).UTC().Format(time.RFC3339),
+			time.Unix(st.MaxTime, 0).UTC().Format(time.RFC3339))
+	}
+}
+
+func printUpdates(us []*update.Update, count bool) {
+	if count {
+		fmt.Println(len(us))
+		return
+	}
+	for _, u := range us {
+		printUpdate(u)
+	}
+}
+
+func printUpdate(u *update.Update) {
+	if u.Withdraw {
+		fmt.Printf("%s %-10s WITHDRAW %s\n", u.Time.Format(time.RFC3339), u.VP, u.Prefix)
+		return
+	}
+	path := make([]string, len(u.Path))
+	for i, as := range u.Path {
+		path[i] = fmt.Sprint(as)
+	}
+	fmt.Printf("%s %-10s %s via %s\n", u.Time.Format(time.RFC3339), u.VP, u.Prefix, strings.Join(path, " "))
 }

@@ -25,12 +25,14 @@ import (
 	"repro/internal/correlation"
 	"repro/internal/daemon"
 	"repro/internal/filter"
+	"repro/internal/index"
 	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/orchestrator"
 	"repro/internal/pipeline"
 	"repro/internal/sampling"
 	"repro/internal/simulate"
+	"repro/internal/stream"
 	"repro/internal/topology"
 	"repro/internal/update"
 	"repro/internal/usecases"
@@ -226,3 +228,34 @@ func OpenArchive(dir string) (*Archive, error) {
 // BMPStation ingests RFC 7854 BMP feeds through the same filters as BGP
 // peerings (§14's generalization).
 type BMPStation = bmp.Station
+
+// StreamHub is the serving plane's mass fan-out: encode-once delivery of
+// the retained feed to many concurrent subscribers, each with its own
+// filter expression and rate limit, slow ones evicted. Wire it to a
+// Daemon via DaemonConfig.Publish; serve it over HTTP with
+// (*StreamHub).StreamHandler.
+type StreamHub = stream.Hub
+
+// StreamConfig parameterizes a StreamHub.
+type StreamConfig = stream.Config
+
+// StreamFilter is a compiled subscriber filter expression (prefix,
+// containment, VP, origin, community, AS-path regex, update type).
+type StreamFilter = stream.Filter
+
+// NewStreamHub starts a fan-out hub.
+func NewStreamHub(cfg StreamConfig) *StreamHub { return stream.NewHub(cfg) }
+
+// ParseStreamFilter compiles a filter expression such as
+// `within=203.0.113.0/24 vp=vp65001 type=announce`.
+func ParseStreamFilter(expr string) (*StreamFilter, error) { return stream.ParseFilter(expr) }
+
+// IndexService answers time/prefix/VP range queries and reconstructs
+// routing state ("RIB at time T") from a daemon's record journal through
+// its skip-index; (*IndexService).Handler serves the same queries as an
+// HTTP JSON API.
+type IndexService = index.Service
+
+// OpenIndex opens the index over a journal directory, syncing it with
+// the segments on disk.
+func OpenIndex(dir string) (*IndexService, error) { return index.NewService(dir, nil) }

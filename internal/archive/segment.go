@@ -21,6 +21,7 @@ package archive
 // (clean shutdown or prior repair) from one torn by a crash.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"errors"
@@ -137,6 +138,87 @@ func (w *SegmentWriter) Close() error {
 		return fmt.Errorf("archive: %w", err)
 	}
 	return w.f.Close()
+}
+
+// ScanSegment reads a segment without modifying it, delivering every
+// intact record (in order) to fn. It is the read path of the serving
+// plane: unlike RecoverSegment it opens the file read-only, never repairs
+// it, and treats a torn tail, a corrupt frame, or a missing trailer as
+// end-of-data rather than an error — a scanner may race the writer on the
+// journal's open segment and must simply stop at the last complete frame.
+// It returns the number of records delivered and whether the segment is
+// sealed by a valid trailer. An error from fn aborts the scan.
+func ScanSegment(path string, fn func(payload []byte) error) (records uint64, sealed bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, fmt.Errorf("archive: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	hdr := make([]byte, len(segmentMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return 0, false, nil // shorter than a header: nothing to read
+	}
+	if string(hdr) != segmentMagic {
+		return 0, false, fmt.Errorf("%w: %s", ErrNotSegment, path)
+	}
+
+	var runCRC uint32
+	var lenBuf [4]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return records, false, nil // torn between frames
+		}
+		length := binary.BigEndian.Uint32(lenBuf[:])
+		if length == 0 {
+			var tr [8]byte
+			if _, err := io.ReadFull(br, tr[:]); err != nil {
+				return records, false, nil
+			}
+			count := binary.BigEndian.Uint32(tr[:4])
+			sum := binary.BigEndian.Uint32(tr[4:8])
+			return records, count == uint32(records) && sum == runCRC, nil
+		}
+		if length > MaxSegmentRecord {
+			return records, false, nil // corrupt length: stop at the intact prefix
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return records, false, nil
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return records, false, nil
+		}
+		if binary.BigEndian.Uint32(crcBuf[:]) != crc32.Checksum(payload, crcTable) {
+			return records, false, nil
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return records, false, err
+			}
+		}
+		records++
+		runCRC = crc32.Update(runCRC, crcTable, payload)
+	}
+}
+
+// ScanSegmentRecords scans a segment read-only and delivers each intact
+// MRT record in write order. A CRC-valid frame that fails MRT parsing is
+// skipped (it was corrupted before framing).
+func ScanSegmentRecords(path string, fn func(*mrt.Record) error) (records uint64, sealed bool, err error) {
+	return ScanSegment(path, func(payload []byte) error {
+		rec, rerr := mrt.NewReader(bytes.NewReader(payload)).ReadRecord()
+		if rerr != nil {
+			return nil
+		}
+		return fn(rec)
+	})
 }
 
 // RecoverStats reports a recovery pass.
@@ -344,10 +426,19 @@ type Journal struct {
 	dir    string
 	rotate uint32
 
-	mu  sync.Mutex
-	seg *SegmentWriter
-	seq int
-	buf []byte
+	// OnSeal, when set before the first Append, is invoked with the path
+	// of every segment the journal seals (on rotation and on Close), after
+	// the trailer is durably on disk. The serving plane's index hooks it to
+	// index segments incrementally. The callback runs outside the journal
+	// lock (appends from other goroutines proceed) but must not call back
+	// into the Journal.
+	OnSeal func(path string)
+
+	mu      sync.Mutex
+	seg     *SegmentWriter
+	segPath string
+	seq     int
+	buf     []byte
 }
 
 // DefaultJournalRotation is the per-segment record budget.
@@ -393,23 +484,42 @@ func journalSegments(dir string) ([]string, error) {
 	return out, nil
 }
 
+// ListSegments returns the journal's segment files in dir, sorted in
+// write order (full paths). It is the read-side entry point: scanners and
+// the index use it to enumerate what a journal has on disk.
+func ListSegments(dir string) ([]string, error) {
+	return journalSegments(dir)
+}
+
 // Append journals one MRT record. It is usable directly as a daemon
 // RecordSink or pipeline ArchiveStage Sink.
 func (j *Journal) Append(rec *mrt.Record) error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	var sealed string
 	if j.seg != nil && j.seg.Records() >= j.rotate {
 		if err := j.seg.Close(); err != nil { // seal + fsync on rotate
+			j.mu.Unlock()
 			return err
 		}
+		sealed = j.segPath
 		j.seg = nil
 	}
+	err := j.appendLocked(rec)
+	j.mu.Unlock()
+	if sealed != "" && j.OnSeal != nil {
+		j.OnSeal(sealed)
+	}
+	return err
+}
+
+func (j *Journal) appendLocked(rec *mrt.Record) error {
 	if j.seg == nil {
-		seg, err := CreateSegment(filepath.Join(j.dir, fmt.Sprintf("wal-%08d.seg", j.seq)))
+		path := filepath.Join(j.dir, fmt.Sprintf("wal-%08d.seg", j.seq))
+		seg, err := CreateSegment(path)
 		if err != nil {
 			return err
 		}
-		j.seg = seg
+		j.seg, j.segPath = seg, path
 		j.seq++
 	}
 	w := &sliceWriter{buf: j.buf[:0]}
@@ -441,12 +551,17 @@ func (j *Journal) Sync() error {
 // Close seals the open segment.
 func (j *Journal) Close() error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.seg == nil {
+		j.mu.Unlock()
 		return nil
 	}
 	err := j.seg.Close()
+	sealed := j.segPath
 	j.seg = nil
+	j.mu.Unlock()
+	if err == nil && j.OnSeal != nil {
+		j.OnSeal(sealed)
+	}
 	return err
 }
 

@@ -317,3 +317,96 @@ func TestJournalKillAndRestart(t *testing.T) {
 		}
 	}
 }
+
+// TestScanSegmentReadOnly pins the serving plane's read path: sealed and
+// torn segments scan to the same record prefix recovery would deliver,
+// without the file being modified.
+func TestScanSegmentReadOnly(t *testing.T) {
+	for _, sealCase := range []bool{true, false} {
+		path := filepath.Join(t.TempDir(), "wal-00000000.seg")
+		writeSegment(t, path, 40, sealCase)
+		before, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		var got [][]byte
+		n, sealed, err := ScanSegment(path, func(p []byte) error {
+			got = append(got, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ScanSegment(seal=%v): %v", sealCase, err)
+		}
+		if n != 40 || sealed != sealCase {
+			t.Fatalf("seal=%v: got n=%d sealed=%v", sealCase, n, sealed)
+		}
+		for i, p := range got {
+			if !bytes.Equal(p, segPayload(i)) {
+				t.Fatalf("record %d mismatch", i)
+			}
+		}
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Fatalf("seal=%v: ScanSegment modified the file", sealCase)
+		}
+	}
+}
+
+// TestScanSegmentTornTail: a scan racing the writer (or hitting a crash
+// tail) stops at the last complete frame instead of erroring.
+func TestScanSegmentTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-00000000.seg")
+	writeSegment(t, path, 20, false)
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	n, sealed, err := ScanSegment(path, nil)
+	if err != nil || sealed {
+		t.Fatalf("ScanSegment: n=%d sealed=%v err=%v", n, sealed, err)
+	}
+	if n != 19 {
+		t.Fatalf("torn scan delivered %d records, want 19", n)
+	}
+}
+
+// TestJournalOnSeal: every rotation and the final Close report the sealed
+// segment exactly once, after its trailer is on disk.
+func TestJournalOnSeal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 8)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	var sealedPaths []string
+	j.OnSeal = func(path string) {
+		// The trailer must already be durable: a scan sees it sealed.
+		if _, sealed, err := ScanSegment(path, nil); err != nil || !sealed {
+			t.Errorf("OnSeal(%s): segment not sealed (err=%v)", path, err)
+		}
+		sealedPaths = append(sealedPaths, path)
+	}
+	for i := 0; i < 20; i++ {
+		if err := j.Append(walRecord(i)); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(sealedPaths) != 3 {
+		t.Fatalf("OnSeal fired %d times (%v), want 3", len(sealedPaths), sealedPaths)
+	}
+	segs, _ := ListSegments(dir)
+	if len(segs) != 3 {
+		t.Fatalf("ListSegments: %d, want 3", len(segs))
+	}
+	for i, p := range sealedPaths {
+		if p != segs[i] {
+			t.Fatalf("seal order: got %v, want %v", sealedPaths, segs)
+		}
+	}
+}

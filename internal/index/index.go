@@ -1,0 +1,376 @@
+// Package index is the read side of the archive journal: a compact
+// time/prefix/VP skip-index over the crash-safe MRT segments
+// (internal/archive/segment.go) and a RIB-reconstruction query service on
+// top of it. The paper's platform is consumed by "millions of users" who
+// are readers (§9 publishes the database at bgproutes.io); the index is
+// what makes those reads cheap — a query touches only the segments whose
+// metadata can match, and correctness never depends on the metadata: a
+// matched segment is always re-scanned record by record, so index entries
+// are a pure skip optimization (false positives cost a scan, never an
+// answer).
+//
+// Per sealed segment the index stores the record count, the covered
+// timestamp range, the set of vantage points, and the set of announced or
+// withdrawn prefixes as sorted 64-bit FNV-1a fingerprints. Segments are
+// indexed incrementally as the journal seals them (archive.Journal.OnSeal)
+// and the whole index is rebuildable by scan, so it can always be derived
+// from the data it serves. Unsealed or unknown segments are never skipped.
+package index
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/metrics"
+	"repro/internal/mrt"
+)
+
+// FileName is the index file kept beside the segments in the journal dir.
+const FileName = "gillidx.json"
+
+// formatVersion guards the persisted layout; a mismatch forces a rebuild.
+const formatVersion = 1
+
+// SegmentMeta is the per-segment skip entry.
+type SegmentMeta struct {
+	// Name is the segment's base file name (wal-XXXXXXXX.seg).
+	Name string `json:"name"`
+	// Size is the file size the metadata was computed over; a mismatch
+	// (e.g. a crash-repair truncation) invalidates the entry.
+	Size int64 `json:"size"`
+	// Records is the number of intact MRT records.
+	Records uint64 `json:"records"`
+	// Sealed records whether the segment had a valid trailer when scanned.
+	// Only sealed entries are trusted for skipping.
+	Sealed bool `json:"sealed"`
+	// MinTime and MaxTime bound the record timestamps (unix seconds).
+	// For Records == 0 both are zero.
+	MinTime int64 `json:"min_time"`
+	MaxTime int64 `json:"max_time"`
+	// VPs is the sorted set of vantage points seen in the segment.
+	VPs []string `json:"vps"`
+	// Prefixes is the sorted set of 64-bit FNV-1a fingerprints of the
+	// prefixes announced or withdrawn in the segment.
+	Prefixes []uint64 `json:"prefixes"`
+}
+
+// PrefixKey fingerprints a prefix for the skip set.
+func PrefixKey(p netip.Prefix) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(p.String()))
+	return h.Sum64()
+}
+
+func (m *SegmentMeta) hasVP(vp string) bool {
+	i := sort.SearchStrings(m.VPs, vp)
+	return i < len(m.VPs) && m.VPs[i] == vp
+}
+
+func (m *SegmentMeta) hasPrefix(key uint64) bool {
+	i := sort.Search(len(m.Prefixes), func(i int) bool { return m.Prefixes[i] >= key })
+	return i < len(m.Prefixes) && m.Prefixes[i] == key
+}
+
+// Index is the persistent skip-index over one journal directory.
+type Index struct {
+	dir string
+
+	// Registry optionally receives index.* metrics (segment/record gauges,
+	// scan counters). Set before Sync/Rebuild.
+	Registry *metrics.Registry
+
+	mu   sync.Mutex
+	segs map[string]*SegmentMeta // keyed by base name
+}
+
+// Open loads the persisted index for dir (if any). It does not scan; call
+// Sync to bring the index up to date with the segments on disk, or
+// Rebuild to recompute it from scratch.
+func Open(dir string) (*Index, error) {
+	ix := &Index{dir: dir, segs: make(map[string]*SegmentMeta)}
+	data, err := os.ReadFile(filepath.Join(dir, FileName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ix, nil
+		}
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	var file struct {
+		Version  int           `json:"version"`
+		Segments []SegmentMeta `json:"segments"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil || file.Version != formatVersion {
+		// A corrupt or old index is not an error: it is derived data.
+		return ix, nil
+	}
+	for i := range file.Segments {
+		m := file.Segments[i]
+		ix.segs[m.Name] = &m
+	}
+	return ix, nil
+}
+
+// Dir returns the journal directory the index covers.
+func (ix *Index) Dir() string { return ix.dir }
+
+// scanMeta computes a segment's metadata by scanning it read-only.
+func scanMeta(path string) (*SegmentMeta, error) {
+	m := &SegmentMeta{Name: filepath.Base(path)}
+	vps := make(map[string]bool)
+	prefixes := make(map[uint64]bool)
+	records, sealed, err := archive.ScanSegmentRecords(path, func(rec *mrt.Record) error {
+		ts := rec.Header.Timestamp.Unix()
+		if m.Records == 0 || ts < m.MinTime {
+			m.MinTime = ts
+		}
+		if m.Records == 0 || ts > m.MaxTime {
+			m.MaxTime = ts
+		}
+		m.Records++
+		for _, u := range rec.CanonicalUpdates() {
+			vps[u.VP] = true
+			prefixes[PrefixKey(u.Prefix)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Records counts intact frames (including non-update records that still
+	// occupy the segment); m.Records tracked only parseable MRT records.
+	m.Records = records
+	m.Sealed = sealed
+	if fi, err := os.Stat(path); err == nil {
+		m.Size = fi.Size()
+	}
+	m.VPs = make([]string, 0, len(vps))
+	for vp := range vps {
+		m.VPs = append(m.VPs, vp)
+	}
+	sort.Strings(m.VPs)
+	m.Prefixes = make([]uint64, 0, len(prefixes))
+	for k := range prefixes {
+		m.Prefixes = append(m.Prefixes, k)
+	}
+	sort.Slice(m.Prefixes, func(i, j int) bool { return m.Prefixes[i] < m.Prefixes[j] })
+	return m, nil
+}
+
+// AddSegment scans one segment and persists its metadata — the
+// incremental path, wired to archive.Journal.OnSeal.
+func (ix *Index) AddSegment(path string) error {
+	m, err := scanMeta(path)
+	if err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	ix.segs[m.Name] = m
+	err = ix.saveLocked()
+	ix.mu.Unlock()
+	ix.publish()
+	return err
+}
+
+// Sync reconciles the index with the segments on disk: entries for
+// deleted segments are dropped, and any segment that is missing, was
+// unsealed when last scanned, or whose size changed (crash repair
+// truncates in place) is re-scanned. Trusted sealed entries are kept
+// as-is, so a clean restart costs one directory listing.
+func (ix *Index) Sync() error {
+	segs, err := archive.ListSegments(ix.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	ix.mu.Lock()
+	defer func() { ix.publish() }()
+	defer ix.mu.Unlock()
+	present := make(map[string]bool, len(segs))
+	for _, path := range segs {
+		name := filepath.Base(path)
+		present[name] = true
+		old := ix.segs[name]
+		if old != nil && old.Sealed {
+			if fi, err := os.Stat(path); err == nil && fi.Size() == old.Size {
+				continue
+			}
+		}
+		m, err := scanMeta(path)
+		if err != nil {
+			return err
+		}
+		ix.segs[name] = m
+	}
+	for name := range ix.segs {
+		if !present[name] {
+			delete(ix.segs, name)
+		}
+	}
+	return ix.saveLocked()
+}
+
+// Rebuild discards every entry and recomputes the index by scanning all
+// segments.
+func (ix *Index) Rebuild() error {
+	ix.mu.Lock()
+	ix.segs = make(map[string]*SegmentMeta)
+	ix.mu.Unlock()
+	return ix.Sync()
+}
+
+// saveLocked atomically persists the index beside the segments.
+func (ix *Index) saveLocked() error {
+	names := make([]string, 0, len(ix.segs))
+	for name := range ix.segs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	file := struct {
+		Version  int           `json:"version"`
+		Segments []SegmentMeta `json:"segments"`
+	}{Version: formatVersion}
+	for _, name := range names {
+		file.Segments = append(file.Segments, *ix.segs[name])
+	}
+	data, err := json.Marshal(file)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(ix.dir, FileName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(ix.dir, FileName)); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	return nil
+}
+
+// Segments returns the indexed metadata in write order.
+func (ix *Index) Segments() []SegmentMeta {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	names := make([]string, 0, len(ix.segs))
+	for name := range ix.segs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]SegmentMeta, 0, len(names))
+	for _, name := range names {
+		out = append(out, *ix.segs[name])
+	}
+	return out
+}
+
+// Stats summarizes the index for /api/index and gill-query -stats.
+type Stats struct {
+	Segments int    `json:"segments"`
+	Sealed   int    `json:"sealed"`
+	Records  uint64 `json:"records"`
+	MinTime  int64  `json:"min_time"`
+	MaxTime  int64  `json:"max_time"`
+	VPs      int    `json:"vps"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// Stats computes the aggregate over the indexed segments.
+func (ix *Index) Stats() Stats {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var s Stats
+	vps := make(map[string]bool)
+	for _, m := range ix.segs {
+		s.Segments++
+		if m.Sealed {
+			s.Sealed++
+		}
+		s.Records += m.Records
+		s.Bytes += m.Size
+		if m.Records > 0 {
+			if s.MinTime == 0 || m.MinTime < s.MinTime {
+				s.MinTime = m.MinTime
+			}
+			if m.MaxTime > s.MaxTime {
+				s.MaxTime = m.MaxTime
+			}
+		}
+		for _, vp := range m.VPs {
+			vps[vp] = true
+		}
+	}
+	s.VPs = len(vps)
+	return s
+}
+
+// publish refreshes the index.* gauges.
+func (ix *Index) publish() {
+	if ix.Registry == nil {
+		return
+	}
+	s := ix.Stats()
+	ix.Registry.Gauge("index.segments").Set(int64(s.Segments))
+	ix.Registry.Gauge("index.sealed_segments").Set(int64(s.Sealed))
+	ix.Registry.Gauge("index.records").Set(int64(s.Records))
+	ix.Registry.Gauge("index.bytes").Set(s.Bytes)
+}
+
+// Query selects updates from the journal. Zero fields match everything;
+// To is exclusive, From inclusive.
+type Query struct {
+	From, To time.Time
+	// Prefix restricts to one exact prefix.
+	Prefix netip.Prefix
+	// VP restricts to one vantage point.
+	VP string
+}
+
+func (q Query) matches(ts time.Time, prefix netip.Prefix, vp string) bool {
+	if !q.From.IsZero() && ts.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && !ts.Before(q.To) {
+		return false
+	}
+	if q.Prefix.IsValid() && q.Prefix != prefix {
+		return false
+	}
+	if q.VP != "" && q.VP != vp {
+		return false
+	}
+	return true
+}
+
+// skippable reports whether meta proves no record of the segment can
+// match q. Only trusted (sealed, size-verified by Sync) metadata may
+// prove a skip.
+func (q Query) skippable(m *SegmentMeta) bool {
+	if m == nil || !m.Sealed {
+		return false
+	}
+	if m.Records == 0 {
+		return true
+	}
+	if !q.From.IsZero() && m.MaxTime < q.From.Unix() {
+		return true
+	}
+	if !q.To.IsZero() && m.MinTime >= q.To.Unix() {
+		return true
+	}
+	if q.Prefix.IsValid() && !m.hasPrefix(PrefixKey(q.Prefix)) {
+		return true
+	}
+	if q.VP != "" && !m.hasVP(q.VP) {
+		return true
+	}
+	return false
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/update"
@@ -99,6 +100,11 @@ type Server struct {
 	ln      net.Listener
 	sendBuf int
 	seq     uint64 // publish sequence, stamped on every Message
+
+	// droppedSlow counts slow-client evictions. It always points at a
+	// counter (private until Instrument wires it to a registry) so
+	// Publish never branches on instrumentation.
+	droppedSlow *metrics.Counter
 }
 
 type client struct {
@@ -120,7 +126,33 @@ func NewServerBuffer(n int) *Server {
 	if n <= 0 {
 		n = DefaultSendBuffer
 	}
-	return &Server{clients: make(map[*client]bool), sendBuf: n}
+	return &Server{
+		clients:     make(map[*client]bool),
+		sendBuf:     n,
+		droppedSlow: &metrics.Counter{},
+	}
+}
+
+// Instrument exports the server's counters through reg: slow-client
+// evictions as live.dropped_slow_clients (an eviction used to be visible
+// only as a log line) and the client count as the live.clients gauge.
+// Call before Serve.
+func (s *Server) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.droppedSlow = reg.Counter("live.dropped_slow_clients")
+	s.mu.Unlock()
+	reg.GaugeFunc("live.clients", func() int64 { return int64(s.Clients()) })
+}
+
+// DroppedSlow returns how many clients the server has evicted for not
+// keeping up with the feed.
+func (s *Server) DroppedSlow() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.droppedSlow.Load()
 }
 
 // Serve accepts clients on ln until ctx is canceled, retrying transient
@@ -207,6 +239,7 @@ func (s *Server) Publish(u *update.Update) {
 		delete(s.clients, c)
 		close(c.out)
 		c.conn.Close()
+		s.droppedSlow.Inc()
 	}
 	s.mu.Unlock()
 	for _, c := range evict {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/update"
 )
 
@@ -248,5 +249,53 @@ func TestDialFailure(t *testing.T) {
 	defer cancel()
 	if _, err := Dial(ctx, "127.0.0.1:1", Subscription{}); err == nil {
 		t.Error("Dial to a closed port succeeded")
+	}
+}
+
+// TestDroppedSlowCounter pins satellite coverage for the serving plane:
+// slow-client evictions were previously visible only as log lines; now
+// they increment live.dropped_slow_clients on an instrumented registry
+// and the DroppedSlow accessor.
+func TestDroppedSlowCounter(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	s := NewServerBuffer(4)
+	s.Instrument(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(func() { cancel(); s.Close() })
+	go func() { _ = s.Serve(ctx, ln) }()
+
+	// Two clients that never read; small buffers force eviction fast.
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		defer conn.Close()
+		conn.Write([]byte("{}\n"))
+	}
+	waitClients(t, s, 2)
+	if s.DroppedSlow() != 0 {
+		t.Fatalf("DroppedSlow before flood = %d", s.DroppedSlow())
+	}
+	for i := 0; i < 100000 && s.Clients() > 0; i++ {
+		s.Publish(sampleUpdate("vpA", "203.0.113.0/24"))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.DroppedSlow() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("DroppedSlow = %d, want 2", s.DroppedSlow())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter("live.dropped_slow_clients").Load(); got != 2 {
+		t.Fatalf("live.dropped_slow_clients = %d, want 2", got)
+	}
+	// The live.clients gauge tracks the (now empty) client set.
+	if got := reg.Snapshot().Gauges["live.clients"]; got != 0 {
+		t.Fatalf("live.clients gauge = %d, want 0", got)
 	}
 }

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"net/netip"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/update"
+)
+
+func upd(vp string, prefix string, path []uint32, comms []uint32, withdraw bool) *update.Update {
+	return &update.Update{
+		VP:       vp,
+		Time:     time.Unix(1693526400, 0).UTC(),
+		Prefix:   netip.MustParsePrefix(prefix),
+		Path:     path,
+		Comms:    comms,
+		Withdraw: withdraw,
+	}
+}
+
+func pathStrOf(u *update.Update) func() string {
+	return (&Event{U: u}).PathString
+}
+
+func TestFilterSemantics(t *testing.T) {
+	announce := upd("vp65001", "203.0.113.0/24", []uint32{65001, 6939, 64999}, []uint32{65001<<16 | 100}, false)
+	withdraw := upd("vp65002", "198.51.100.0/24", nil, nil, true)
+	v6 := upd("vp65001", "2001:db8:1::/48", []uint32{65001, 64999}, nil, false)
+
+	cases := []struct {
+		expr string
+		u    *update.Update
+		want bool
+	}{
+		{"", announce, true},
+		{"", withdraw, true},
+		{"prefix=203.0.113.0/24", announce, true},
+		{"prefix=203.0.113.0/25", announce, false},
+		{"prefix=198.51.100.0/24 prefix=203.0.113.0/24", announce, true}, // repeat = OR
+		{"within=203.0.113.0/24", announce, true},
+		{"within=203.0.0.0/8", announce, true},
+		{"within=203.0.113.0/25", announce, false}, // update is wider than the bound
+		{"within=2001:db8::/32", v6, true},
+		{"within=2001:db8::/32", announce, false},
+		{"vp=vp65001", announce, true},
+		{"vp=vp65002", announce, false},
+		{"vp=vp65002 vp=vp65001", announce, true},
+		{"origin=64999", announce, true},
+		{"origin=6939", announce, false}, // transit, not origin
+		{"community=65001:100", announce, true},
+		{"community=65001:200", announce, false},
+		{"community=65001:100", withdraw, false}, // withdrawal carries none
+		{`path="(^|\s)6939(\s|$)"`, announce, true},
+		{`path="^65001"`, announce, true},
+		{`path="3356"`, announce, false},
+		{`path="6939"`, withdraw, false}, // empty path never matches a regex requiring content
+		{"type=announce", announce, true},
+		{"type=announce", withdraw, false},
+		{"type=withdraw", withdraw, true},
+		{"type=withdraw", announce, false},
+		{"within=203.0.113.0/24 vp=vp65001 type=announce", announce, true},
+		{"within=203.0.113.0/24 vp=vp65002 type=announce", announce, false}, // AND across keys
+	}
+	for _, tc := range cases {
+		f, err := ParseFilter(tc.expr)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", tc.expr, err)
+		}
+		if got := f.Match(tc.u, pathStrOf(tc.u)); got != tc.want {
+			t.Errorf("filter %q on %s/%s: got %v, want %v", tc.expr, tc.u.VP, tc.u.Prefix, got, tc.want)
+		}
+	}
+}
+
+func TestParseFilterErrors(t *testing.T) {
+	for _, expr := range []string{
+		"prefix=not-a-prefix",
+		"bogus=1",
+		"prefix",          // no value
+		"origin=abc",      // not a number
+		"community=1:2:3", // malformed
+		"type=sideways",
+		`path="(unclosed"`, // bad regex
+		`path="a" path="b"`,
+		`vp="unterminated`,
+	} {
+		if _, err := ParseFilter(expr); err == nil {
+			t.Errorf("ParseFilter(%q): expected error", expr)
+		}
+	}
+}
+
+func TestFilterQuotedValues(t *testing.T) {
+	f, err := ParseFilter(`path="6939 64999$" vp=vp65001`)
+	if err != nil {
+		t.Fatalf("ParseFilter: %v", err)
+	}
+	u := upd("vp65001", "203.0.113.0/24", []uint32{65001, 6939, 64999}, nil, false)
+	if !f.Match(u, pathStrOf(u)) {
+		t.Fatalf("quoted path regex with space did not match")
+	}
+	if !f.NeedsPath() {
+		t.Fatalf("NeedsPath: want true")
+	}
+}
+
+func TestFilterFromValues(t *testing.T) {
+	v := url.Values{}
+	v.Set("filter", "type=announce")
+	v.Add("within", "203.0.113.0/24")
+	v.Add("vp", "vp65001")
+	v.Add("vp", "vp65002")
+	f, err := FilterFromValues(v)
+	if err != nil {
+		t.Fatalf("FilterFromValues: %v", err)
+	}
+	hit := upd("vp65002", "203.0.113.128/25", []uint32{65002, 1}, nil, false)
+	miss := upd("vp65003", "203.0.113.128/25", []uint32{65003, 1}, nil, false)
+	if !f.Match(hit, pathStrOf(hit)) {
+		t.Fatalf("merged filter rejected a matching update")
+	}
+	if f.Match(miss, pathStrOf(miss)) {
+		t.Fatalf("merged filter accepted the wrong VP")
+	}
+	if _, err := FilterFromValues(url.Values{"prefix": []string{"zzz"}}); err == nil {
+		t.Fatalf("bad query prefix: expected error")
+	}
+}
+
+func TestFilterStringRoundTrip(t *testing.T) {
+	expr := `prefix=203.0.113.0/24 vp=vp65001 origin=64999 community=65001:100 path="6939" type=announce`
+	f, err := ParseFilter(expr)
+	if err != nil {
+		t.Fatalf("ParseFilter: %v", err)
+	}
+	f.raw = "" // force reconstruction
+	f2, err := ParseFilter(f.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", f.String(), err)
+	}
+	u := upd("vp65001", "203.0.113.0/24", []uint32{65001, 6939, 64999}, []uint32{65001<<16 | 100}, false)
+	if !f2.Match(u, pathStrOf(u)) {
+		t.Fatalf("round-tripped filter no longer matches")
+	}
+}

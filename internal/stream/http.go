@@ -1,0 +1,142 @@
+package stream
+
+// The HTTP face of the hub: GET /stream returns an unbounded
+// application/x-ndjson response, one live.Message JSON object per line,
+// RIS-Live style but over plain chunked HTTP so any client with curl can
+// consume it. The filter comes from the query string — either one
+// filter=<expression> parameter in the grammar of ParseFilter, or the
+// grammar's keys as individual (repeatable) parameters:
+//
+//	GET /stream?within=203.0.113.0/24&vp=vp65001&type=announce
+//	GET /stream?filter=within%3D203.0.113.0%2F24+type%3Dannounce
+//
+// plus queue= (per-subscriber buffer, clamped to the hub max), rate=
+// (messages/second token bucket), and name= (log label). The first line
+// is a {"type":"hello"} acknowledging the compiled filter; idle streams
+// carry {"type":"keepalive"} lines; a subscriber evicted for falling
+// behind gets a final {"type":"evicted"} line before the stream ends.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// KeepaliveInterval is how often an idle stream emits a keepalive line,
+// both to hold middleboxes open and to let the server notice dead peers.
+const KeepaliveInterval = 15 * time.Second
+
+// filterKeys are the grammar keys accepted as direct query parameters.
+var filterKeys = []string{"prefix", "within", "vp", "origin", "community", "path", "type"}
+
+// FilterFromValues compiles a filter from HTTP query parameters: the
+// filter= expression first, then any direct key parameters ANDed on top.
+func FilterFromValues(v url.Values) (*Filter, error) {
+	f, err := ParseFilter(v.Get("filter"))
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range filterKeys {
+		for _, val := range v[key] {
+			if err := f.addTerm(key, val); err != nil {
+				return nil, err
+			}
+		}
+	}
+	f.raw = "" // reconstruct String() from the merged terms
+	return f, nil
+}
+
+// StreamHandler returns the NDJSON streaming endpoint for the hub.
+func (h *Hub) StreamHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f, err := FilterFromValues(q)
+		if err != nil {
+			streamError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		opts := SubOptions{Filter: f, Name: r.RemoteAddr}
+		if v := q.Get("queue"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				streamError(w, http.StatusBadRequest, "bad queue: "+v)
+				return
+			}
+			opts.Queue = n
+		}
+		if v := q.Get("rate"); v != "" {
+			rate, err := strconv.ParseFloat(v, 64)
+			if err != nil || rate <= 0 {
+				streamError(w, http.StatusBadRequest, "bad rate: "+v)
+				return
+			}
+			opts.Rate = rate
+		}
+		if v := q.Get("name"); v != "" {
+			opts.Name = v
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			streamError(w, http.StatusInternalServerError, "streaming unsupported")
+			return
+		}
+
+		sub := h.Subscribe(opts)
+		defer sub.Close()
+
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		hello, _ := json.Marshal(map[string]string{"type": "hello", "filter": f.String()})
+		if _, err := w.Write(append(hello, '\n')); err != nil {
+			return
+		}
+		fl.Flush()
+
+		keepalive := time.NewTicker(KeepaliveInterval)
+		defer keepalive.Stop()
+		ctx := r.Context()
+		for {
+			select {
+			case ev, ok := <-sub.C():
+				if !ok {
+					select {
+					case <-sub.Evicted():
+						// Tell the client why the stream ended; best effort.
+						note, _ := json.Marshal(map[string]any{"type": "evicted", "seq": h.seq.Load()})
+						_, _ = w.Write(append(note, '\n'))
+						fl.Flush()
+					default:
+					}
+					return
+				}
+				if _, err := w.Write(ev.JSON); err != nil {
+					return
+				}
+				// Batch flushes: only flush once the queue is drained, so a
+				// burst costs one syscall, not one per message.
+				if len(sub.C()) == 0 {
+					fl.Flush()
+				}
+			case <-keepalive.C:
+				note, _ := json.Marshal(map[string]string{"type": "keepalive"})
+				if _, err := w.Write(append(note, '\n')); err != nil {
+					return
+				}
+				fl.Flush()
+			case <-ctx.Done():
+				return
+			}
+		}
+	})
+}
+
+func streamError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}

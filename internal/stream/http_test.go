@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/live"
+)
+
+func TestStreamHandlerNDJSON(t *testing.T) {
+	h := NewHub(Config{Shards: 1})
+	defer h.Close()
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/?within=203.0.113.0/24&type=announce&name=curl-test")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+
+	readLine := func() map[string]any {
+		t.Helper()
+		lines := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lines <- sc.Text()
+			}
+			close(lines)
+		}()
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("stream ended early (scan err: %v)", sc.Err())
+			}
+			var m map[string]any
+			if err := json.Unmarshal([]byte(line), &m); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", line, err)
+			}
+			return m
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for a stream line")
+			return nil
+		}
+	}
+
+	hello := readLine()
+	if hello["type"] != "hello" {
+		t.Fatalf("first line = %v, want hello", hello)
+	}
+
+	// The handler subscribes asynchronously; wait for attachment before
+	// publishing (the hello is written after Subscribe, so it suffices).
+	waitFor(t, "subscriber attach", func() bool { return h.Subscribers() == 1 })
+
+	h.Publish(upd("vp65002", "198.51.100.0/24", []uint32{65002, 1}, nil, false)) // filtered out
+	h.Publish(upd("vp65001", "203.0.113.0/24", nil, nil, true))                  // withdraw: filtered out
+	h.Publish(upd("vp65001", "203.0.113.0/24", []uint32{65001, 64999}, nil, false))
+
+	got := readLine()
+	if got["type"] != "UPDATE" || got["prefix"] != "203.0.113.0/24" {
+		t.Fatalf("delivered line = %v, want the matching announcement", got)
+	}
+	var m live.Message
+	b, _ := json.Marshal(got)
+	if err := json.Unmarshal(b, &m); err != nil || m.Seq != 3 {
+		t.Fatalf("delivered message seq = %d (err %v), want 3", m.Seq, err)
+	}
+}
+
+func TestStreamHandlerBadRequests(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+
+	for _, q := range []string{"?prefix=zzz", "?filter=bogus%3D1", "?queue=-1", "?rate=abc"} {
+		resp, err := http.Get(srv.URL + "/" + q)
+		if err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestStreamHandlerEvictionNotice(t *testing.T) {
+	h := NewHub(Config{Shards: 1})
+	defer h.Close()
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+
+	// queue=1 with no reads: the second matching publish evicts.
+	resp, err := http.Get(srv.URL + "/?queue=1")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	waitFor(t, "subscriber attach", func() bool { return h.Subscribers() == 1 })
+
+	// The handler drains its queue into the response; since this client
+	// never reads, the socket buffers eventually fill, the handler's write
+	// blocks, its queue of 1 overflows, and the hub evicts it. Publish
+	// large updates in bursts until that happens.
+	longPath := make([]uint32, 256)
+	for i := range longPath {
+		longPath[i] = 64512 + uint32(i)
+	}
+	waitFor(t, "eviction", func() bool {
+		for i := 0; i < 512; i++ {
+			h.Publish(upd("vp65001", "203.0.113.0/24", longPath, nil, false))
+		}
+		return h.EvictedSlow() == 1
+	})
+
+	// The stream must end, with an evicted notice as its final line.
+	sc := bufio.NewScanner(resp.Body)
+	last := ""
+	for sc.Scan() {
+		last = sc.Text()
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(last), &m); err != nil || m["type"] != "evicted" {
+		t.Fatalf("final line = %q (err %v), want an evicted notice", last, err)
+	}
+}

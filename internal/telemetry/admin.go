@@ -45,6 +45,11 @@ type Admin struct {
 	// gauge on /metrics and the "build" section of /statusz; nil defaults
 	// to BuildInfo().
 	Build map[string]string
+	// Routes mounts additional handlers on the admin mux, keyed by
+	// pattern in http.ServeMux syntax ("/api/", "/stream"). Set before
+	// Handler/Serve; patterns colliding with the built-in endpoints
+	// panic, same as registering them twice on a mux.
+	Routes map[string]http.Handler
 
 	start time.Time
 }
@@ -88,6 +93,9 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range a.Routes {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 

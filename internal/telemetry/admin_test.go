@@ -166,3 +166,30 @@ func newBusyRegistry() *metrics.Registry {
 	}
 	return r
 }
+
+func TestAdminRoutes(t *testing.T) {
+	a := &Admin{
+		Recorder: NewRecorder(16, 1),
+		Routes: map[string]http.Handler{
+			"/api/": http.StripPrefix("/api", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				io.WriteString(w, "api:"+r.URL.Path)
+			})),
+			"/stream": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				io.WriteString(w, "streaming")
+			}),
+		},
+	}
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+
+	if code, body := get(t, srv.URL+"/api/rib"); code != 200 || body != "api:/rib" {
+		t.Errorf("/api/rib = %d %q", code, body)
+	}
+	if code, body := get(t, srv.URL+"/stream"); code != 200 || body != "streaming" {
+		t.Errorf("/stream = %d %q", code, body)
+	}
+	// Built-in endpoints still work alongside the extra routes.
+	if code, _ := get(t, srv.URL+"/healthz"); code != 200 {
+		t.Errorf("healthz broken by Routes")
+	}
+}

@@ -1,0 +1,80 @@
+// Command servefeed is the serving-plane smoke test's traffic source: it
+// dials a running gill-daemon as two BGP peers and announces a small,
+// deterministic update mix — enough volume to roll the daemon's journal
+// through several sealed segments, split across two prefixes so the
+// smoke test can prove stream filtering delivers one and suppresses the
+// other. It is test tooling, not an operator command.
+//
+// Usage:
+//
+//	servefeed -addr 127.0.0.1:1790 -updates 24
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:1790", "daemon BGP listen address")
+		updates = flag.Int("updates", 24, "announcements to send per peer")
+		holdoff = flag.Duration("holdoff", 2*time.Second, "pause after sending so the daemon drains before the sessions close")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("servefeed: ")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	sess1, err := bgp.Dial(ctx, *addr, bgp.SpeakerConfig{
+		LocalAS: 65001, RouterID: netip.MustParseAddr("192.0.2.11"), HoldTime: 60,
+	})
+	if err != nil {
+		log.Fatalf("dial peer 1: %v", err)
+	}
+	defer sess1.Close()
+	sess2, err := bgp.Dial(ctx, *addr, bgp.SpeakerConfig{
+		LocalAS: 65002, RouterID: netip.MustParseAddr("192.0.2.12"), HoldTime: 60,
+	})
+	if err != nil {
+		log.Fatalf("dial peer 2: %v", err)
+	}
+	defer sess2.Close()
+
+	send := func(s *bgp.Session, path []uint32, pfx string) {
+		u := &bgp.Update{
+			Origin: bgp.OriginIGP, ASPath: path,
+			NextHop: netip.MustParseAddr("192.0.2.9"),
+			NLRI:    []netip.Prefix{netip.MustParsePrefix(pfx)},
+		}
+		if err := s.Send(u); err != nil {
+			log.Fatalf("send %s: %v", pfx, err)
+		}
+	}
+
+	// Peer 1 announces the prefix the smoke test subscribes to; peer 2
+	// announces the decoy the filtered stream must never deliver. Distinct
+	// next-AS hops per round keep the updates non-redundant.
+	for i := 0; i < *updates; i++ {
+		send(sess1, []uint32{65001, uint32(64512 + i), 64999}, "203.0.113.0/24")
+		send(sess2, []uint32{65002, uint32(64512 + i), 64998}, "198.51.100.0/24")
+	}
+	fmt.Printf("sent %d updates per peer to %s\n", *updates, *addr)
+
+	// Give the daemon time to drain its ingest pipeline while the
+	// sessions are still healthy; closing immediately can race the reader.
+	select {
+	case <-time.After(*holdoff):
+	case <-ctx.Done():
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,271 @@
+package gill_test
+
+// Serving-plane scale: the streaming hub must hold 100K concurrent
+// subscribers on one collector without the publish path blocking, with
+// slow subscribers evicted rather than ridden. BenchmarkStreamFanout
+// sweeps the subscriber count; TestStreamScaleGuard (env-gated, run by
+// `make bench-serve`) pins the eviction/backpressure contract at 100K
+// subscribers; TestServeBenchReport measures the same workload and
+// writes the machine-readable BENCH_serve.json artifact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+	"repro/internal/update"
+)
+
+// serveGroups partitions subscribers and traffic: subscriber i watches
+// within=10.(i%serveGroups).0.0/16, message m announces inside group
+// m%serveGroups, so each publish fans out to subs/serveGroups consumers.
+const serveGroups = 16
+
+func serveUpdate(group int, i int) *update.Update {
+	return &update.Update{
+		VP:     fmt.Sprintf("vp%d", 65001+group),
+		Time:   time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second),
+		Prefix: netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", group, i%256)),
+		Path:   []uint32{uint32(65001 + group), 6939, 64999},
+		Comms:  []uint32{uint32(65001+group)<<16 | 100},
+	}
+}
+
+// attachGroupSubs subscribes n group-filtered consumers with the given
+// queue depth and returns them.
+func attachGroupSubs(tb testing.TB, h *stream.Hub, n, queue int) []*stream.Subscriber {
+	tb.Helper()
+	subs := make([]*stream.Subscriber, n)
+	for i := range subs {
+		f, err := stream.ParseFilter(fmt.Sprintf("within=10.%d.0.0/16", i%serveGroups))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		subs[i] = h.Subscribe(stream.SubOptions{Filter: f, Queue: queue})
+	}
+	return subs
+}
+
+// drainAll empties every subscriber queue without blocking, returning
+// how many events were consumed.
+func drainAll(subs []*stream.Subscriber) int {
+	n := 0
+	for _, sub := range subs {
+		for {
+			select {
+			case _, ok := <-sub.C():
+				if !ok {
+					goto next
+				}
+				n++
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+	return n
+}
+
+// publishRounds publishes msgs messages round-robin across the groups
+// and waits until the hub has delivered every one (drainers' queues must
+// hold msgs/serveGroups events).
+func publishRounds(tb testing.TB, h *stream.Hub, reg *metrics.Registry, msgs int, expect uint64) {
+	tb.Helper()
+	before := reg.Counter("stream.delivered").Load()
+	for m := 0; m < msgs; m++ {
+		h.Publish(serveUpdate(m%serveGroups, m))
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for reg.Counter("stream.delivered").Load()-before < expect {
+		if time.Now().After(deadline) {
+			tb.Fatalf("delivered %d of %d events",
+				reg.Counter("stream.delivered").Load()-before, expect)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkStreamFanout measures sustained fan-out delivery rate at
+// increasing subscriber counts. Each iteration publishes one message per
+// group (so every subscriber receives exactly one event), waits for full
+// delivery, and drains queues off the clock.
+func BenchmarkStreamFanout(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			reg := metrics.NewRegistry()
+			h := stream.NewHub(stream.Config{Shards: 4, Registry: reg})
+			defer h.Close()
+			subs := attachGroupSubs(b, h, n, 2*serveGroups)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				publishRounds(b, h, reg, serveGroups, uint64(n))
+				b.StopTimer()
+				if got := drainAll(subs); got != n {
+					b.Fatalf("iteration %d drained %d events, want %d", i, got, n)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "deliveries/s")
+		})
+	}
+}
+
+// TestStreamScaleGuard pins the 100K-subscriber contract: with 100K
+// healthy consumers, 1K stalled ones, and rate-limited stragglers all
+// attached, publishing never blocks, every healthy consumer receives its
+// full filtered feed, the stalled ones are evicted (and only they), and
+// rate limiting drops messages without evicting. Needs ~1 minute, so it
+// only runs under GILL_BENCH_GUARD=1 (make bench-serve sets it).
+func TestStreamScaleGuard(t *testing.T) {
+	if os.Getenv("GILL_BENCH_GUARD") != "1" {
+		t.Skip("set GILL_BENCH_GUARD=1 to run the streaming scale guard")
+	}
+	const (
+		healthy = 100_000
+		stalled = 1_000
+		limited = 100
+		msgs    = 8 * serveGroups // 8 events per healthy subscriber
+	)
+	reg := metrics.NewRegistry()
+	h := stream.NewHub(stream.Config{Shards: 4, Registry: reg})
+	defer h.Close()
+
+	subs := attachGroupSubs(t, h, healthy, msgs/serveGroups)
+	stuck := make([]*stream.Subscriber, stalled)
+	for i := range stuck {
+		// Unfiltered firehose with a queue of 2 that is never read: the
+		// third delivery must evict.
+		stuck[i] = h.Subscribe(stream.SubOptions{Queue: 2, Name: fmt.Sprintf("stuck%d", i)})
+	}
+	for i := 0; i < limited; i++ {
+		// Rate-limited but draining via a large queue; at rate 1/s with
+		// burst 1 it should see ~1 of a burst of msgs.
+		h.Subscribe(stream.SubOptions{Rate: 1, Burst: 1, Queue: msgs, Name: fmt.Sprintf("limited%d", i)})
+	}
+	if got := h.Subscribers(); got != healthy+stalled+limited {
+		t.Fatalf("Subscribers = %d, want %d", got, healthy+stalled+limited)
+	}
+
+	// Guaranteed deliveries: every healthy subscriber its 8 events, every
+	// stalled one exactly its queue of 2, every limited one at least its
+	// burst of 1 (more if the publish phase spans refill seconds).
+	expect := uint64(8*healthy + 2*stalled + 1*limited)
+	start := time.Now()
+	publishRounds(t, h, reg, msgs, expect)
+	elapsed := time.Since(start)
+
+	waitSettled := time.Now().Add(30 * time.Second)
+	for h.EvictedSlow() < stalled {
+		if time.Now().After(waitSettled) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := h.EvictedSlow(); got != stalled {
+		t.Errorf("EvictedSlow = %d, want exactly the %d stalled subscribers", got, stalled)
+	}
+	if got := h.Subscribers(); got != healthy+limited {
+		t.Errorf("Subscribers after eviction = %d, want %d", got, healthy+limited)
+	}
+	// Each limited subscriber sees delivered+dropped = msgs; with rate 1/s
+	// and burst 1 it receives one event per elapsed second plus the burst,
+	// so drops land in a band rather than at an exact count.
+	minDrops := uint64(limited) * uint64(msgs-3-int(elapsed.Seconds()))
+	maxDrops := uint64(limited * (msgs - 1))
+	if got := h.DroppedRateLimited(); got < minDrops || got > maxDrops {
+		t.Errorf("DroppedRateLimited = %d, want within [%d, %d]", got, minDrops, maxDrops)
+	}
+	if got := drainAll(subs); got != 8*healthy {
+		t.Errorf("healthy subscribers drained %d events, want %d", got, 8*healthy)
+	}
+	for i, sub := range subs {
+		select {
+		case <-sub.Evicted():
+			t.Fatalf("healthy subscriber %d was evicted", i)
+		default:
+		}
+	}
+	t.Logf("fanned out %d msgs to %d subscribers in %v (%.0f deliveries/s), evicted %d, rate-dropped %d",
+		msgs, healthy+stalled+limited, elapsed,
+		float64(expect)/elapsed.Seconds(), h.EvictedSlow(), h.DroppedRateLimited())
+}
+
+// serveBenchReport is the schema of BENCH_serve.json.
+type serveBenchReport struct {
+	GeneratedAt       string  `json:"generated_at"`
+	Subscribers       int     `json:"subscribers"`
+	Messages          int     `json:"messages"`
+	Deliveries        uint64  `json:"deliveries"`
+	FanoutPerSec      float64 `json:"fanout_msgs_per_sec"`
+	DeliveryP50Ns     float64 `json:"delivery_p50_ns"`
+	DeliveryP99Ns     float64 `json:"delivery_p99_ns"`
+	PublishAllocsPerO float64 `json:"publish_allocs_per_op"`
+	Evicted           uint64  `json:"evicted_slow"`
+	DroppedRate       uint64  `json:"dropped_rate_limited"`
+}
+
+// TestServeBenchReport measures the 100K-subscriber fan-out and writes
+// BENCH_serve.json. Run by `make bench-serve` (GILL_BENCH_GUARD=1).
+func TestServeBenchReport(t *testing.T) {
+	if os.Getenv("GILL_BENCH_GUARD") != "1" {
+		t.Skip("set GILL_BENCH_GUARD=1 to write BENCH_serve.json")
+	}
+	const (
+		healthy = 100_000
+		stalled = 1_000
+		limited = 100
+		msgs    = 64 * serveGroups // 64 events per healthy subscriber
+	)
+	reg := metrics.NewRegistry()
+	h := stream.NewHub(stream.Config{Shards: 4, Registry: reg})
+	defer h.Close()
+	subs := attachGroupSubs(t, h, healthy, msgs/serveGroups)
+	for i := 0; i < stalled; i++ {
+		h.Subscribe(stream.SubOptions{Queue: 2})
+	}
+	for i := 0; i < limited; i++ {
+		h.Subscribe(stream.SubOptions{Rate: 1, Burst: 1, Queue: msgs})
+	}
+
+	expect := uint64(64*healthy + 2*stalled + 1*limited)
+	start := time.Now()
+	publishRounds(t, h, reg, msgs, expect)
+	elapsed := time.Since(start)
+	if got := drainAll(subs); got != 64*healthy {
+		t.Fatalf("drained %d events, want %d", got, 64*healthy)
+	}
+
+	// Publisher-side allocation cost of one fan-out (message, event, one
+	// shared JSON encoding) with the full subscriber set attached.
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Publish(serveUpdate(0, 0))
+	})
+
+	lat := h.DeliverySnapshot()
+	rep := serveBenchReport{
+		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
+		Subscribers:       healthy + stalled + limited,
+		Messages:          msgs,
+		Deliveries:        expect,
+		FanoutPerSec:      float64(expect) / elapsed.Seconds(),
+		DeliveryP50Ns:     lat.Quantile(0.50),
+		DeliveryP99Ns:     lat.Quantile(0.99),
+		PublishAllocsPerO: allocs,
+		Evicted:           h.EvictedSlow(),
+		DroppedRate:       h.DroppedRateLimited(),
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_serve.json: %s", out)
+}
