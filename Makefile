@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke serve-smoke bench-serve verify
+.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke serve-smoke bench-serve fabric-smoke bench-fabric verify
 
 all: build
 
@@ -77,12 +77,32 @@ bench-serve:
 	$(GO) test -run xxx -bench BenchmarkStreamFanout -benchtime 1x .
 	GILL_BENCH_GUARD=1 $(GO) test -run 'TestStreamScaleGuard|TestServeBenchReport' -count=1 -v .
 
+# fabric-smoke is the federation end-to-end: boot a real gill-coordinator
+# with a VP universe and a filter file, join two gill-daemon collectors,
+# assert fleet-wide byte-identical filter installation (FNV digest over
+# the exact marshaled bytes), SIGKILL one collector, and require its
+# whole VP shard on the survivor within two lease periods. The in-process
+# fleet chaos tests (collector kill + control-plane fault injection +
+# network partition, all under the race detector) run first.
+fabric-smoke:
+	$(GO) test -race -count=1 ./internal/fabric/
+	sh scripts/fabric_smoke.sh
+
+# bench-fabric measures the fabric control plane — heartbeat RTT p50/p99
+# through the framed TCP protocol, sustained heartbeat throughput, filter
+# propagation latency, and kill-to-reassignment failover latency against
+# the lease deadline — and writes the machine-readable BENCH_fabric.json.
+bench-fabric:
+	GILL_BENCH_GUARD=1 $(GO) test -run TestFabricBenchReport -count=1 -v .
+
 # verify is the full pre-merge gate: vet, build, race-enabled tests, the
 # fault-injection suite, smoke runs of the pipeline and recompute
 # benchmarks, the observability smoke (admin endpoints + tracing
 # overhead), the data-quality smoke (ledger conservation + shadow
-# overhead), and the serving-plane smoke (indexed queries + filtered
-# streaming end to end).
+# overhead), the serving-plane smoke (indexed queries + filtered
+# streaming end to end), and the federation smoke (fleet chaos tests plus
+# a real coordinator + two-collector failover with byte-identical filter
+# distribution).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -93,3 +113,4 @@ verify:
 	$(MAKE) obs-smoke
 	$(MAKE) quality-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) fabric-smoke

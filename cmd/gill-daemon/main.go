@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/daemon"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/filter"
 	"repro/internal/index"
@@ -65,6 +66,9 @@ func main() {
 		liveAddr = flag.String("live", "", "legacy JSON-over-TCP live feed address (empty: disabled)")
 		filtTTL  = flag.Duration("filter-ttl", 0, "degrade to retain-everything when filters go stale (0: never)")
 		chaos    = flag.String("chaos", "", "fault-injection spec, e.g. seed=7,reset=0.01,drop-accept=50 (testing only)")
+		coordTo  = flag.String("coordinator", "", "fabric coordinator address; joins the fleet, receives VP assignments and filter pushes")
+		fabricID = flag.String("fabric-id", "", "collector identity within the fabric (required with -coordinator)")
+		advert   = flag.String("advertise", "", "BGP address advertised to the coordinator (default: -listen)")
 		admin    = flag.String("admin", "", "admin-plane address (/metrics, /statusz, /healthz, /readyz, /tracez, /qualityz, pprof); bind loopback — unauthenticated")
 		logLevel = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		shadow   = flag.String("shadow-fraction", "1/64", "fraction of (VP,prefix) slots mirrored into the data-quality shadow lane (1/N, all, or off)")
@@ -252,6 +256,42 @@ func main() {
 	go qp.Run(ctx)
 	logm.Info("data-quality plane running", "shadow_fraction", qp.Selector().String())
 
+	// The fabric agent: join the coordinator's fleet, heartbeat the lease,
+	// and install pushed filter sets through the daemon's generation-token
+	// path. Filters pushed by the fabric override the -filters file; if
+	// the coordinator becomes unreachable, -filter-ttl decides when the
+	// daemon degrades to retain-everything mode.
+	var agent *fabric.Agent
+	if *coordTo != "" {
+		if *fabricID == "" {
+			fatal("-coordinator requires -fabric-id")
+		}
+		bgpAddr := *advert
+		if bgpAddr == "" {
+			bgpAddr = *listen
+		}
+		agent, err = fabric.NewAgent(fabric.AgentConfig{
+			ID:          *fabricID,
+			Coordinator: *coordTo,
+			Addr:        bgpAddr,
+			Registry:    reg,
+			Log:         logg,
+			OnAssign: func(gen uint64, vps []string) {
+				logm.Info("fabric shard assigned", "gen", gen, "vps", len(vps))
+			},
+			OnFilters: func(gen uint64, pushed *filter.Set, _ []byte) {
+				d.SetFilters(pushed)
+				logm.Info("fabric filters installed", "gen", gen,
+					"drop_rules", pushed.NumDrops(), "anchors", len(pushed.Anchors()))
+			},
+		})
+		if err != nil {
+			fatal("fabric agent", "err", err)
+		}
+		go agent.Run(ctx)
+		logm.Info("fabric agent joining fleet", "coordinator", *coordTo, "id", *fabricID)
+	}
+
 	if liveSrv != nil {
 		go func() {
 			if err := liveSrv.Serve(ctx, liveLn); err != nil {
@@ -316,6 +356,9 @@ func main() {
 				return p
 			},
 			Quality: func() any { return qp.Status() },
+		}
+		if agent != nil {
+			a.Fleet = func() any { return agent.Status() }
 		}
 		go func() {
 			if err := a.Serve(ctx, adminLn); err != nil {

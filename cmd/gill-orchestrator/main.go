@@ -30,6 +30,8 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/mrt"
 	"repro/internal/orchestrator"
@@ -45,6 +47,9 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		workers      = flag.Int("recompute-workers", 0, "worker pool for the sampling-component recompute (0 = GOMAXPROCS); results are identical at any count")
 		qualityAuto  = flag.Bool("quality-autorefresh", false, "act on data-quality drift signals by re-running the last training (default: signals are advisory)")
+		fabricListen = flag.String("fabric-listen", "", "run an embedded fabric coordinator on this address: confirmed peers become fleet VPs, trained filters are pushed to every collector")
+		fabricLease  = flag.Duration("fabric-lease", fabric.DefaultLeaseTTL, "collector lease TTL for the embedded coordinator")
+		fabricChaos  = flag.String("chaos", "", "fault-injection spec for the fabric control listener (testing only)")
 	)
 	flag.Parse()
 
@@ -57,6 +62,7 @@ func main() {
 	o.SetLogger(logg)
 
 	reg := metrics.NewRegistry()
+	o.Instrument(reg)
 	rec := orchestrator.NewRecomputer(o, orchestrator.RecomputeConfig{
 		Core:     core.DefaultConfig(),
 		Workers:  *workers,
@@ -95,6 +101,44 @@ func main() {
 		logm.Info("quality autorefresh armed")
 	}
 
+	// The embedded fabric coordinator federates the orchestrator's control
+	// decisions across a collector fleet: confirmed peers form the VP
+	// universe, and every trained filter set rides the generation-tokened
+	// Subscribe fan-out straight onto the control plane.
+	var coord *fabric.Coordinator
+	if *fabricListen != "" {
+		coord = fabric.NewCoordinator(fabric.CoordinatorConfig{
+			LeaseTTL: *fabricLease,
+			Registry: reg,
+			Log:      logg,
+			OnRebalance: func(rb fabric.Rebalance) {
+				logm.Info("fleet rebalanced", "gen", rb.Gen, "reason", rb.Reason,
+					"moved", rb.Moved, "collectors", len(rb.Collectors))
+			},
+		})
+		fln, err := net.Listen("tcp", *fabricListen)
+		if err != nil {
+			logm.Error("fabric listen failed", "addr", *fabricListen, "err", err)
+			os.Exit(1)
+		}
+		if *fabricChaos != "" {
+			fc, err := faults.ParseSpec(*fabricChaos)
+			if err != nil {
+				logm.Error("bad -chaos spec", "err", err)
+				os.Exit(1)
+			}
+			fln = faults.New(fc).Listener(fln)
+			logm.Warn("fabric control plane running under injected chaos", "spec", *fabricChaos)
+		}
+		go coord.Serve(context.Background(), fln)
+		go coord.Run(context.Background())
+		for _, p := range o.Peers() {
+			coord.AddVP(fmt.Sprintf("vp%d", p.ASN))
+		}
+		o.Subscribe(coord.DistributeFilters)
+		logm.Info("fabric coordinator listening", "fabric_addr", fln.Addr(), "lease", *fabricLease)
+	}
+
 	if *admin != "" {
 		ln, err := net.Listen("tcp", *admin)
 		if err != nil {
@@ -117,6 +161,9 @@ func main() {
 				}
 			},
 			Quality: func() any { return qp.Status() },
+		}
+		if coord != nil {
+			a.Fleet = func() any { return coord.Status() }
 		}
 		go func() {
 			if err := a.Serve(context.Background(), ln); err != nil {
@@ -163,6 +210,9 @@ func main() {
 			if err != nil {
 				report(err, "")
 				continue
+			}
+			if coord != nil {
+				coord.AddVP(fmt.Sprintf("vp%d", p.ASN))
 			}
 			fmt.Printf("AS%d activated (router %s)\n", p.ASN, p.RouterIP)
 		case "peers":

@@ -1,0 +1,63 @@
+package fabric
+
+// VP→collector assignment uses rendezvous (highest-random-weight)
+// hashing: each (vp, collector) pair hashes to a score and the collector
+// with the highest score owns the VP. The properties the fabric needs
+// fall out for free:
+//
+//   - Deterministic: every node that knows the live collector set computes
+//     the same assignment, so a restarted coordinator reproduces the map
+//     without persisted state.
+//   - Minimal movement: removing a collector reassigns exactly that
+//     collector's VPs (every other VP's argmax is unchanged); adding one
+//     steals only the VPs it now wins. Failover churn is bounded by the
+//     failed shard, never the whole fleet.
+//   - No ring state: unlike consistent hashing there are no virtual nodes
+//     to tune or persist — the function is the data structure.
+
+import "hash/fnv"
+
+// hrwScore scores one (vp, collector) pair: FNV-64a over the pair with a
+// NUL separator so ("ab","c") and ("a","bc") cannot collide.
+func hrwScore(vp, collector string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(vp))
+	h.Write([]byte{0})
+	h.Write([]byte(collector))
+	return h.Sum64()
+}
+
+// Owner returns the collector that owns vp under rendezvous hashing, or
+// "" when no collectors are live. Ties (astronomically unlikely with a
+// 64-bit hash) break toward the lexicographically smaller ID so the
+// choice stays deterministic.
+func Owner(vp string, collectors []string) string {
+	var best string
+	var bestScore uint64
+	for _, c := range collectors {
+		s := hrwScore(vp, c)
+		if best == "" || s > bestScore || (s == bestScore && c < best) {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// Assign computes the full VP→collector map for the given live set.
+func Assign(vps, collectors []string) map[string]string {
+	out := make(map[string]string, len(vps))
+	for _, vp := range vps {
+		out[vp] = Owner(vp, collectors)
+	}
+	return out
+}
+
+// FilterSum is the fleet's byte-identity digest over a marshaled filter
+// set: FNV-64a of the exact bytes. Collectors report it in heartbeats and
+// acks so "survivors installed the same filter set byte-identically" is a
+// single integer comparison.
+func FilterSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}

@@ -1,0 +1,93 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func vpsN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("vp%05d", i)
+	}
+	return out
+}
+
+func TestOwnerDeterministicAndOrderFree(t *testing.T) {
+	vps := vpsN(200)
+	a := Assign(vps, []string{"c1", "c2", "c3"})
+	b := Assign(vps, []string{"c3", "c1", "c2"})
+	for _, vp := range vps {
+		if a[vp] != b[vp] {
+			t.Fatalf("assignment depends on collector order: %s → %s vs %s", vp, a[vp], b[vp])
+		}
+		if a[vp] == "" {
+			t.Fatalf("%s unassigned with live collectors", vp)
+		}
+	}
+	if Owner("vp1", nil) != "" {
+		t.Fatal("Owner with no collectors should be empty")
+	}
+}
+
+func TestAssignMinimalMovement(t *testing.T) {
+	vps := vpsN(1000)
+	before := Assign(vps, []string{"c1", "c2", "c3"})
+	after := Assign(vps, []string{"c1", "c3"}) // c2 dies
+
+	moved := 0
+	for _, vp := range vps {
+		if before[vp] != after[vp] {
+			moved++
+			// Only c2's VPs may move — rendezvous hashing's defining
+			// property, and the reason failover churn is bounded by the
+			// dead shard.
+			if before[vp] != "c2" {
+				t.Fatalf("%s moved from live collector %s to %s", vp, before[vp], after[vp])
+			}
+		}
+	}
+	lost := 0
+	for _, vp := range vps {
+		if before[vp] == "c2" {
+			lost++
+		}
+	}
+	if moved != lost {
+		t.Fatalf("moved %d VPs, but c2 owned %d", moved, lost)
+	}
+	if lost == 0 {
+		t.Fatal("test degenerate: c2 owned nothing")
+	}
+
+	// Re-adding c2 restores the original map exactly (determinism).
+	restored := Assign(vps, []string{"c2", "c1", "c3"})
+	for _, vp := range vps {
+		if restored[vp] != before[vp] {
+			t.Fatalf("re-adding c2 did not restore %s (%s vs %s)", vp, restored[vp], before[vp])
+		}
+	}
+}
+
+func TestAssignRoughBalance(t *testing.T) {
+	vps := vpsN(3000)
+	counts := map[string]int{}
+	for _, owner := range Assign(vps, []string{"c1", "c2", "c3"}) {
+		counts[owner]++
+	}
+	for id, n := range counts {
+		// Expect ~1000 each; a uniform hash stays well within 2x.
+		if n < 500 || n > 2000 {
+			t.Fatalf("shard badly imbalanced: %s owns %d of 3000", id, n)
+		}
+	}
+}
+
+func TestFilterSumDistinguishesBytes(t *testing.T) {
+	if FilterSum([]byte("anchor 10.0.0.0/8")) == FilterSum([]byte("anchor 10.0.0.0/9")) {
+		t.Fatal("distinct filter bytes hashed identically")
+	}
+	if FilterSum(nil) != FilterSum([]byte{}) {
+		t.Fatal("nil and empty should digest identically")
+	}
+}

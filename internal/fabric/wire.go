@@ -1,0 +1,155 @@
+// Package fabric is GILL's federated multi-collector control plane. One
+// daemon cannot hold the paper's ~2500 VPs (§4), so the session space is
+// partitioned across a fleet of collector daemons coordinated over a real
+// networked channel: a Coordinator owns the VP→collector assignment map
+// and grants time-bounded leases renewed by heartbeats, and an Agent in
+// each collector maintains the session, installs generation-tokened
+// filter sets, and reports what it has installed.
+//
+// Failure handling is the core of the design, not an afterthought. A
+// collector that misses its heartbeats loses its lease and its VP shard
+// is deterministically rebalanced onto the survivors (rendezvous hashing,
+// so only the dead collector's VPs move); a collector cut off from the
+// coordinator keeps collecting under its last-known assignment and falls
+// back to the daemon's FilterTTL retain-everything mode rather than
+// dropping data; generation tokens on both the assignment and the filter
+// channel make every reconnect idempotent — stale state is rejected, not
+// installed. The wire is length-prefixed JSON over TCP: debuggable with
+// nc, fault-injectable with internal/faults, and free of schema codegen.
+package fabric
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Wire limits. Filter sets dominate frame size: at the paper's scale a
+// set holds a few million drop rules of ~40 bytes each, so the cap is
+// generous while still bounding a corrupted length prefix.
+const (
+	// MaxFrame bounds one control-plane frame.
+	MaxFrame = 64 << 20
+	// DefaultIOTimeout is the per-frame read/write deadline when the
+	// caller does not supply one. Control traffic is tiny; anything that
+	// takes this long is a dead peer, not a slow one.
+	DefaultIOTimeout = 10 * time.Second
+)
+
+// Message types. The protocol is deliberately small: registration and
+// heartbeats flow collector→coordinator, leases, assignments and filter
+// sets flow back, and acks confirm installs.
+const (
+	// MsgRegister announces a collector (ID, optional BGP address) and
+	// requests a lease.
+	MsgRegister = "register"
+	// MsgLease grants or renews a lease: TTLMillis carries the lease
+	// duration, Gen the current assignment generation, FilterGen the
+	// current filter generation (so a holder can detect it is behind).
+	MsgLease = "lease"
+	// MsgHeartbeat renews the sender's lease; FilterGen reports the
+	// highest filter generation the collector has installed.
+	MsgHeartbeat = "heartbeat"
+	// MsgAssign delivers a collector's VP shard under assignment
+	// generation Gen.
+	MsgAssign = "assign"
+	// MsgFilters delivers one marshaled filter set under filter
+	// generation Gen; Sum is the FNV-64a digest of the payload so
+	// byte-identity across the fleet is checkable without re-hashing.
+	MsgFilters = "filters"
+	// MsgAck confirms an install: Kind names the acked message type and
+	// Gen its generation.
+	MsgAck = "ack"
+)
+
+// Msg is the single control-plane envelope. Fields are a union over the
+// message types; unused fields are omitted on the wire.
+type Msg struct {
+	Type string `json:"type"`
+	// ID identifies the collector (register, heartbeat).
+	ID string `json:"id,omitempty"`
+	// Addr is the collector's BGP listen address, advertised at
+	// registration so operators (and tests) can route VP sessions.
+	Addr string `json:"addr,omitempty"`
+	// TTLMillis is the lease duration (lease).
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+	// Gen is the message's generation token: assignment generation on
+	// assign/lease, filter generation on filters, the acked generation on
+	// ack.
+	Gen uint64 `json:"gen,omitempty"`
+	// FilterGen carries the filter generation alongside an assignment
+	// generation (lease) or the installed generation (heartbeat).
+	FilterGen uint64 `json:"filter_gen,omitempty"`
+	// VPs is the assigned shard, sorted (assign).
+	VPs []string `json:"vps,omitempty"`
+	// Filters is the exact filter.Set.Marshal output (filters). JSON
+	// base64-encodes it; the bytes are preserved exactly.
+	Filters []byte `json:"filters,omitempty"`
+	// Sum is the FNV-64a digest of Filters (filters) or of the installed
+	// set (heartbeat, ack) — the byte-identity witness.
+	Sum uint64 `json:"sum,omitempty"`
+	// Kind is the acked message type (ack).
+	Kind string `json:"kind,omitempty"`
+}
+
+// Wire errors.
+var (
+	// ErrFrameTooLarge reports a length prefix beyond MaxFrame — a
+	// corrupted stream or a hostile peer; the connection should be torn
+	// down, not resynchronized.
+	ErrFrameTooLarge = errors.New("fabric: frame exceeds MaxFrame")
+)
+
+// WriteMsg writes one length-prefixed JSON frame with the given deadline
+// (zero selects DefaultIOTimeout from now). The deadline covers the whole
+// frame: a peer that stalls mid-frame is a dead peer.
+func WriteMsg(conn net.Conn, m *Msg, deadline time.Time) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("fabric: encode %s: %w", m.Type, err)
+	}
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	if deadline.IsZero() {
+		deadline = time.Now().Add(DefaultIOTimeout)
+	}
+	if err := conn.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	_, err = conn.Write(frame)
+	return err
+}
+
+// ReadMsg reads one frame with the given deadline (zero disables the
+// deadline — the coordinator's read loops wait indefinitely between
+// heartbeats and rely on lease expiry, not read timeouts, for liveness).
+func ReadMsg(conn net.Conn, deadline time.Time) (*Msg, error) {
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return nil, err
+	}
+	var m Msg
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("fabric: decode frame: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,157 @@
+package faults
+
+// Gate is the network-partition primitive: a switch that, while cut,
+// severs every connection passing through it and refuses new ones. A
+// partition differs from the Injector's probabilistic faults in kind —
+// it is *total* and *directed by the test*, not drawn from a PRNG: "the
+// coordinator cannot reach rack B for the next three lease periods" is a
+// schedule, not a coin flip. Wrap a listener (or dialer) with the gate,
+// Cut() to partition, Heal() to restore; connections accepted while cut
+// are reset immediately, and connections alive at the moment of the cut
+// are closed, exactly as a yanked switch port would leave them.
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// Gate models one side of a network partition.
+type Gate struct {
+	mu    sync.Mutex
+	cut   bool
+	conns map[net.Conn]struct{}
+	cuts  int
+}
+
+// NewGate returns a healed (passing) gate.
+func NewGate() *Gate {
+	return &Gate{conns: map[net.Conn]struct{}{}}
+}
+
+// Cut severs the gate: every tracked connection is closed now, and new
+// connections are reset until Heal. Idempotent.
+func (g *Gate) Cut() {
+	g.mu.Lock()
+	if !g.cut {
+		g.cut = true
+		g.cuts++
+	}
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.conns = map[net.Conn]struct{}{}
+	g.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Heal restores the gate: new connections pass again. Connections killed
+// by the cut stay dead — endpoints must redial, as after a real partition.
+func (g *Gate) Heal() {
+	g.mu.Lock()
+	g.cut = false
+	g.mu.Unlock()
+}
+
+// Severed reports whether the gate is currently cut.
+func (g *Gate) Severed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cut
+}
+
+// Cuts returns how many times the gate has been cut.
+func (g *Gate) Cuts() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cuts
+}
+
+// track registers a live connection; returns false if the gate is cut
+// (the caller must close the connection instead of using it).
+func (g *Gate) track(c net.Conn) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cut {
+		return false
+	}
+	g.conns[c] = struct{}{}
+	return true
+}
+
+func (g *Gate) untrack(c net.Conn) {
+	g.mu.Lock()
+	delete(g.conns, c)
+	g.mu.Unlock()
+}
+
+// Conn wraps c so the gate can sever it; reads and writes fail once the
+// gate is cut (the underlying close takes care of that).
+func (g *Gate) Conn(c net.Conn) net.Conn {
+	gc := &gateConn{Conn: c, gate: g}
+	if !g.track(c) {
+		c.Close()
+	}
+	return gc
+}
+
+type gateConn struct {
+	net.Conn
+	gate *Gate
+	once sync.Once
+}
+
+func (c *gateConn) Close() error {
+	c.once.Do(func() { c.gate.untrack(c.Conn) })
+	return c.Conn.Close()
+}
+
+// Listener wraps ln so accepted connections pass through the gate: while
+// cut, they are accepted and immediately reset (the TCP handshake
+// completes, then the peer sees a dead socket — a partitioned middlebox,
+// not a refused port).
+func (g *Gate) Listener(ln net.Listener) net.Listener {
+	return &gateListener{Listener: ln, gate: g}
+}
+
+type gateListener struct {
+	net.Listener
+	gate *Gate
+}
+
+func (l *gateListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if !l.gate.track(conn) {
+			conn.Close()
+			continue
+		}
+		return &gateConn{Conn: conn, gate: l.gate}, nil
+	}
+}
+
+// Dialer wraps dial so outbound connections pass through the gate: while
+// cut, dialing fails immediately with a closed connection error surface
+// (net.ErrClosed), and healed dials are tracked for the next cut.
+func (g *Gate) Dialer(dial func(ctx context.Context) (net.Conn, error)) func(ctx context.Context) (net.Conn, error) {
+	return func(ctx context.Context) (net.Conn, error) {
+		if g.Severed() {
+			return nil, net.ErrClosed
+		}
+		conn, err := dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !g.track(conn) {
+			conn.Close()
+			return nil, net.ErrClosed
+		}
+		return &gateConn{Conn: conn, gate: g}, nil
+	}
+}

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts through ln and echoes bytes until the conn dies.
+func echoServer(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+func roundTrip(c net.Conn, payload string) error {
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte(payload)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(payload))
+	if _, err := c.Read(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+func TestGatePartitionAndHeal(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	g := NewGate()
+	echoServer(t, g.Listener(raw))
+
+	pre, err := net.Dial("tcp", raw.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pre.Close()
+	if err := roundTrip(pre, "hello"); err != nil {
+		t.Fatalf("healed gate should pass traffic: %v", err)
+	}
+
+	// Cut: the established connection dies, and a new one is reset
+	// rather than served.
+	g.Cut()
+	if !g.Severed() {
+		t.Fatal("Severed() = false after Cut")
+	}
+	if err := roundTrip(pre, "zombie"); err == nil {
+		t.Fatal("established connection survived the partition")
+	}
+	during, err := net.Dial("tcp", raw.Addr().String())
+	if err == nil {
+		if rtErr := roundTrip(during, "blocked"); rtErr == nil {
+			t.Fatal("new connection passed through a cut gate")
+		}
+		during.Close()
+	}
+
+	// Heal: fresh connections work again; the old ones stay dead.
+	g.Heal()
+	post, err := net.Dial("tcp", raw.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Close()
+	if err := roundTrip(post, "back"); err != nil {
+		t.Fatalf("healed gate should pass traffic again: %v", err)
+	}
+	if g.Cuts() != 1 {
+		t.Fatalf("Cuts() = %d, want 1", g.Cuts())
+	}
+}
+
+func TestGateDialer(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	echoServer(t, raw)
+
+	g := NewGate()
+	dial := g.Dialer(func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", raw.Addr().String())
+	})
+
+	c, err := dial(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(c, "out"); err != nil {
+		t.Fatalf("healed dialer: %v", err)
+	}
+
+	g.Cut()
+	if err := roundTrip(c, "dead"); err == nil {
+		t.Fatal("outbound connection survived the partition")
+	}
+	if _, err := dial(context.Background()); err == nil {
+		t.Fatal("dial succeeded through a cut gate")
+	}
+
+	g.Heal()
+	c2, err := dial(context.Background())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer c2.Close()
+	if err := roundTrip(c2, "again"); err != nil {
+		t.Fatalf("healed dialer after partition: %v", err)
+	}
+	c.Close()
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/filter"
+	"repro/internal/metrics"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/update"
@@ -97,6 +98,10 @@ type Orchestrator struct {
 
 	// subscribers receive new filter sets (the daemons' loading hook).
 	subscribers []func(*filter.Set)
+
+	// hookPanics counts subscriber hooks that panicked during fan-out.
+	// Always non-nil (Instrument swaps in the shared registry's counter).
+	hookPanics *metrics.Counter
 }
 
 // New builds an orchestrator.
@@ -105,11 +110,20 @@ func New(verifier OwnershipVerifier, clock func() time.Time) *Orchestrator {
 		clock = time.Now
 	}
 	return &Orchestrator{
-		verifier: verifier,
-		clock:    clock,
-		peers:    make(map[uint32]*Peer),
-		pending:  make(map[uint32]PeeringRequest),
+		verifier:   verifier,
+		clock:      clock,
+		peers:      make(map[uint32]*Peer),
+		pending:    make(map[uint32]PeeringRequest),
+		hookPanics: &metrics.Counter{},
 	}
+}
+
+// Instrument publishes the orchestrator's counters on the shared registry
+// (orchestrator.hook_panics).
+func (o *Orchestrator) Instrument(reg *metrics.Registry) {
+	o.mu.Lock()
+	o.hookPanics = reg.Counter("orchestrator.hook_panics")
+	o.mu.Unlock()
 }
 
 // SetLogger routes the orchestrator's structured events (peering
@@ -198,10 +212,29 @@ func (o *Orchestrator) Subscribe(fn func(*filter.Set)) {
 	o.mu.Lock()
 	o.subscribers = append(o.subscribers, fn)
 	cur := o.filters
+	log := o.log
 	o.mu.Unlock()
 	if cur != nil {
-		fn(cur)
+		o.callHook(fn, cur, log)
 	}
+}
+
+// callHook invokes one subscriber hook, containing any panic: a broken
+// subscriber (a daemon shutting down mid-refresh, a fabric push hitting a
+// closed coordinator) must not abort the refresh that is fanning out or
+// poison the subscribers after it. Panics are counted on
+// orchestrator.hook_panics and logged, never propagated.
+func (o *Orchestrator) callHook(fn func(*filter.Set), fs *filter.Set, log *telemetry.Logger) {
+	defer func() {
+		if r := recover(); r != nil {
+			o.mu.Lock()
+			panics := o.hookPanics
+			o.mu.Unlock()
+			panics.Inc()
+			log.Error("filter subscriber hook panicked", "panic", fmt.Sprint(r))
+		}
+	}()
+	fn(fs)
 }
 
 // RefreshToken authorizes one recompute result: BeginRefresh hands it out
@@ -290,7 +323,7 @@ func (o *Orchestrator) installLocked(fs *filter.Set, component int) {
 	log.Info("filter set distributed", "component", component, "generation", gen,
 		"subscribers", len(subs))
 	for _, fn := range subs {
-		fn(fs)
+		o.callHook(fn, fs, log)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/filter"
+	"repro/internal/metrics"
 	"repro/internal/update"
 )
 
@@ -216,5 +217,46 @@ func TestMirrorWindow(t *testing.T) {
 	m.Drop()
 	if m.Len() != 0 {
 		t.Error("Drop did not empty the mirror")
+	}
+}
+
+// TestPanickingSubscriberContained: a hook that panics mid-fan-out must
+// not abort the refresh, poison the other subscribers, or take the
+// control plane down — it is counted and logged instead.
+func TestPanickingSubscriberContained(t *testing.T) {
+	o := New(nil, nil)
+	reg := metrics.NewRegistry()
+	o.Instrument(reg)
+
+	var before, after int
+	o.Subscribe(func(*filter.Set) { before++ })
+	o.Subscribe(func(*filter.Set) { panic("subscriber exploded") })
+	o.Subscribe(func(*filter.Set) { after++ })
+
+	fs := filter.NewSet(filter.GranVPPrefix)
+	fs.AddAnchor("vp1")
+	o.LoadFilters(fs, 1) // must not panic out of the control plane
+
+	if before != 1 || after != 1 {
+		t.Fatalf("fan-out skipped healthy subscribers: before=%d after=%d", before, after)
+	}
+	if n := reg.Counter("orchestrator.hook_panics").Load(); n != 1 {
+		t.Fatalf("hook_panics = %d, want 1", n)
+	}
+
+	// The next refresh still reaches everyone (the panicking hook keeps
+	// panicking; the counter keeps counting).
+	o.LoadFilters(fs, 1)
+	if before != 2 || after != 2 {
+		t.Fatalf("second fan-out skipped subscribers: before=%d after=%d", before, after)
+	}
+	if n := reg.Counter("orchestrator.hook_panics").Load(); n != 2 {
+		t.Fatalf("hook_panics = %d, want 2", n)
+	}
+
+	// Subscribe's immediate-delivery call is contained the same way.
+	o.Subscribe(func(*filter.Set) { panic("late subscriber exploded") })
+	if n := reg.Counter("orchestrator.hook_panics").Load(); n != 3 {
+		t.Fatalf("hook_panics after late subscribe = %d, want 3", n)
 	}
 }

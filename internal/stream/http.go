@@ -18,6 +18,7 @@ package stream
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -28,6 +29,13 @@ import (
 // KeepaliveInterval is how often an idle stream emits a keepalive line,
 // both to hold middleboxes open and to let the server notice dead peers.
 const KeepaliveInterval = 15 * time.Second
+
+// DefaultWriteTimeout is the per-write deadline on stream responses. It
+// is what turns a silently dead client into a write error: without it a
+// peer that vanished without a FIN leaves the handler goroutine parked in
+// Write once the socket buffer fills, leaking one goroutine (plus its
+// subscriber slot) per dead client.
+const DefaultWriteTimeout = 30 * time.Second
 
 // filterKeys are the grammar keys accepted as direct query parameters.
 var filterKeys = []string{"prefix", "within", "vp", "origin", "community", "path", "type"}
@@ -79,25 +87,42 @@ func (h *Hub) StreamHandler() http.Handler {
 		if v := q.Get("name"); v != "" {
 			opts.Name = v
 		}
-		fl, ok := w.(http.Flusher)
-		if !ok {
-			streamError(w, http.StatusInternalServerError, "streaming unsupported")
-			return
-		}
+		rc := http.NewResponseController(w)
 
 		sub := h.Subscribe(opts)
 		defer sub.Close()
+
+		// write pushes one line under the per-write deadline and flushes
+		// the error instead of swallowing it. Any failure — deadline
+		// exceeded, connection reset, flush error — means the subscriber
+		// is dead: the caller must unsubscribe and return immediately, so
+		// a client that vanished without closing cannot pin this goroutine
+		// (and its subscriber slot) on a full socket buffer.
+		write := func(line []byte, flush bool) error {
+			if err := rc.SetWriteDeadline(h.cfg.Clock().Add(h.cfg.WriteTimeout)); err != nil &&
+				!errors.Is(err, http.ErrNotSupported) {
+				return err
+			}
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
+			if flush {
+				if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+					return err
+				}
+			}
+			return nil
+		}
 
 		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 		w.Header().Set("Cache-Control", "no-store")
 		w.WriteHeader(http.StatusOK)
 		hello, _ := json.Marshal(map[string]string{"type": "hello", "filter": f.String()})
-		if _, err := w.Write(append(hello, '\n')); err != nil {
+		if err := write(append(hello, '\n'), true); err != nil {
 			return
 		}
-		fl.Flush()
 
-		keepalive := time.NewTicker(KeepaliveInterval)
+		keepalive := time.NewTicker(h.cfg.Keepalive)
 		defer keepalive.Stop()
 		ctx := r.Context()
 		for {
@@ -108,26 +133,21 @@ func (h *Hub) StreamHandler() http.Handler {
 					case <-sub.Evicted():
 						// Tell the client why the stream ended; best effort.
 						note, _ := json.Marshal(map[string]any{"type": "evicted", "seq": h.seq.Load()})
-						_, _ = w.Write(append(note, '\n'))
-						fl.Flush()
+						_ = write(append(note, '\n'), true)
 					default:
 					}
 					return
 				}
-				if _, err := w.Write(ev.JSON); err != nil {
-					return
-				}
 				// Batch flushes: only flush once the queue is drained, so a
 				// burst costs one syscall, not one per message.
-				if len(sub.C()) == 0 {
-					fl.Flush()
+				if err := write(ev.JSON, len(sub.C()) == 0); err != nil {
+					return
 				}
 			case <-keepalive.C:
 				note, _ := json.Marshal(map[string]string{"type": "keepalive"})
-				if _, err := w.Write(append(note, '\n')); err != nil {
+				if err := write(append(note, '\n'), true); err != nil {
 					return
 				}
-				fl.Flush()
 			case <-ctx.Done():
 				return
 			}

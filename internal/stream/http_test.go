@@ -134,3 +134,52 @@ func TestStreamHandlerEvictionNotice(t *testing.T) {
 		t.Fatalf("final line = %q (err %v), want an evicted notice", last, err)
 	}
 }
+
+// TestStreamHandlerDeadClientReaped: a client that stops reading without
+// closing its connection must be detected by the per-write deadline and
+// unsubscribed — not left blocking the handler goroutine forever on a
+// full socket buffer. The subscriber queue is set to the maximum so the
+// hub's slow-subscriber eviction cannot fire first: the only way the
+// subscriber count can drop is the handler reaping the dead writer.
+func TestStreamHandlerDeadClientReaped(t *testing.T) {
+	h := NewHub(Config{
+		Shards:       1,
+		WriteTimeout: 200 * time.Millisecond,
+		Keepalive:    50 * time.Millisecond,
+	})
+	defer h.Close()
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/?queue=8192")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	waitFor(t, "subscriber attach", func() bool { return h.Subscribers() == 1 })
+
+	// Read the hello, then go silent with the connection still open — the
+	// classic NAT-timeout/power-loss client. Publishing keeps the handler
+	// writing until the kernel buffer fills and the write deadline fires.
+	buf := make([]byte, 64)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("hello read: %v", err)
+	}
+	longPath := make([]uint32, 4096)
+	for i := range longPath {
+		longPath[i] = 64512 + uint32(i%1024)
+	}
+	// One bounded burst — far under the 8192 queue, so eviction stays
+	// impossible — is tens of megabytes of NDJSON: more than loopback TCP
+	// buffers can absorb, so the handler's write must block and the
+	// deadline must fire; the keepalive ticker keeps forcing writes after.
+	for i := 0; i < 2000; i++ {
+		h.Publish(upd("vp65001", "203.0.113.0/24", longPath, nil, false))
+	}
+	waitFor(t, "dead client reaped", func() bool {
+		return h.Subscribers() == 0
+	})
+	if h.EvictedSlow() != 0 {
+		t.Fatalf("subscriber left via slow-eviction (%d), want write-deadline reap", h.EvictedSlow())
+	}
+}

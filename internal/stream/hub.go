@@ -61,6 +61,14 @@ type Config struct {
 	Log *telemetry.Logger
 	// Clock overrides time.Now (tests).
 	Clock func() time.Time
+	// Keepalive is the idle-stream keepalive period for the HTTP handler
+	// (default KeepaliveInterval; tests shorten it).
+	Keepalive time.Duration
+	// WriteTimeout bounds each HTTP stream write. A client that stops
+	// reading without closing (NAT timeout, power loss) otherwise leaves
+	// the handler goroutine blocked in Write forever once the kernel
+	// buffer fills (default DefaultWriteTimeout).
+	WriteTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +86,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+	}
+	if c.Keepalive <= 0 {
+		c.Keepalive = KeepaliveInterval
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = DefaultWriteTimeout
 	}
 	return c
 }

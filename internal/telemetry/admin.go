@@ -41,6 +41,12 @@ type Admin struct {
 	// training reconstitution power, drift scores, ledger residuals). Nil
 	// means no quality plane: /qualityz answers 404.
 	Quality func() any
+	// Fleet returns the federation payload served on /fleetz and embedded
+	// in /statusz: for a coordinator its fabric.FleetStatus (assignment
+	// map, lease state, filter generation per collector), for a collector
+	// its fabric.AgentStatus. Nil means the process is not part of a
+	// fabric: /fleetz answers 404.
+	Fleet func() any
 	// Build carries the build-identity labels rendered as the build_info
 	// gauge on /metrics and the "build" section of /statusz; nil defaults
 	// to BuildInfo().
@@ -72,6 +78,7 @@ type statuszPayload struct {
 	Build       map[string]string           `json:"build,omitempty"`
 	Status      any                         `json:"status,omitempty"`
 	Quality     any                         `json:"quality,omitempty"`
+	Fleet       any                         `json:"fleet,omitempty"`
 	Histograms  map[string]HistogramSummary `json:"histograms,omitempty"`
 }
 
@@ -85,6 +92,7 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/metrics", a.metricsHandler)
 	mux.HandleFunc("/statusz", a.statuszHandler)
 	mux.HandleFunc("/qualityz", a.qualityzHandler)
+	mux.HandleFunc("/fleetz", a.fleetzHandler)
 	mux.HandleFunc("/healthz", a.healthzHandler)
 	mux.HandleFunc("/readyz", a.readyzHandler)
 	mux.HandleFunc("/tracez", a.tracezHandler)
@@ -159,6 +167,9 @@ func (a *Admin) statuszHandler(w http.ResponseWriter, r *http.Request) {
 	if a.Quality != nil {
 		p.Quality = a.Quality()
 	}
+	if a.Fleet != nil {
+		p.Fleet = a.Fleet()
+	}
 	if a.Registry != nil {
 		snap := a.Registry.Snapshot()
 		if len(snap.Histograms) > 0 {
@@ -186,6 +197,16 @@ func (a *Admin) qualityzHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, a.Quality())
+}
+
+// fleetzHandler serves the federation payload; a process outside any
+// fabric 404s so probes can tell "standalone" from "fabric, empty fleet".
+func (a *Admin) fleetzHandler(w http.ResponseWriter, r *http.Request) {
+	if a.Fleet == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, a.Fleet())
 }
 
 func (a *Admin) healthzHandler(w http.ResponseWriter, r *http.Request) {

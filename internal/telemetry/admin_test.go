@@ -193,3 +193,39 @@ func TestAdminRoutes(t *testing.T) {
 		t.Errorf("healthz broken by Routes")
 	}
 }
+
+func TestAdminFleetz(t *testing.T) {
+	a, srv := newTestAdmin(t)
+
+	// Standalone process: no fabric, /fleetz must 404.
+	if code, _ := get(t, srv.URL+"/fleetz"); code != 404 {
+		t.Fatalf("fleetz without a fleet = %d, want 404", code)
+	}
+
+	a.Fleet = func() any {
+		return map[string]any{"assign_gen": 7, "collectors": []string{"c1", "c2"}}
+	}
+	code, body := get(t, srv.URL+"/fleetz")
+	if code != 200 {
+		t.Fatalf("fleetz = %d", code)
+	}
+	var p map[string]any
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("fleetz not JSON: %v\n%s", err, body)
+	}
+	if p["assign_gen"] != float64(7) {
+		t.Errorf("fleet payload wrong: %+v", p)
+	}
+
+	// The same payload is embedded in /statusz under "fleet".
+	_, sbody := get(t, srv.URL+"/statusz")
+	var sp struct {
+		Fleet map[string]any `json:"fleet"`
+	}
+	if err := json.Unmarshal([]byte(sbody), &sp); err != nil {
+		t.Fatalf("statusz not JSON: %v", err)
+	}
+	if sp.Fleet["assign_gen"] != float64(7) {
+		t.Errorf("fleet not embedded in statusz: %+v", sp.Fleet)
+	}
+}
