@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke serve-smoke bench-serve fabric-smoke bench-fabric verify
+.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke serve-smoke bench-serve fabric-smoke bench-fabric obs-fleet-smoke bench-guard verify
 
 all: build
 
@@ -95,14 +95,38 @@ fabric-smoke:
 bench-fabric:
 	GILL_BENCH_GUARD=1 $(GO) test -run TestFabricBenchReport -count=1 -v .
 
+# obs-fleet-smoke is the fleet-observability end-to-end: boot a real
+# gill-coordinator (metrics federation + SLO engine on tight windows) and
+# two gill-daemon collectors, assert /fleet/metrics rollups with
+# per-collector rows, /fleetz scrape health, /fleet/tracez, and a full
+# synthetic incident on /alertz — SIGKILL a collector, watch the
+# availability burn-rate alert fire, restart it, watch the alert resolve.
+# The in-process fleet observability tests (stitched multi-process trace,
+# exact rollup sums, SLO fire/resolve under partition) run first under
+# the race detector, followed by the env-gated federation overhead guard.
+obs-fleet-smoke:
+	$(GO) test -race -count=1 ./internal/telemetry/... ./internal/metrics/
+	GILL_BENCH_GUARD=1 $(GO) test -run TestFederationOverheadGuard -count=1 -v ./internal/telemetry/fleet/
+	sh scripts/obs_fleet_smoke.sh
+
+# bench-guard is the perf-trajectory gate: regenerate BENCH_fabric.json
+# and BENCH_serve.json on this machine and fail if any guarded metric
+# (throughputs may not drop, p99 latencies may not grow) regressed more
+# than GILL_BENCH_MAX_REGRESS (default 25%) against the committed
+# baselines. The working tree is left clean either way.
+bench-guard:
+	sh scripts/bench_guard.sh
+
 # verify is the full pre-merge gate: vet, build, race-enabled tests, the
 # fault-injection suite, smoke runs of the pipeline and recompute
 # benchmarks, the observability smoke (admin endpoints + tracing
 # overhead), the data-quality smoke (ledger conservation + shadow
 # overhead), the serving-plane smoke (indexed queries + filtered
-# streaming end to end), and the federation smoke (fleet chaos tests plus
+# streaming end to end), the federation smoke (fleet chaos tests plus
 # a real coordinator + two-collector failover with byte-identical filter
-# distribution).
+# distribution), the fleet-observability smoke (federated metrics,
+# stitched traces, and a live SLO incident), and the bench guard (no
+# guarded benchmark metric may regress past the committed baselines).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -114,3 +138,5 @@ verify:
 	$(MAKE) quality-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) fabric-smoke
+	$(MAKE) obs-fleet-smoke
+	$(MAKE) bench-guard

@@ -34,6 +34,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/fleet"
 )
 
 func main() {
@@ -45,6 +46,12 @@ func main() {
 		filters  = flag.String("filters", "", "filter file to distribute to the fleet at boot")
 		chaos    = flag.String("chaos", "", "fault-injection spec for the control listener (seed=7,reset=0.01,latency=2ms,...)")
 		logLevel = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		federate = flag.Bool("federate", true, "scrape every collector's admin /metrics and serve fleet rollups on /fleet/metrics (requires -admin)")
+		scrapeEv = flag.Duration("scrape-every", fleet.DefaultScrapeInterval, "metrics federation scrape interval")
+		staleAf  = flag.Duration("stale-after", 0, "mark a collector stale this long after its last good scrape (0: 3x the scrape interval)")
+		sloShort = flag.Duration("slo-short", 0, "override the SLO short burn-rate window (0: per-objective default)")
+		sloLong  = flag.Duration("slo-long", 0, "override the SLO long burn-rate window (0: per-objective default)")
+		sloBurn  = flag.Float64("slo-burn", 0, "override the SLO burn-rate firing threshold (0: per-objective default)")
 	)
 	flag.Parse()
 
@@ -53,10 +60,13 @@ func main() {
 	logm := logg.With("main")
 
 	reg := metrics.NewRegistry()
+	rec := telemetry.NewRecorder(0, 0)
+	rec.Process = "coordinator"
 	coord := fabric.NewCoordinator(fabric.CoordinatorConfig{
 		LeaseTTL: *lease,
 		Registry: reg,
 		Log:      logg,
+		Recorder: rec,
 		OnRebalance: func(rb fabric.Rebalance) {
 			logm.Info("fleet rebalanced", "gen", rb.Gen, "reason", rb.Reason,
 				"moved", rb.Moved, "collectors", len(rb.Collectors))
@@ -109,6 +119,7 @@ func main() {
 		}
 		a := &telemetry.Admin{
 			Registry: reg,
+			Recorder: rec,
 			Log:      logg.With("admin"),
 			Fleet:    func() any { return coord.Status() },
 			Status:   func() any { return coord.Status() },
@@ -122,6 +133,42 @@ func main() {
 				}
 				return true, "fleet assigned"
 			},
+		}
+		// Metrics federation + the SLO alert plane: scrape every leased
+		// collector's admin /metrics, roll the fleet up on /fleet/metrics,
+		// stitch cross-process traces on /fleet/tracez, and evaluate the
+		// burn-rate objectives into /alertz after every scrape.
+		if *federate {
+			fed, err := fleet.NewFederator(fleet.Config{
+				Targets:    fleet.TargetsFromStatus(coord.Status),
+				Interval:   *scrapeEv,
+				StaleAfter: *staleAf,
+				Registry:   reg,
+				Log:        logg,
+			})
+			if err != nil {
+				logm.Error("federator init failed", "err", err)
+				os.Exit(1)
+			}
+			engine := fleet.NewEngine(
+				tunedObjectives(*sloShort, *sloLong, *sloBurn), nil)
+			a.Fleet = func() any { return fleet.Enrich(coord.Status(), fed.Health()) }
+			a.Alerts = func() any { return engine.Status() }
+			a.Routes = fed.Routes(rec)
+			go func() {
+				t := time.NewTicker(*scrapeEv)
+				defer t.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-t.C:
+						fed.ScrapeOnce(ctx)
+						engine.Observe(fed.Rollup())
+					}
+				}
+			}()
+			logm.Info("metrics federation running", "scrape_every", *scrapeEv)
 		}
 		go func() {
 			if err := a.Serve(ctx, aln); err != nil {
@@ -155,6 +202,25 @@ func main() {
 			}
 		}
 	}
+}
+
+// tunedObjectives returns the stock fleet SLOs with any operator window
+// or threshold overrides applied fleet-wide — the smoke scripts shrink
+// the windows to seconds so a synthetic incident fires within one run.
+func tunedObjectives(short, long time.Duration, burn float64) []fleet.Objective {
+	objs := fleet.DefaultObjectives()
+	for i := range objs {
+		if short > 0 {
+			objs[i].ShortWindow = short
+		}
+		if long > 0 {
+			objs[i].LongWindow = long
+		}
+		if burn > 0 {
+			objs[i].BurnThreshold = burn
+		}
+	}
+	return objs
 }
 
 // command executes one stdin command; returns true on quit.

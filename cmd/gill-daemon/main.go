@@ -120,6 +120,14 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	rec := telemetry.NewRecorder(0, 0) // defaults: 4096-trace ring, 1/1024 sampling
+	// The recorder's process label is the collector's fleet identity: every
+	// span it commits carries it, and the coordinator's stitcher keys the
+	// per-hop view on it.
+	if *fabricID != "" {
+		rec.Process = "collector:" + *fabricID
+	} else {
+		rec.Process = "daemon"
+	}
 
 	denom, err := quality.ParseFraction(*shadow)
 	if err != nil {
@@ -256,6 +264,18 @@ func main() {
 	go qp.Run(ctx)
 	logm.Info("data-quality plane running", "shadow_fraction", qp.Selector().String())
 
+	// The admin listener binds before the fabric agent starts so the agent
+	// can advertise the daemon's real admin address (resolved port included)
+	// in its register frame — that address is what the coordinator's
+	// metrics federation scrapes.
+	var adminLn net.Listener
+	if *admin != "" {
+		adminLn, err = net.Listen("tcp", *admin)
+		if err != nil {
+			fatal("admin listen", "addr", *admin, "err", err)
+		}
+	}
+
 	// The fabric agent: join the coordinator's fleet, heartbeat the lease,
 	// and install pushed filter sets through the daemon's generation-token
 	// path. Filters pushed by the fabric override the -filters file; if
@@ -270,11 +290,17 @@ func main() {
 		if bgpAddr == "" {
 			bgpAddr = *listen
 		}
+		adminAddr := ""
+		if adminLn != nil {
+			adminAddr = adminLn.Addr().String()
+		}
 		agent, err = fabric.NewAgent(fabric.AgentConfig{
 			ID:          *fabricID,
 			Coordinator: *coordTo,
 			Addr:        bgpAddr,
+			AdminAddr:   adminAddr,
 			Registry:    reg,
+			Recorder:    rec,
 			Log:         logg,
 			OnAssign: func(gen uint64, vps []string) {
 				logm.Info("fabric shard assigned", "gen", gen, "vps", len(vps))
@@ -301,11 +327,7 @@ func main() {
 		logm.Info("live feed listening", "live_addr", liveLn.Addr())
 	}
 
-	if *admin != "" {
-		adminLn, err := net.Listen("tcp", *admin)
-		if err != nil {
-			fatal("admin listen", "addr", *admin, "err", err)
-		}
+	if adminLn != nil {
 		filtersConfigured := *filters != ""
 		routes := map[string]http.Handler{}
 		if hub != nil {

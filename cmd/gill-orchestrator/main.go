@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fabric"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/orchestrator"
 	"repro/internal/quality"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/fleet"
 	"repro/internal/update"
 )
 
@@ -63,6 +65,15 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	o.Instrument(reg)
+	// Distinct recorders for the two control-plane roles this binary can
+	// host: distribution root spans carry "orchestrator", the embedded
+	// coordinator's fan-out spans carry "coordinator", so a stitched fleet
+	// trace shows the real hop structure even when both run in-process.
+	orchRec := telemetry.NewRecorder(0, 0)
+	orchRec.Process = "orchestrator"
+	o.SetRecorder(orchRec)
+	coordRec := telemetry.NewRecorder(0, 0)
+	coordRec.Process = "coordinator"
 	rec := orchestrator.NewRecomputer(o, orchestrator.RecomputeConfig{
 		Core:     core.DefaultConfig(),
 		Workers:  *workers,
@@ -111,6 +122,7 @@ func main() {
 			LeaseTTL: *fabricLease,
 			Registry: reg,
 			Log:      logg,
+			Recorder: coordRec,
 			OnRebalance: func(rb fabric.Rebalance) {
 				logm.Info("fleet rebalanced", "gen", rb.Gen, "reason", rb.Reason,
 					"moved", rb.Moved, "collectors", len(rb.Collectors))
@@ -135,7 +147,10 @@ func main() {
 		for _, p := range o.Peers() {
 			coord.AddVP(fmt.Sprintf("vp%d", p.ASN))
 		}
-		o.Subscribe(coord.DistributeFilters)
+		// Traced subscription: each install's root span context rides into
+		// the coordinator's fan-out, so one trained filter set yields one
+		// stitched orchestrator→coordinator→collector trace.
+		o.SubscribeTraced(coord.DistributeFiltersTraced)
 		logm.Info("fabric coordinator listening", "fabric_addr", fln.Addr(), "lease", *fabricLease)
 	}
 
@@ -149,6 +164,7 @@ func main() {
 		reg.GaugeFunc("orchestrator.pending", func() int64 { return int64(o.Pending()) })
 		a := &telemetry.Admin{
 			Registry: reg,
+			Recorder: orchRec,
 			Log:      logg.With("admin"),
 			Status: func() any {
 				c1, c2 := o.Due()
@@ -163,7 +179,31 @@ func main() {
 			Quality: func() any { return qp.Status() },
 		}
 		if coord != nil {
-			a.Fleet = func() any { return coord.Status() }
+			// The embedded coordinator gets the same observability plane as
+			// the standalone one: metrics federation over the fleet, stitched
+			// traces (both in-process recorders included), and the stock SLO
+			// burn-rate alerts on /alertz.
+			fed, ferr := fleet.NewFederator(fleet.Config{
+				Targets:  fleet.TargetsFromStatus(coord.Status),
+				Registry: reg,
+				Log:      logg,
+			})
+			if ferr != nil {
+				logm.Error("federator init failed", "err", ferr)
+				os.Exit(1)
+			}
+			engine := fleet.NewEngine(fleet.DefaultObjectives(), nil)
+			a.Fleet = func() any { return fleet.Enrich(coord.Status(), fed.Health()) }
+			a.Alerts = func() any { return engine.Status() }
+			a.Routes = fed.Routes(orchRec, coordRec)
+			go func() {
+				t := time.NewTicker(fleet.DefaultScrapeInterval)
+				defer t.Stop()
+				for range t.C {
+					fed.ScrapeOnce(context.Background())
+					engine.Observe(fed.Rollup())
+				}
+			}()
 		}
 		go func() {
 			if err := a.Serve(context.Background(), ln); err != nil {

@@ -23,6 +23,10 @@ type AgentConfig struct {
 	// Addr is the collector's BGP listen address, advertised at
 	// registration.
 	Addr string
+	// AdminAddr is the collector's admin-plane (HTTP) address, advertised
+	// at registration so the coordinator's federation layer can scrape
+	// /metrics and /tracez. Empty opts out of scraping.
+	AdminAddr string
 	// Dial overrides the control-plane dial (tests, chaos wrappers). Nil
 	// dials Coordinator over TCP.
 	Dial func(ctx context.Context) (net.Conn, error)
@@ -49,6 +53,10 @@ type AgentConfig struct {
 	Log *telemetry.Logger
 	// Clock overrides time.Now (tests).
 	Clock func() time.Time
+	// Recorder, when set, records collector-side install spans under the
+	// trace context propagated on assign/filters frames — the collector
+	// hop of the stitched fleet trace.
+	Recorder *telemetry.Recorder
 }
 
 // Agent maintains one collector's side of the fabric: it registers with
@@ -152,7 +160,7 @@ func (a *Agent) session(ctx context.Context) error {
 	a.mu.Unlock()
 	err = a.send(conn, &Msg{
 		Type: MsgRegister, ID: a.cfg.ID, Addr: a.cfg.Addr,
-		FilterGen: fgen, Sum: fsum,
+		AdminAddr: a.cfg.AdminAddr, FilterGen: fgen, Sum: fsum,
 	})
 	if err != nil {
 		return fmt.Errorf("fabric: register: %w", err)
@@ -291,12 +299,29 @@ func (a *Agent) onAssign(conn net.Conn, m *Msg) {
 	a.shard = append([]string(nil), m.VPs...)
 	a.lastContact = a.cfg.Clock()
 	a.mu.Unlock()
+	span := a.cfg.Recorder.StartSpan("fabric.install_assign", m.TraceContext())
+	start := a.cfg.Clock()
 	a.assigns.Inc()
 	a.log.Info("shard installed", "gen", m.Gen, "vps", len(m.VPs))
 	if a.cfg.OnAssign != nil {
 		a.cfg.OnAssign(m.Gen, append([]string(nil), m.VPs...))
 	}
-	a.send(conn, &Msg{Type: MsgAck, ID: a.cfg.ID, Kind: MsgAssign, Gen: m.Gen})
+	span.SetAttr("gen", fmt.Sprint(m.Gen))
+	span.SetAttr("vps", fmt.Sprint(len(m.VPs)))
+	span.Finish(telemetry.VerdictOK, a.cfg.Clock().Sub(start))
+	ackCtx := ackContext(span, m)
+	a.send(conn, &Msg{Type: MsgAck, ID: a.cfg.ID, Kind: MsgAssign, Gen: m.Gen,
+		TraceID: ackCtx.Trace, SpanID: ackCtx.Span})
+}
+
+// ackContext picks the trace context an ack carries back: the local
+// install span when one was recorded, else the incoming frame's context
+// echoed unchanged (a recorder-less agent must not break the trace).
+func ackContext(span *telemetry.Trace, m *Msg) telemetry.SpanContext {
+	if ctx := span.Context(); ctx.Valid() {
+		return ctx
+	}
+	return m.TraceContext()
 }
 
 // onFilters installs a filter set if its generation moves forward. The
@@ -333,13 +358,20 @@ func (a *Agent) onFilters(conn net.Conn, m *Msg) {
 	a.filterSum = sum
 	a.lastContact = a.cfg.Clock()
 	a.mu.Unlock()
+	span := a.cfg.Recorder.StartSpan("fabric.install_filters", m.TraceContext())
+	start := a.cfg.Clock()
 	a.installs.Inc()
 	a.log.Info("filter set installed", "filter_gen", m.Gen,
 		"sum", fmt.Sprintf("%016x", sum), "bytes", len(m.Filters))
 	if a.cfg.OnFilters != nil {
 		a.cfg.OnFilters(m.Gen, fs, m.Filters)
 	}
-	a.send(conn, &Msg{Type: MsgAck, ID: a.cfg.ID, Kind: MsgFilters, Gen: m.Gen, Sum: sum})
+	span.SetAttr("filter_gen", fmt.Sprint(m.Gen))
+	span.SetAttr("bytes", fmt.Sprint(len(m.Filters)))
+	span.Finish(telemetry.VerdictOK, a.cfg.Clock().Sub(start))
+	ackCtx := ackContext(span, m)
+	a.send(conn, &Msg{Type: MsgAck, ID: a.cfg.ID, Kind: MsgFilters, Gen: m.Gen, Sum: sum,
+		TraceID: ackCtx.Trace, SpanID: ackCtx.Span})
 }
 
 func (a *Agent) setConnected(v bool) {

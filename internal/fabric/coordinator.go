@@ -46,6 +46,11 @@ type CoordinatorConfig struct {
 	// OnRebalance observes each completed rebalance (tests, operators).
 	// Called outside the coordinator lock.
 	OnRebalance func(Rebalance)
+	// Recorder, when set, records coordinator-side control-plane spans
+	// (filter distribution rounds, rebalances, ack receipts) whose trace
+	// context rides the pushed frames — the coordinator hop of the
+	// stitched fleet trace on /fleet/tracez.
+	Recorder *telemetry.Recorder
 }
 
 // Rebalance describes one assignment-map recomputation.
@@ -63,10 +68,11 @@ type Rebalance struct {
 
 // collectorState is the coordinator's book on one collector.
 type collectorState struct {
-	id       string
-	addr     string
-	lease    *resilience.Lease
-	joinedAt time.Time
+	id        string
+	addr      string
+	adminAddr string
+	lease     *resilience.Lease
+	joinedAt  time.Time
 
 	// conn is the current control connection; nil while the collector is
 	// between connections (its lease keeps it in the fleet). Guarded by
@@ -97,6 +103,9 @@ type Coordinator struct {
 	filterGen   uint64
 	filterBytes []byte
 	filterSum   uint64
+	// distributedAt remembers when each recent filter generation was
+	// pushed, so acks yield the fleet's filter-propagation latency.
+	distributedAt map[uint64]time.Time
 
 	heartbeats    *metrics.Counter
 	leasesExpired *metrics.Counter
@@ -106,6 +115,7 @@ type Coordinator struct {
 	filterAcks    *metrics.Counter
 	pushErrors    *metrics.Counter
 	acceptRetries *metrics.Counter
+	propagation   *metrics.Histogram
 }
 
 // NewCoordinator builds a coordinator. Call SetVPs (or AddVP) to seed the
@@ -130,6 +140,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		vps:           make(map[string]bool),
 		collectors:    make(map[string]*collectorState),
 		assignment:    make(map[string]string),
+		distributedAt: make(map[uint64]time.Time),
 		heartbeats:    reg.Counter("fabric.heartbeats"),
 		leasesExpired: reg.Counter("fabric.leases_expired"),
 		rebalances:    reg.Counter("fabric.rebalances"),
@@ -138,6 +149,9 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		filterAcks:    reg.Counter("fabric.filter_acks"),
 		pushErrors:    reg.Counter("fabric.push_errors"),
 		acceptRetries: reg.Counter("fabric.accept_retries"),
+		// Push-to-ack latency per collector in microseconds: 1ms .. ~2min.
+		propagation: reg.Histogram("fabric.filter_propagation_us",
+			metrics.ExpBuckets(1000, 2, 17)),
 	}
 	reg.GaugeFunc("fabric.collectors", func() int64 {
 		c.mu.Lock()
@@ -248,6 +262,8 @@ func (c *Coordinator) liveIDsLocked() []string {
 // pushes after unlocking. Rendezvous hashing keeps the recompute minimal:
 // only VPs whose owner changed actually move, and Moved counts them.
 func (c *Coordinator) rebalanceLocked(reason string) []push {
+	span := c.cfg.Recorder.StartSpan("fabric.rebalance", telemetry.SpanContext{})
+	start := c.cfg.Clock()
 	live := c.liveIDsLocked()
 	vps := make([]string, 0, len(c.vps))
 	for vp := range c.vps {
@@ -284,8 +300,13 @@ func (c *Coordinator) rebalanceLocked(reason string) []push {
 		}
 		pushes = append(pushes, push{st: st, msg: &Msg{
 			Type: MsgAssign, Gen: c.assignGen, VPs: shards[id],
+			TraceID: span.Context().Trace, SpanID: span.Context().Span,
 		}})
 	}
+	span.SetAttr("reason", reason)
+	span.SetAttr("gen", fmt.Sprint(c.assignGen))
+	span.SetAttr("moved", fmt.Sprint(moved))
+	span.Finish(telemetry.VerdictOK, c.cfg.Clock().Sub(start))
 	c.log.Info("rebalanced", "reason", reason, "gen", c.assignGen,
 		"collectors", len(live), "vps", len(vps), "moved", moved)
 	if c.cfg.OnRebalance != nil {
@@ -340,17 +361,35 @@ func (c *Coordinator) deliver(pushes []push) {
 // FilterTTL watchdog degrades to retain-everything in the meantime, so a
 // partitioned collector overshoots instead of dropping data).
 func (c *Coordinator) DistributeFilters(fs *filter.Set) {
+	c.DistributeFiltersTraced(telemetry.SpanContext{}, fs)
+}
+
+// DistributeFiltersTraced is DistributeFilters under a propagated parent
+// span (the orchestrator's refresh span): the coordinator records its own
+// distribution span as a child and stamps that span's context on every
+// pushed frame, so one refresh yields one orchestrator → coordinator →
+// collector trace. A zero parent starts a fresh root trace.
+func (c *Coordinator) DistributeFiltersTraced(parent telemetry.SpanContext, fs *filter.Set) {
 	var buf bytes.Buffer
 	if err := fs.Marshal(&buf); err != nil {
 		c.log.Error("filter marshal failed", "err", err)
 		return
 	}
 	raw := buf.Bytes()
+	span := c.cfg.Recorder.StartSpan("fabric.distribute_filters", parent)
+	start := c.cfg.Clock()
 	c.mu.Lock()
 	c.filterGen++
 	c.filterBytes = raw
 	c.filterSum = FilterSum(raw)
 	gen, sum := c.filterGen, c.filterSum
+	c.distributedAt[gen] = start
+	// Bound the book: only acks for recent generations are interesting.
+	for g := range c.distributedAt {
+		if g+16 <= gen {
+			delete(c.distributedAt, g)
+		}
+	}
 	var pushes []push
 	for _, st := range c.collectors {
 		if st.conn == nil {
@@ -359,12 +398,17 @@ func (c *Coordinator) DistributeFilters(fs *filter.Set) {
 		st.pushedFilterGen = gen
 		pushes = append(pushes, push{st: st, msg: &Msg{
 			Type: MsgFilters, Gen: gen, Filters: raw, Sum: sum,
+			TraceID: span.Context().Trace, SpanID: span.Context().Span,
 		}})
 	}
 	c.mu.Unlock()
+	span.SetAttr("filter_gen", fmt.Sprint(gen))
+	span.SetAttr("collectors", fmt.Sprint(len(pushes)))
+	span.SetAttr("bytes", fmt.Sprint(len(raw)))
 	c.log.Info("distributing filter set", "filter_gen", gen,
 		"bytes", len(raw), "collectors", len(pushes))
 	c.deliver(pushes)
+	span.Finish(telemetry.VerdictOK, c.cfg.Clock().Sub(start))
 }
 
 // Serve accepts collector control connections on ln until ctx ends,
@@ -480,6 +524,9 @@ func (c *Coordinator) register(m *Msg, conn net.Conn) (*collectorState, []push) 
 		old = st.conn
 	}
 	st.addr = m.Addr
+	if m.AdminAddr != "" {
+		st.adminAddr = m.AdminAddr
+	}
 	st.conn = conn
 	st.installedFilterGen = m.FilterGen
 	st.installedFilterSum = m.Sum
@@ -554,7 +601,10 @@ func (c *Coordinator) heartbeat(st *collectorState, conn net.Conn, m *Msg) []pus
 	return pushes
 }
 
-// recordAck books a collector's install confirmation.
+// recordAck books a collector's install confirmation. An ack carrying
+// trace context (the collector's install span) closes the round trip with
+// an ack-receipt span, so the stitched trace shows when the coordinator
+// learned the install landed.
 func (c *Coordinator) recordAck(st *collectorState, m *Msg) {
 	c.mu.Lock()
 	switch m.Kind {
@@ -562,12 +612,22 @@ func (c *Coordinator) recordAck(st *collectorState, m *Msg) {
 		st.installedFilterGen = m.Gen
 		st.installedFilterSum = m.Sum
 		c.filterAcks.Inc()
+		if at, ok := c.distributedAt[m.Gen]; ok {
+			c.propagation.Observe(uint64(c.cfg.Clock().Sub(at).Microseconds()))
+		}
 	case MsgAssign:
 		if m.Gen > st.ackedAssignGen {
 			st.ackedAssignGen = m.Gen
 		}
 	}
 	c.mu.Unlock()
+	if c.cfg.Recorder != nil && m.TraceID != 0 {
+		span := c.cfg.Recorder.StartSpan("fabric.ack_received", m.TraceContext())
+		span.SetAttr("collector", st.id)
+		span.SetAttr("kind", m.Kind)
+		span.SetAttr("gen", fmt.Sprint(m.Gen))
+		span.Finish(telemetry.VerdictOK, 0)
+	}
 }
 
 // detach drops a dead connection from a collector's state without
@@ -586,6 +646,7 @@ func (c *Coordinator) detach(st *collectorState, conn net.Conn) {
 type CollectorStatus struct {
 	ID                 string   `json:"id"`
 	Addr               string   `json:"addr,omitempty"`
+	AdminAddr          string   `json:"admin_addr,omitempty"`
 	Connected          bool     `json:"connected"`
 	LeaseRemainingMS   int64    `json:"lease_remaining_ms"`
 	Heartbeats         uint64   `json:"heartbeats"`
@@ -637,6 +698,7 @@ func (c *Coordinator) Status() FleetStatus {
 		fs.Collectors = append(fs.Collectors, CollectorStatus{
 			ID:                 id,
 			Addr:               st.addr,
+			AdminAddr:          st.adminAddr,
 			Connected:          st.conn != nil,
 			LeaseRemainingMS:   st.lease.Remaining(now).Milliseconds(),
 			Heartbeats:         st.heartbeats,

@@ -26,6 +26,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Wire limits. Filter sets dominate frame size: at the paper's scale a
@@ -94,6 +96,25 @@ type Msg struct {
 	Sum uint64 `json:"sum,omitempty"`
 	// Kind is the acked message type (ack).
 	Kind string `json:"kind,omitempty"`
+	// AdminAddr is the collector's admin-plane address (register),
+	// advertised so the coordinator's federation layer can scrape
+	// /metrics and /tracez. Empty means the collector has no admin plane
+	// (it still collects; it just reports as unscrapable).
+	AdminAddr string `json:"admin_addr,omitempty"`
+	// TraceID/SpanID propagate the distributed trace context: on
+	// assign/filters pushes they carry the coordinator-side span that
+	// caused the push, on acks the collector-side install span. Agents
+	// and coordinators predating the fields decode frames carrying them
+	// unchanged (unknown JSON fields are skipped) and send frames with
+	// both IDs zero, which new peers treat as "no trace".
+	TraceID telemetry.SpanID `json:"trace_id,omitempty"`
+	SpanID  telemetry.SpanID `json:"span_id,omitempty"`
+}
+
+// TraceContext returns the frame's propagated span context (zero when the
+// sender predates trace propagation).
+func (m *Msg) TraceContext() telemetry.SpanContext {
+	return telemetry.SpanContext{Trace: m.TraceID, Span: m.SpanID}
 }
 
 // Wire errors.

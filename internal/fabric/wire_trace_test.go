@@ -1,0 +1,177 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// wirePipe round-trips one Msg over a real socket pair.
+func wirePipe(t *testing.T, m *Msg) *Msg {
+	t.Helper()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- WriteMsg(a, m, time.Now().Add(time.Second)) }()
+	got, err := ReadMsg(b, time.Now().Add(time.Second))
+	if err != nil {
+		t.Fatalf("ReadMsg: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("WriteMsg: %v", err)
+	}
+	return got
+}
+
+func TestWireTraceRoundTrip(t *testing.T) {
+	tid, sid := telemetry.NewID(), telemetry.NewID()
+	cases := []*Msg{
+		{Type: MsgRegister, ID: "c1", Addr: "10.0.0.1:179", AdminAddr: "10.0.0.1:8080"},
+		{Type: MsgAssign, Gen: 7, VPs: []string{"vp1", "vp2"}, TraceID: tid, SpanID: sid},
+		{Type: MsgFilters, Gen: 3, Filters: []byte("payload"), Sum: 42, TraceID: tid, SpanID: sid},
+		{Type: MsgAck, ID: "c1", Kind: MsgFilters, Gen: 3, Sum: 42, TraceID: tid, SpanID: sid},
+	}
+	for _, m := range cases {
+		got := wirePipe(t, m)
+		if got.TraceID != m.TraceID || got.SpanID != m.SpanID {
+			t.Fatalf("%s: trace context %s/%s, want %s/%s",
+				m.Type, got.TraceID, got.SpanID, m.TraceID, m.SpanID)
+		}
+		if got.AdminAddr != m.AdminAddr {
+			t.Fatalf("%s: admin_addr %q, want %q", m.Type, got.AdminAddr, m.AdminAddr)
+		}
+		ctx := got.TraceContext()
+		if m.TraceID != 0 && (!ctx.Valid() || ctx.Trace != m.TraceID || ctx.Span != m.SpanID) {
+			t.Fatalf("%s: TraceContext %+v does not match frame", m.Type, ctx)
+		}
+	}
+}
+
+// legacyMsg is the pre-trace frame schema: no trace_id/span_id/admin_addr.
+// Old agents decode with exactly this shape.
+type legacyMsg struct {
+	Type      string   `json:"type"`
+	ID        string   `json:"id,omitempty"`
+	Addr      string   `json:"addr,omitempty"`
+	TTLMillis int64    `json:"ttl_ms,omitempty"`
+	Gen       uint64   `json:"gen,omitempty"`
+	FilterGen uint64   `json:"filter_gen,omitempty"`
+	VPs       []string `json:"vps,omitempty"`
+	Filters   []byte   `json:"filters,omitempty"`
+	Sum       uint64   `json:"sum,omitempty"`
+	Kind      string   `json:"kind,omitempty"`
+}
+
+// writeRaw frames an arbitrary JSON body the way WriteMsg does.
+func writeRaw(t *testing.T, conn net.Conn, body []byte) {
+	t.Helper()
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatalf("write frame: %v", err)
+	}
+}
+
+// TestWireBackwardCompat: a frame from an old agent (no trace fields)
+// decodes on a new coordinator with zero trace context.
+func TestWireBackwardCompat(t *testing.T) {
+	body, err := json.Marshal(legacyMsg{Type: MsgHeartbeat, ID: "old", FilterGen: 9, Sum: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go writeRaw(t, a, body)
+	got, err := ReadMsg(b, time.Now().Add(time.Second))
+	if err != nil {
+		t.Fatalf("new ReadMsg on legacy frame: %v", err)
+	}
+	if got.Type != MsgHeartbeat || got.ID != "old" || got.FilterGen != 9 || got.Sum != 5 {
+		t.Fatalf("legacy fields lost: %+v", got)
+	}
+	if got.TraceContext().Valid() {
+		t.Fatalf("legacy frame must decode with no trace context, got %+v", got.TraceContext())
+	}
+}
+
+// TestWireForwardCompat: a frame from a new coordinator (trace fields set)
+// decodes on an old agent — unknown JSON fields are skipped, known fields
+// land intact.
+func TestWireForwardCompat(t *testing.T) {
+	m := &Msg{Type: MsgFilters, Gen: 4, Filters: []byte("fs"), Sum: 77,
+		TraceID: telemetry.NewID(), SpanID: telemetry.NewID()}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- WriteMsg(a, m, time.Now().Add(time.Second)) }()
+
+	// Read the frame the way an old agent does: length prefix, then decode
+	// into the legacy schema.
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	var lenBuf [4]byte
+	if _, err := readFull(b, lenBuf[:]); err != nil {
+		t.Fatalf("read length: %v", err)
+	}
+	body := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+	if _, err := readFull(b, body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("WriteMsg: %v", err)
+	}
+	var old legacyMsg
+	if err := json.Unmarshal(body, &old); err != nil {
+		t.Fatalf("old agent failed to decode new frame: %v", err)
+	}
+	if old.Type != MsgFilters || old.Gen != 4 || string(old.Filters) != "fs" || old.Sum != 77 {
+		t.Fatalf("known fields corrupted on old decoder: %+v", old)
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		k, err := conn.Read(buf[n:])
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// TestWireSpanIDHexJSON pins the on-wire ID form: 16 hex digits, absent
+// when zero (so old decoders with uint64 fields never see it).
+func TestWireSpanIDHexJSON(t *testing.T) {
+	m := &Msg{Type: MsgAck, TraceID: telemetry.SpanID(0xdeadbeef)}
+	body, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := raw["trace_id"].(string); !ok || got != "00000000deadbeef" {
+		t.Fatalf("trace_id on wire = %v, want \"00000000deadbeef\"", raw["trace_id"])
+	}
+	if _, present := raw["span_id"]; present {
+		t.Fatalf("zero span_id must be omitted, frame: %s", body)
+	}
+	var back Msg
+	if err := json.Unmarshal(body, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != m.TraceID || back.SpanID != 0 {
+		t.Fatalf("re-decode: %+v", back)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,6 +35,10 @@ type Message struct {
 	// messages they already processed, so a session flap never delivers an
 	// update twice downstream.
 	Seq uint64 `json:"seq,omitempty"`
+	// TraceID is the distributed trace ID (16 hex digits) of a sampled
+	// update, empty for the unsampled majority. Consumers can join it
+	// against /fleet/tracez to see the update's full pipeline journey.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Subscription filters a client's stream; zero values match everything.
@@ -64,6 +69,7 @@ func ToMessage(u *update.Update) *Message {
 		Path:        u.Path,
 		Communities: u.Comms,
 		Withdraw:    u.Withdraw,
+		TraceID:     telemetry.SpanID(u.TraceID).String(),
 	}
 }
 
@@ -73,14 +79,20 @@ func (m *Message) ToUpdate() (*update.Update, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: bad prefix %q: %w", m.Prefix, err)
 	}
-	return &update.Update{
+	u := &update.Update{
 		VP:       m.VP,
 		Time:     time.Unix(m.Timestamp, 0).UTC(),
 		Prefix:   p,
 		Path:     m.Path,
 		Comms:    m.Communities,
 		Withdraw: m.Withdraw,
-	}, nil
+	}
+	if m.TraceID != "" {
+		if id, err := strconv.ParseUint(m.TraceID, 16, 64); err == nil {
+			u.TraceID = id
+		}
+	}
+	return u, nil
 }
 
 // DefaultSendBuffer is the per-client send buffer (messages) a Server

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeEmptyIdentity(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for name, m := range map[string]HistogramSnapshot{
+		"left":  HistogramSnapshot{}.Merge(s),
+		"right": s.Merge(HistogramSnapshot{}),
+	} {
+		if m.Count != s.Count || m.Sum != s.Sum {
+			t.Fatalf("%s identity: count/sum = %d/%d, want %d/%d", name, m.Count, m.Sum, s.Count, s.Sum)
+		}
+		for i, c := range m.Counts {
+			if c != s.Counts[i] {
+				t.Fatalf("%s identity: bucket %d = %d, want %d", name, i, c, s.Counts[i])
+			}
+		}
+	}
+	// The identity merge must not alias the input's slices.
+	m := s.Merge(HistogramSnapshot{})
+	m.Counts[0] += 7
+	if s.Counts[0] == m.Counts[0] {
+		t.Fatal("Merge aliased the input's Counts slice")
+	}
+}
+
+func TestMergeIdenticalLayoutsExact(t *testing.T) {
+	bounds := ExpBuckets(1, 4, 8)
+	h1, h2, all := NewHistogram(bounds), NewHistogram(bounds), NewHistogram(bounds)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1 << 18))
+		if i%2 == 0 {
+			h1.Observe(v)
+		} else {
+			h2.Observe(v)
+		}
+		all.Observe(v)
+	}
+	m := h1.Snapshot().Merge(h2.Snapshot())
+	want := all.Snapshot()
+	if m.Count != want.Count || m.Sum != want.Sum {
+		t.Fatalf("count/sum = %d/%d, want %d/%d", m.Count, m.Sum, want.Count, want.Sum)
+	}
+	for i := range want.Counts {
+		if m.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d = %d, want %d (identical layouts must merge exactly)",
+				i, m.Counts[i], want.Counts[i])
+		}
+	}
+}
+
+func TestMergeBoundUnion(t *testing.T) {
+	h1 := NewHistogram([]uint64{10, 100})
+	h2 := NewHistogram([]uint64{50, 100, 5000})
+	h1.Observe(7)    // (0,10]
+	h1.Observe(99)   // (10,100]
+	h1.Observe(4000) // h1 overflow: known only to exceed 100
+	h2.Observe(60)   // (50,100]
+	h2.Observe(700)  // (100,5000]
+	m := h1.Snapshot().Merge(h2.Snapshot())
+	wantBounds := []uint64{10, 50, 100, 5000}
+	if len(m.Bounds) != len(wantBounds) {
+		t.Fatalf("union bounds %v, want %v", m.Bounds, wantBounds)
+	}
+	for i, b := range wantBounds {
+		if m.Bounds[i] != b {
+			t.Fatalf("union bounds %v, want %v", m.Bounds, wantBounds)
+		}
+	}
+	// h1's overflow (v>100) must land in the first union bucket past 100 —
+	// (100,5000] — not in the union overflow (>5000), so cumulative counts
+	// at h1's own boundaries stay exact.
+	want := []uint64{1, 0, 2, 2, 0}
+	for i, c := range want {
+		if m.Counts[i] != c {
+			t.Fatalf("counts %v, want %v", m.Counts, want)
+		}
+	}
+	if m.Count != 5 {
+		t.Fatalf("count %d, want 5", m.Count)
+	}
+}
+
+// boundsBetween counts layout bounds strictly inside (lo, hi).
+func boundsBetween(bounds []uint64, lo, hi float64) int {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	n := 0
+	for _, b := range bounds {
+		if float64(b) > lo && float64(b) < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMergeQuantileProperty is the federation correctness contract: for
+// random observation sets and random bucket layouts sharing a terminal
+// bound, merge-then-quantile must agree with concatenate-then-quantile to
+// within one bucket at p50, p90, and p99 — one bucket of a source layout,
+// since a coarse source bucket straddling several union bounds is exactly
+// the information a merge cannot reinvent. (Identical layouts, the
+// federation rollup case, merge exactly: TestMergeIdenticalLayoutsExact.)
+func TestMergeQuantileProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const terminal = 1 << 20
+		layout := func() []uint64 {
+			n := 2 + r.Intn(8)
+			set := map[uint64]bool{}
+			for len(set) < n {
+				set[1+uint64(r.Intn(terminal-1))] = true
+			}
+			bs := make([]uint64, 0, n+1)
+			for b := range set {
+				bs = append(bs, b)
+			}
+			bs = append(bs, terminal)
+			sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+			return bs
+		}
+		b1, b2 := layout(), layout()
+		h1, h2 := NewHistogram(b1), NewHistogram(b2)
+		union := unionBounds(b1, b2)
+		ref := NewHistogram(union)
+		n1, n2 := 1+r.Intn(400), 1+r.Intn(400)
+		for i := 0; i < n1+n2; i++ {
+			// ~2% of observations overflow the shared terminal bound.
+			v := uint64(r.Intn(terminal + terminal/50))
+			if i < n1 {
+				h1.Observe(v)
+			} else {
+				h2.Observe(v)
+			}
+			ref.Observe(v)
+		}
+		m := h1.Snapshot().Merge(h2.Snapshot())
+		want := ref.Snapshot()
+		if m.Count != want.Count || m.Sum != want.Sum {
+			return false
+		}
+		for _, p := range []float64{0.50, 0.90, 0.99} {
+			got, exp := m.Quantile(p), want.Quantile(p)
+			if boundsBetween(b1, got, exp) > 1 && boundsBetween(b2, got, exp) > 1 {
+				t.Logf("seed %d p%.0f: merged %.1f vs concatenated %.1f — more than one bucket apart in both source layouts",
+					seed, p*100, got, exp)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

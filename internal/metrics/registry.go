@@ -140,6 +140,87 @@ func (h HistogramSnapshot) Quantile(p float64) float64 {
 	return 0
 }
 
+// Merge combines two histogram snapshots into one over the exact union of
+// their bucket boundaries. Each input bucket's count lands in the union
+// bucket sharing its upper bound, so cumulative counts at every original
+// boundary are preserved exactly: with identical layouts (the federation
+// rollup case — every collector runs the same code) the merge is exactly
+// bucketwise-additive, and with differing layouts the quantile estimate
+// drifts from the concatenated observations by at most one source-layout
+// bucket. Sum and Count add exactly. Merging with an empty snapshot is
+// the identity.
+func (h HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if o.Count == 0 && len(o.Bounds) == 0 {
+		return h.clone()
+	}
+	if h.Count == 0 && len(h.Bounds) == 0 {
+		return o.clone()
+	}
+	bounds := unionBounds(h.Bounds, o.Bounds)
+	m := HistogramSnapshot{
+		Bounds: bounds,
+		Counts: make([]uint64, len(bounds)+1),
+		Sum:    h.Sum + o.Sum,
+		Count:  h.Count + o.Count,
+	}
+	m.fold(h)
+	m.fold(o)
+	return m
+}
+
+// clone deep-copies a snapshot so Merge never aliases caller slices.
+func (h HistogramSnapshot) clone() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]uint64(nil), h.Bounds...),
+		Counts: append([]uint64(nil), h.Counts...),
+		Sum:    h.Sum,
+		Count:  h.Count,
+	}
+}
+
+// unionBounds merges two ascending bound slices into their sorted union.
+func unionBounds(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default: // equal
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
+// fold adds src's bucket counts into the union-bounded receiver. Every
+// src bound is present in m.Bounds, so each finite bucket maps onto the
+// union bucket with the identical upper bound; the overflow bucket maps
+// onto the union overflow only when src's last bound is the union's last
+// bound, otherwise onto the union bucket right above it — conservative
+// (observations beyond src's layout saturate, matching Quantile).
+func (m *HistogramSnapshot) fold(src HistogramSnapshot) {
+	j := 0
+	for i, b := range src.Bounds {
+		for m.Bounds[j] != b {
+			j++
+		}
+		m.Counts[j] += src.Counts[i]
+	}
+	// src's overflow bucket holds everything above its last finite bound;
+	// the first union bucket past that bound is the tightest legal home.
+	over := len(m.Counts) - 1
+	if len(src.Bounds) > 0 {
+		over = j + 1
+	}
+	m.Counts[over] += src.Counts[len(src.Counts)-1]
+}
+
 // Snapshot captures the histogram's current buckets.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{

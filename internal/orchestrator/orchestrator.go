@@ -96,8 +96,16 @@ type Orchestrator struct {
 	began    [3]uint64
 	inflight [3]int
 
-	// subscribers receive new filter sets (the daemons' loading hook).
-	subscribers []func(*filter.Set)
+	// subscribers receive new filter sets (the daemons' loading hook);
+	// tracedSubscribers additionally receive the refresh span's context so
+	// downstream hops (the fabric coordinator) can attach their spans to
+	// the refresh trace.
+	subscribers       []func(*filter.Set)
+	tracedSubscribers []func(telemetry.SpanContext, *filter.Set)
+
+	// recorder, when set, records one root span per filter fan-out — the
+	// orchestrator hop of the stitched fleet trace.
+	recorder *telemetry.Recorder
 
 	// hookPanics counts subscriber hooks that panicked during fan-out.
 	// Always non-nil (Instrument swaps in the shared registry's counter).
@@ -131,6 +139,14 @@ func (o *Orchestrator) Instrument(reg *metrics.Registry) {
 func (o *Orchestrator) SetLogger(l *telemetry.Logger) {
 	o.mu.Lock()
 	o.log = l.With("orchestrator")
+	o.mu.Unlock()
+}
+
+// SetRecorder attaches the flight recorder that records one root span per
+// filter fan-out ("orchestrator.distribute"); nil disables tracing.
+func (o *Orchestrator) SetRecorder(r *telemetry.Recorder) {
+	o.mu.Lock()
+	o.recorder = r
 	o.mu.Unlock()
 }
 
@@ -216,6 +232,22 @@ func (o *Orchestrator) Subscribe(fn func(*filter.Set)) {
 	o.mu.Unlock()
 	if cur != nil {
 		o.callHook(fn, cur, log)
+	}
+}
+
+// SubscribeTraced registers a filter-loading hook that also receives the
+// distributing refresh's span context, so a cross-process subscriber (the
+// fabric coordinator's DistributeFiltersTraced) can parent its own span
+// under the orchestrator's trace. Catch-up delivery of an already-current
+// set carries a zero context — that fan-out's span is long finished.
+func (o *Orchestrator) SubscribeTraced(fn func(telemetry.SpanContext, *filter.Set)) {
+	o.mu.Lock()
+	o.tracedSubscribers = append(o.tracedSubscribers, fn)
+	cur := o.filters
+	log := o.log
+	o.mu.Unlock()
+	if cur != nil {
+		o.callHook(func(fs *filter.Set) { fn(telemetry.SpanContext{}, fs) }, cur, log)
 	}
 }
 
@@ -317,14 +349,27 @@ func (o *Orchestrator) installLocked(fs *filter.Set, component int) {
 	}
 	subs := make([]func(*filter.Set), len(o.subscribers))
 	copy(subs, o.subscribers)
+	tsubs := make([]func(telemetry.SpanContext, *filter.Set), len(o.tracedSubscribers))
+	copy(tsubs, o.tracedSubscribers)
 	gen := o.gen1 + o.gen2
 	log := o.log
+	rec := o.recorder
 	o.mu.Unlock()
+	span := rec.StartSpan("orchestrator.distribute", telemetry.SpanContext{})
+	span.SetAttr("component", fmt.Sprint(component))
+	span.SetAttr("generation", fmt.Sprint(gen))
+	start := now
 	log.Info("filter set distributed", "component", component, "generation", gen,
-		"subscribers", len(subs))
+		"subscribers", len(subs)+len(tsubs))
 	for _, fn := range subs {
 		o.callHook(fn, fs, log)
 	}
+	ctx := span.Context()
+	for _, fn := range tsubs {
+		fn := fn
+		o.callHook(func(fs *filter.Set) { fn(ctx, fs) }, fs, log)
+	}
+	span.Finish(telemetry.VerdictOK, o.clock().Sub(start))
 }
 
 // Filters returns the current filter set, or nil before the first refresh

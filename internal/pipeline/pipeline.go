@@ -339,6 +339,10 @@ func (p *Pipeline) Ingest(u *update.Update) bool {
 	var tr *telemetry.Trace
 	if p.cfg.Tracer.ShouldSample() {
 		tr = p.cfg.Tracer.Begin(u.VP, u.Prefix.String(), u.Withdraw)
+		// Stamp the distributed trace ID on the update itself so the
+		// stream/serving envelopes carry it downstream and the fleet
+		// stitcher can line the hops up.
+		u.TraceID = uint64(tr.TraceID)
 	}
 	if p.closed {
 		p.drop.Inc()

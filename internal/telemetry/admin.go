@@ -47,6 +47,10 @@ type Admin struct {
 	// its fabric.AgentStatus. Nil means the process is not part of a
 	// fabric: /fleetz answers 404.
 	Fleet func() any
+	// Alerts returns the SLO engine's alert payload served on /alertz and
+	// embedded in /statusz (objectives, burn rates, firing/resolved
+	// state). Nil means no SLO engine: /alertz answers 404.
+	Alerts func() any
 	// Build carries the build-identity labels rendered as the build_info
 	// gauge on /metrics and the "build" section of /statusz; nil defaults
 	// to BuildInfo().
@@ -79,6 +83,7 @@ type statuszPayload struct {
 	Status      any                         `json:"status,omitempty"`
 	Quality     any                         `json:"quality,omitempty"`
 	Fleet       any                         `json:"fleet,omitempty"`
+	Alerts      any                         `json:"alerts,omitempty"`
 	Histograms  map[string]HistogramSummary `json:"histograms,omitempty"`
 }
 
@@ -93,6 +98,7 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/statusz", a.statuszHandler)
 	mux.HandleFunc("/qualityz", a.qualityzHandler)
 	mux.HandleFunc("/fleetz", a.fleetzHandler)
+	mux.HandleFunc("/alertz", a.alertzHandler)
 	mux.HandleFunc("/healthz", a.healthzHandler)
 	mux.HandleFunc("/readyz", a.readyzHandler)
 	mux.HandleFunc("/tracez", a.tracezHandler)
@@ -170,6 +176,9 @@ func (a *Admin) statuszHandler(w http.ResponseWriter, r *http.Request) {
 	if a.Fleet != nil {
 		p.Fleet = a.Fleet()
 	}
+	if a.Alerts != nil {
+		p.Alerts = a.Alerts()
+	}
 	if a.Registry != nil {
 		snap := a.Registry.Snapshot()
 		if len(snap.Histograms) > 0 {
@@ -207,6 +216,16 @@ func (a *Admin) fleetzHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, a.Fleet())
+}
+
+// alertzHandler serves the SLO engine's alert state; without an engine
+// the endpoint 404s so probes can tell "no SLOs" from "SLOs, all quiet".
+func (a *Admin) alertzHandler(w http.ResponseWriter, r *http.Request) {
+	if a.Alerts == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, a.Alerts())
 }
 
 func (a *Admin) healthzHandler(w http.ResponseWriter, r *http.Request) {

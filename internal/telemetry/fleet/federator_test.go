@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+)
+
+// fakeCollector is one scrapeable admin endpoint whose reachability the
+// test flips.
+type fakeCollector struct {
+	srv  *httptest.Server
+	down atomic.Bool
+	reg  *metrics.Registry
+}
+
+func newFakeCollector(t *testing.T) *fakeCollector {
+	t.Helper()
+	fc := &fakeCollector{reg: metrics.NewRegistry()}
+	fc.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fc.down.Load() {
+			http.Error(w, "partitioned", http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		// Render through the production exporter path.
+		snap := fc.reg.Snapshot()
+		writeSnapshot(w, snap)
+	}))
+	t.Cleanup(fc.srv.Close)
+	return fc
+}
+
+func writeSnapshot(w http.ResponseWriter, snap metrics.Snapshot) {
+	for name, v := range snap.Counters {
+		_, _ = w.Write([]byte("# TYPE " + name + " counter\n" + name + " " +
+			uitoa(v) + "\n"))
+	}
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func (fc *fakeCollector) addr() string { return strings.TrimPrefix(fc.srv.URL, "http://") }
+
+// TestFleetStaleness is the satellite-3 table test: a collector with a
+// live lease whose scrape fails must render stale (never dropped from
+// rollups, last-seen preserved), across the dead-connection, partitioned,
+// and rejoined scenarios.
+func TestFleetStaleness(t *testing.T) {
+	fcGood, fcFlaky := newFakeCollector(t), newFakeCollector(t)
+	fcGood.reg.Counter("pipeline_in").Add(100)
+	fcFlaky.reg.Counter("pipeline_in").Add(50)
+
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+
+	flakyConnected := true
+	targets := func() []Target {
+		return []Target{
+			{ID: "good", AdminAddr: fcGood.addr(), Connected: true},
+			// The flaky collector's lease stays alive throughout: the fabric
+			// keeps leases across dead connections by design.
+			{ID: "flaky", AdminAddr: fcFlaky.addr(), Connected: flakyConnected},
+		}
+	}
+	f, err := NewFederator(Config{
+		Targets:    targets,
+		Interval:   time.Second,
+		StaleAfter: 3 * time.Second,
+		Clock:      clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	healthOf := func(id string) CollectorHealth {
+		t.Helper()
+		for _, h := range f.Health() {
+			if h.ID == id {
+				return h
+			}
+		}
+		t.Fatalf("collector %s dropped from health rows", id)
+		return CollectorHealth{}
+	}
+	rollupIn := func() uint64 { return f.Rollup().Counters["pipeline_in"] }
+
+	steps := []struct {
+		name       string
+		setup      func()
+		advance    time.Duration
+		wantState  string
+		wantIn     uint64 // fleet-wide pipeline_in after this step
+		wantSeen   bool   // last_scrape present
+		wantInRoll bool   // flaky's per-collector series still in rollup
+	}{
+		{
+			name:      "baseline both fresh",
+			setup:     func() {},
+			wantState: StateFresh, wantIn: 150, wantSeen: true, wantInRoll: true,
+		},
+		{
+			name: "dead connection, live lease",
+			setup: func() {
+				flakyConnected = false
+				fcFlaky.down.Store(true)
+			},
+			advance:   4 * time.Second, // past StaleAfter
+			wantState: StateStale, wantIn: 150, wantSeen: true, wantInRoll: true,
+		},
+		{
+			name: "partitioned long-term",
+			setup: func() {
+				fcGood.reg.Counter("pipeline_in").Add(25) // good keeps moving
+			},
+			advance:   10 * time.Second,
+			wantState: StateStale, wantIn: 175, wantSeen: true, wantInRoll: true,
+		},
+		{
+			name: "rejoined",
+			setup: func() {
+				flakyConnected = true
+				fcFlaky.down.Store(false)
+				fcFlaky.reg.Counter("pipeline_in").Add(10)
+			},
+			wantState: StateFresh, wantIn: 185, wantSeen: true, wantInRoll: true,
+		},
+	}
+	for _, step := range steps {
+		step.setup()
+		now = now.Add(step.advance)
+		f.ScrapeOnce(context.Background())
+		h := healthOf("flaky")
+		if h.State != step.wantState {
+			t.Fatalf("%s: flaky state = %s, want %s (err=%q)", step.name, h.State, step.wantState, h.LastError)
+		}
+		if (h.LastScrape != "") != step.wantSeen {
+			t.Fatalf("%s: last_scrape = %q, wantSeen=%v", step.name, h.LastScrape, step.wantSeen)
+		}
+		if got := rollupIn(); got != step.wantIn {
+			t.Fatalf("%s: fleet pipeline_in = %d, want %d", step.name, got, step.wantIn)
+		}
+		if _, ok := f.Rollup().PerCollector["flaky"]; ok != step.wantInRoll {
+			t.Fatalf("%s: flaky per-collector presence = %v, want %v", step.name, ok, step.wantInRoll)
+		}
+		if step.wantState == StateStale && h.LastError == "" {
+			t.Fatalf("%s: stale row should surface the scrape error", step.name)
+		}
+	}
+
+	// Stale collectors keep their series on /fleet/metrics with up=0.
+	flakyConnected = false
+	fcFlaky.down.Store(true)
+	now = now.Add(5 * time.Second)
+	f.ScrapeOnce(context.Background())
+	var buf strings.Builder
+	if err := f.Rollup().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`fleet_collector_up{collector="flaky"} 0`,
+		`fleet_collector_up{collector="good"} 1`,
+		`pipeline_in{collector="flaky"} 60`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestFleetNeverScraped: a leased collector with no admin plane renders
+// never, contributes nothing to rollups, but still appears.
+func TestFleetNeverScraped(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	f, err := NewFederator(Config{
+		Targets: func() []Target {
+			return []Target{{ID: "dark", AdminAddr: "", Connected: true}}
+		},
+		Clock: func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ScrapeOnce(context.Background())
+	h := f.Health()
+	if len(h) != 1 || h[0].State != StateNever || h[0].ScrapeAgeMS != -1 {
+		t.Fatalf("health = %+v, want one never row", h)
+	}
+	if n := len(f.Rollup().PerCollector); n != 0 {
+		t.Fatalf("never-scraped collector leaked %d snapshots into the rollup", n)
+	}
+}
+
+// TestFleetExpiredLeaseForgotten: only lease expiry (the target vanishing
+// from the coordinator's status) removes a collector.
+func TestFleetExpiredLeaseForgotten(t *testing.T) {
+	fc := newFakeCollector(t)
+	leased := true
+	now := time.Unix(1_700_000_000, 0)
+	f, err := NewFederator(Config{
+		Targets: func() []Target {
+			if !leased {
+				return nil
+			}
+			return []Target{{ID: "c1", AdminAddr: fc.addr(), Connected: true}}
+		},
+		Clock: func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ScrapeOnce(context.Background())
+	if len(f.Health()) != 1 {
+		t.Fatal("expected one collector")
+	}
+	leased = false
+	f.ScrapeOnce(context.Background())
+	if len(f.Health()) != 0 {
+		t.Fatal("expired-lease collector must leave the federation book")
+	}
+}
+
+// TestEnrichSynthesizesRows: leased collectors the federator has not
+// scraped yet still get a scrape row on the enriched /fleetz.
+func TestEnrichSynthesizesRows(t *testing.T) {
+	fs := fabric.FleetStatus{Collectors: []fabric.CollectorStatus{
+		{ID: "seen", Connected: true},
+		{ID: "unseen", Connected: false, AdminAddr: "10.0.0.9:8471"},
+	}}
+	health := []CollectorHealth{{ID: "seen", State: StateFresh}}
+	e := Enrich(fs, health)
+	if len(e.Scrapes) != 2 {
+		t.Fatalf("scrapes = %+v, want 2 rows", e.Scrapes)
+	}
+	var unseen *CollectorHealth
+	for i := range e.Scrapes {
+		if e.Scrapes[i].ID == "unseen" {
+			unseen = &e.Scrapes[i]
+		}
+	}
+	if unseen == nil || unseen.State != StateNever || unseen.AdminAddr != "10.0.0.9:8471" {
+		t.Fatalf("unseen row = %+v, want synthesized never row", unseen)
+	}
+}

@@ -1,0 +1,50 @@
+package fleet
+
+import "repro/internal/fabric"
+
+// EnrichedFleet is the federated /fleetz payload: the fabric
+// coordinator's fleet status joined with the federation's scrape health.
+// The join is by collector ID; a collector holding a lease always gets a
+// row — if the federator has never reached it the scrape row says so
+// (StateNever/StateStale), it is never dropped.
+type EnrichedFleet struct {
+	fabric.FleetStatus
+	Scrapes []CollectorHealth `json:"scrapes"`
+}
+
+// Enrich joins a fleet status with scrape health rows. Leased collectors
+// missing from the federator's book (a scrape cycle has not seen them
+// yet) get a synthesized StateNever row so the payload's two sections
+// always cover the same fleet.
+func Enrich(fs fabric.FleetStatus, health []CollectorHealth) EnrichedFleet {
+	byID := make(map[string]bool, len(health))
+	for _, h := range health {
+		byID[h.ID] = true
+	}
+	for _, c := range fs.Collectors {
+		if !byID[c.ID] {
+			health = append(health, CollectorHealth{
+				ID:          c.ID,
+				AdminAddr:   c.AdminAddr,
+				Connected:   c.Connected,
+				State:       StateNever,
+				ScrapeAgeMS: -1,
+			})
+		}
+	}
+	return EnrichedFleet{FleetStatus: fs, Scrapes: health}
+}
+
+// TargetsFromStatus adapts a coordinator status source into the
+// federator's target list: every leased collector is a target, connected
+// or not.
+func TargetsFromStatus(status func() fabric.FleetStatus) func() []Target {
+	return func() []Target {
+		fs := status()
+		out := make([]Target, 0, len(fs.Collectors))
+		for _, c := range fs.Collectors {
+			out = append(out, Target{ID: c.ID, AdminAddr: c.AdminAddr, Connected: c.Connected})
+		}
+		return out
+	}
+}

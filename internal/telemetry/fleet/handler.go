@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Routes returns the federation handlers to mount on an admin mux
+// (telemetry.Admin's Routes map): /fleet/metrics serves the rolled-up
+// Prometheus exposition, /fleet/tracez the stitched cross-process traces
+// (local recorders' spans included). The /alertz surface is the Admin's
+// own, fed by Engine.Status via the Alerts hook.
+func (f *Federator) Routes(local ...*telemetry.Recorder) map[string]http.Handler {
+	return map[string]http.Handler{
+		"/fleet/metrics": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := f.Rollup().WriteProm(w); err != nil {
+				f.log.Debug("fleet metrics render aborted", "err", err)
+			}
+		}),
+		"/fleet/tracez": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			n := 50
+			if q := r.URL.Query().Get("n"); q != "" {
+				if v, err := strconv.Atoi(q); err == nil && v > 0 {
+					n = v
+				}
+			}
+			traces := f.FleetTraces(r.Context(), n, local...)
+			if traces == nil {
+				traces = []FleetTrace{}
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(map[string]any{"traces": traces})
+		}),
+	}
+}

@@ -1,0 +1,192 @@
+// Package fleet is the coordinator-side observability plane over a
+// federated collector fleet (the paper's ~2500-VP deployment cannot be
+// operated through per-process /metrics pages): it scrapes each
+// registered collector's admin endpoints, parses the Prometheus text back
+// into metrics snapshots, serves fleet-wide rollups (summed counters,
+// bucket-union-merged histograms, per-collector staleness markers) on
+// /fleet/metrics, stitches cross-process traces on /fleet/tracez, and
+// evaluates declarative SLOs with multi-window burn-rate alerts on
+// /alertz.
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// ParseProm parses Prometheus text exposition (the shape telemetry's
+// WriteProm emits) back into a metrics.Snapshot. Metric names arrive
+// sanitized (daemon.pipeline.in was exported as daemon_pipeline_in) and
+// are kept in that form — every collector runs the same code, so
+// sanitized names line up across the fleet. Labeled series other than
+// histogram buckets (build_info and friends) are skipped: the registry is
+// label-free and the rollup re-derives its own per-collector labels.
+func ParseProm(r io.Reader) (metrics.Snapshot, error) {
+	s := metrics.Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]metrics.HistogramSnapshot),
+	}
+	types := make(map[string]string)
+	hists := make(map[string]*histAccum)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Only "# TYPE name kind" matters; HELP and comments are noise.
+			f := strings.Fields(line)
+			if len(f) == 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+				if f[3] == "histogram" {
+					hists[f[2]] = &histAccum{}
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return s, err
+		}
+		if h := histFor(hists, name); h != nil {
+			h.add(name, labels, value)
+			continue
+		}
+		if labels != "" {
+			continue // labeled non-histogram series (build_info): skip
+		}
+		switch types[name] {
+		case "counter":
+			s.Counters[name] = uint64(value)
+		default: // gauge, or untyped
+			s.Gauges[name] = int64(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return s, fmt.Errorf("fleet: scan exposition: %w", err)
+	}
+	for name, h := range hists {
+		snap, err := h.snapshot()
+		if err != nil {
+			return s, fmt.Errorf("fleet: histogram %s: %w", name, err)
+		}
+		s.Histograms[name] = snap
+	}
+	return s, nil
+}
+
+// parseSample splits one sample line into name, raw label blob (may be
+// empty), and value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", 0, fmt.Errorf("fleet: malformed sample %q", line)
+	}
+	head, raw := line[:sp], strings.TrimSpace(line[sp+1:])
+	value, err = strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("fleet: bad value in %q: %w", line, err)
+	}
+	if i := strings.IndexByte(head, '{'); i >= 0 {
+		name = head[:i]
+		labels = strings.TrimSuffix(head[i+1:], "}")
+	} else {
+		name = head
+	}
+	return name, labels, value, nil
+}
+
+// histAccum rebuilds one histogram from its cumulative exposition.
+type histAccum struct {
+	bounds []uint64
+	cums   []uint64
+	inf    uint64
+	sum    uint64
+	count  uint64
+}
+
+// histFor routes a sample line onto the histogram owning its base name
+// (name_bucket/name_sum/name_count), or nil.
+func histFor(hists map[string]*histAccum, name string) *histAccum {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if h := hists[base]; h != nil {
+				return h
+			}
+		}
+	}
+	return nil
+}
+
+func (h *histAccum) add(name, labels string, value float64) {
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		le := labelValue(labels, "le")
+		if le == "+Inf" {
+			h.inf = uint64(value)
+			return
+		}
+		bound, err := strconv.ParseUint(le, 10, 64)
+		if err != nil {
+			return // non-integer bound: the registry never emits these
+		}
+		h.bounds = append(h.bounds, bound)
+		h.cums = append(h.cums, uint64(value))
+	case strings.HasSuffix(name, "_sum"):
+		h.sum = uint64(value)
+	case strings.HasSuffix(name, "_count"):
+		h.count = uint64(value)
+	}
+}
+
+// labelValue extracts one label's unquoted value from a raw label blob.
+func labelValue(labels, key string) string {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if ok && strings.TrimSpace(k) == key {
+			return strings.Trim(strings.TrimSpace(v), `"`)
+		}
+	}
+	return ""
+}
+
+// snapshot de-cumulates the buckets back into a metrics.HistogramSnapshot.
+func (h *histAccum) snapshot() (metrics.HistogramSnapshot, error) {
+	// Buckets are emitted in ascending order; sort defensively anyway.
+	idx := make([]int, len(h.bounds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h.bounds[idx[a]] < h.bounds[idx[b]] })
+	snap := metrics.HistogramSnapshot{
+		Bounds: make([]uint64, len(h.bounds)),
+		Counts: make([]uint64, len(h.bounds)+1),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+	var prev uint64
+	for i, j := range idx {
+		cum := h.cums[j]
+		if cum < prev {
+			return snap, fmt.Errorf("non-monotonic bucket at le=%d", h.bounds[j])
+		}
+		snap.Bounds[i] = h.bounds[j]
+		snap.Counts[i] = cum - prev
+		prev = cum
+	}
+	if h.count < prev {
+		return snap, fmt.Errorf("count %d below last bucket %d", h.count, prev)
+	}
+	snap.Counts[len(h.bounds)] = h.count - prev
+	return snap, nil
+}

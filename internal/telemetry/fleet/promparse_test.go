@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+// TestParsePromRoundTrip: WriteProm → ParseProm must reproduce the
+// snapshot exactly (modulo name sanitization) — the federation contract.
+func TestParsePromRoundTrip(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("daemon.pipeline.in").Add(12345)
+	reg.Counter("daemon.pipeline.dropped").Add(7)
+	reg.Gauge("daemon.queue_depth").Set(-3)
+	h := reg.Histogram("daemon.pipeline.e2e_latency_ns", metrics.ExpBuckets(1000, 4, 8))
+	for _, v := range []uint64{500, 3000, 70_000, 1 << 30} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	if got.Counters["daemon_pipeline_in"] != 12345 {
+		t.Errorf("counter in = %d, want 12345", got.Counters["daemon_pipeline_in"])
+	}
+	if got.Counters["daemon_pipeline_dropped"] != 7 {
+		t.Errorf("counter dropped = %d, want 7", got.Counters["daemon_pipeline_dropped"])
+	}
+	if got.Gauges["daemon_queue_depth"] != -3 {
+		t.Errorf("gauge = %d, want -3", got.Gauges["daemon_queue_depth"])
+	}
+	hs, ok := got.Histograms["daemon_pipeline_e2e_latency_ns"]
+	if !ok {
+		t.Fatalf("histogram missing; got %v", got.Histograms)
+	}
+	want := h.Snapshot()
+	if hs.Count != want.Count || hs.Sum != want.Sum {
+		t.Fatalf("histogram count/sum = %d/%d, want %d/%d", hs.Count, hs.Sum, want.Count, want.Sum)
+	}
+	if len(hs.Bounds) != len(want.Bounds) || len(hs.Counts) != len(want.Counts) {
+		t.Fatalf("histogram shape %d/%d bounds/counts, want %d/%d",
+			len(hs.Bounds), len(hs.Counts), len(want.Bounds), len(want.Counts))
+	}
+	for i := range want.Counts {
+		if hs.Counts[i] != want.Counts[i] {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Counts[i], want.Counts[i])
+		}
+	}
+	if hs.Quantile(0.99) != want.Quantile(0.99) {
+		t.Errorf("p99 = %v, want %v", hs.Quantile(0.99), want.Quantile(0.99))
+	}
+}
+
+// TestParsePromSkipsLabeledInfo: build_info's labeled gauge must not leak
+// into the parsed snapshot, and must not break parsing.
+func TestParsePromSkipsLabeledInfo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := telemetry.WritePromInfo(&buf, "build_info",
+		map[string]string{"version": "v1, with \"quotes\"", "go": "gc"}); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	reg.Counter("x").Inc()
+	if err := telemetry.WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	if _, leaked := got.Gauges["build_info"]; leaked {
+		t.Error("labeled build_info leaked into gauges")
+	}
+	if got.Counters["x"] != 1 {
+		t.Errorf("counter after info block = %d, want 1", got.Counters["x"])
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	if _, err := ParseProm(bytes.NewReader([]byte("no_value_here\n"))); err == nil {
+		t.Error("sample without value must error")
+	}
+	if _, err := ParseProm(bytes.NewReader([]byte("x not-a-number\n"))); err == nil {
+		t.Error("non-numeric value must error")
+	}
+	// Non-monotonic buckets are a corrupted exposition.
+	bad := "# TYPE h histogram\nh_bucket{le=\"10\"} 5\nh_bucket{le=\"20\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"
+	if _, err := ParseProm(bytes.NewReader([]byte(bad))); err == nil {
+		t.Error("non-monotonic histogram must error")
+	}
+}

@@ -1,0 +1,310 @@
+package fleet
+
+// SLO math. An objective declares a target ratio of good events (e.g.
+// 99% of updates through the pipeline in under 50ms). The error budget is
+// 1-target; the burn rate over a window is the window's error ratio
+// divided by the budget — burn 1.0 spends the budget exactly at its
+// sustainable pace, burn N spends it N× too fast. Alerts use the standard
+// two-window scheme: fire only when BOTH a short and a long window burn
+// above the threshold (the short window gates on "is it still happening",
+// the long on "is it material"), resolve as soon as the short window
+// drops back under. Evaluations sample cumulative good/total pairs so
+// windowed rates are exact deltas, not decaying averages.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Objective kinds.
+const (
+	// KindLatency reads a rollup histogram: good events are observations
+	// at or under Threshold (in the histogram's native unit).
+	KindLatency = "latency"
+	// KindAvailability reads the scrape health rows: good events are
+	// fresh collectors, total events all leased collectors. Integrated
+	// per evaluation, so a window's ratio is the average fresh fraction.
+	KindAvailability = "availability"
+)
+
+// Objective is one declarative SLO.
+type Objective struct {
+	// Name identifies the objective on /alertz ("ingest-e2e-p99").
+	Name string `json:"name"`
+	// Kind selects the evaluation (KindLatency, KindAvailability).
+	Kind string `json:"kind"`
+	// Metric names the rollup histogram a latency objective reads, in
+	// scraped (sanitized) form: "daemon_pipeline_e2e_latency_ns".
+	Metric string `json:"metric,omitempty"`
+	// Threshold is the good/bad latency boundary in the metric's unit.
+	// Measured against bucket bounds: the effective boundary is the
+	// largest bucket bound at or under Threshold.
+	Threshold uint64 `json:"threshold,omitempty"`
+	// Target is the objective ratio in (0, 1), e.g. 0.99.
+	Target float64 `json:"target"`
+	// ShortWindow and LongWindow are the two burn-rate windows.
+	ShortWindow time.Duration `json:"short_window_ns"`
+	LongWindow  time.Duration `json:"long_window_ns"`
+	// BurnThreshold fires the alert when both windows burn above it.
+	BurnThreshold float64 `json:"burn_threshold"`
+}
+
+// DefaultObjectives returns the stock fleet SLOs over the series every
+// collector exports: ingest end-to-end p99, filter-propagation latency,
+// stream delivery p99, heartbeat RTT, and collector scrape availability.
+// Windows are short (30s/2m) because the fleet's control loops are fast;
+// a planetary deployment would stretch them to the classic 5m/1h.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{
+			Name: "ingest-e2e-p99", Kind: KindLatency,
+			Metric: "daemon_pipeline_e2e_latency_ns", Threshold: 50_000_000, // 50ms
+			Target: 0.99, ShortWindow: 30 * time.Second, LongWindow: 2 * time.Minute,
+			BurnThreshold: 2,
+		},
+		{
+			Name: "filter-propagation", Kind: KindLatency,
+			Metric: "fabric_filter_propagation_us", Threshold: 2_000_000, // 2s
+			Target: 0.95, ShortWindow: 30 * time.Second, LongWindow: 2 * time.Minute,
+			BurnThreshold: 2,
+		},
+		{
+			Name: "stream-delivery-p99", Kind: KindLatency,
+			Metric: "stream_delivery_ns", Threshold: 100_000_000, // 100ms
+			Target: 0.99, ShortWindow: 30 * time.Second, LongWindow: 2 * time.Minute,
+			BurnThreshold: 2,
+		},
+		{
+			Name: "heartbeat-rtt", Kind: KindLatency,
+			Metric: "fabric_agent_control_rtt_us", Threshold: 250_000, // 250ms
+			Target: 0.99, ShortWindow: 30 * time.Second, LongWindow: 2 * time.Minute,
+			BurnThreshold: 2,
+		},
+		{
+			Name: "collector-availability", Kind: KindAvailability,
+			Target: 0.99, ShortWindow: 30 * time.Second, LongWindow: 2 * time.Minute,
+			BurnThreshold: 2,
+		},
+	}
+}
+
+// sloSample is one cumulative (good, total) observation.
+type sloSample struct {
+	t           time.Time
+	good, total uint64
+}
+
+// objectiveState is the engine's book on one objective.
+type objectiveState struct {
+	obj     Objective
+	samples []sloSample // time-ascending, pruned past LongWindow
+	cumGood uint64      // integration accumulators (availability kind)
+	cumTot  uint64
+
+	firing    bool
+	since     time.Time
+	shortBurn float64
+	longBurn  float64
+}
+
+// Engine evaluates objectives against successive rollups and maintains
+// the firing/resolved alert state. Safe for concurrent use.
+type Engine struct {
+	mu     sync.Mutex
+	clock  func() time.Time
+	states []*objectiveState
+}
+
+// NewEngine builds an engine over the objectives (clock nil: time.Now).
+func NewEngine(objectives []Objective, clock func() time.Time) *Engine {
+	if clock == nil {
+		clock = time.Now
+	}
+	e := &Engine{clock: clock}
+	for _, o := range objectives {
+		e.states = append(e.states, &objectiveState{obj: o})
+	}
+	return e
+}
+
+// Observe evaluates every objective against one rollup: appends the
+// cumulative good/total sample and recomputes both windows' burn rates
+// and the alert state. Call it right after each federation scrape.
+func (e *Engine) Observe(r Rollup) {
+	now := e.clock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.states {
+		good, total, ok := st.measure(r)
+		if !ok {
+			continue // metric absent from the rollup: no data, no opinion
+		}
+		st.samples = append(st.samples, sloSample{t: now, good: good, total: total})
+		st.prune(now)
+		st.shortBurn = st.burn(now, st.obj.ShortWindow)
+		st.longBurn = st.burn(now, st.obj.LongWindow)
+		switch {
+		case !st.firing && st.shortBurn >= st.obj.BurnThreshold && st.longBurn >= st.obj.BurnThreshold:
+			st.firing = true
+			st.since = now
+		case st.firing && st.shortBurn < st.obj.BurnThreshold:
+			st.firing = false
+			st.since = now
+		}
+	}
+}
+
+// measure extracts the cumulative (good, total) pair for one rollup.
+func (st *objectiveState) measure(r Rollup) (good, total uint64, ok bool) {
+	switch st.obj.Kind {
+	case KindLatency:
+		h, present := r.Histograms[st.obj.Metric]
+		if !present {
+			return 0, 0, false
+		}
+		var cum uint64
+		for i, b := range h.Bounds {
+			if b > st.obj.Threshold {
+				break
+			}
+			cum += h.Counts[i]
+		}
+		return cum, h.Count, true
+	case KindAvailability:
+		var fresh, all uint64
+		for _, c := range r.Collectors {
+			all++
+			if c.State == StateFresh {
+				fresh++
+			}
+		}
+		if all == 0 {
+			return 0, 0, false
+		}
+		// Integrate: cumulative pairs make windowed deltas the average
+		// fresh fraction over the window.
+		st.cumGood += fresh
+		st.cumTot += all
+		return st.cumGood, st.cumTot, true
+	}
+	return 0, 0, false
+}
+
+// prune drops samples that have aged out of the long window, always
+// keeping one sample at or before the window edge as the delta baseline.
+func (st *objectiveState) prune(now time.Time) {
+	edge := now.Add(-st.obj.LongWindow)
+	keepFrom := 0
+	for i, s := range st.samples {
+		if !s.t.After(edge) {
+			keepFrom = i
+		}
+	}
+	if keepFrom > 0 {
+		st.samples = append(st.samples[:0], st.samples[keepFrom:]...)
+	}
+}
+
+// burn computes the window's burn rate: error ratio over the window's
+// good/total delta, divided by the error budget. Returns 0 when the
+// window holds no events.
+func (st *objectiveState) burn(now time.Time, window time.Duration) float64 {
+	if len(st.samples) == 0 {
+		return 0
+	}
+	newest := st.samples[len(st.samples)-1]
+	edge := now.Add(-window)
+	// Baseline: the latest sample at or before the window edge, else the
+	// oldest retained (a short history measures over what it has — never
+	// over the whole cumulative series, which would re-litigate ancient
+	// errors on every evaluation).
+	i := sort.Search(len(st.samples), func(i int) bool {
+		return st.samples[i].t.After(edge)
+	})
+	base := st.samples[0]
+	if i > 0 {
+		base = st.samples[i-1]
+	}
+	if newest.good < base.good || newest.total < base.total {
+		// Counter regression (a collector restarted and its cumulative
+		// series reset): no rate until the window re-fills.
+		return 0
+	}
+	dGood := newest.good - base.good
+	dTotal := newest.total - base.total
+	if dTotal == 0 {
+		return 0
+	}
+	errRatio := 1 - float64(dGood)/float64(dTotal)
+	budget := 1 - st.obj.Target
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return errRatio / budget
+}
+
+// AlertStatus is one objective's row on /alertz.
+type AlertStatus struct {
+	Name          string  `json:"name"`
+	Kind          string  `json:"kind"`
+	Metric        string  `json:"metric,omitempty"`
+	Target        float64 `json:"target"`
+	BurnThreshold float64 `json:"burn_threshold"`
+	ShortBurn     float64 `json:"short_burn"`
+	LongBurn      float64 `json:"long_burn"`
+	Firing        bool    `json:"firing"`
+	// Since is when the alert last changed state (fired or resolved).
+	Since string `json:"since,omitempty"`
+	// Samples is how many evaluations the engine currently retains.
+	Samples int `json:"samples"`
+}
+
+// AlertzPayload is the /alertz envelope.
+type AlertzPayload struct {
+	At         string        `json:"at"`
+	Firing     int           `json:"firing"`
+	Objectives []AlertStatus `json:"objectives"`
+}
+
+// Status assembles the /alertz payload.
+func (e *Engine) Status() AlertzPayload {
+	now := e.clock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := AlertzPayload{At: now.UTC().Format(time.RFC3339Nano)}
+	for _, st := range e.states {
+		row := AlertStatus{
+			Name:          st.obj.Name,
+			Kind:          st.obj.Kind,
+			Metric:        st.obj.Metric,
+			Target:        st.obj.Target,
+			BurnThreshold: st.obj.BurnThreshold,
+			ShortBurn:     st.shortBurn,
+			LongBurn:      st.longBurn,
+			Firing:        st.firing,
+			Samples:       len(st.samples),
+		}
+		if !st.since.IsZero() {
+			row.Since = st.since.UTC().Format(time.RFC3339Nano)
+		}
+		if st.firing {
+			p.Firing++
+		}
+		p.Objectives = append(p.Objectives, row)
+	}
+	return p
+}
+
+// Firing returns the names of currently firing alerts.
+func (e *Engine) Firing() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for _, st := range e.states {
+		if st.firing {
+			out = append(out, st.obj.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// rollupWithLatency builds a rollup whose e2e histogram holds good
+// observations at 1ms and bad ones at 1s against a 50ms threshold.
+func rollupWithLatency(good, bad uint64) Rollup {
+	h := metrics.NewHistogram(metrics.ExpBuckets(1_000_000, 4, 8)) // 1ms .. ~16s
+	for i := uint64(0); i < good; i++ {
+		h.Observe(1_000_000)
+	}
+	for i := uint64(0); i < bad; i++ {
+		h.Observe(1_000_000_000)
+	}
+	return Rollup{Histograms: map[string]metrics.HistogramSnapshot{
+		"daemon_pipeline_e2e_latency_ns": h.Snapshot(),
+	}}
+}
+
+func latencyObjective() Objective {
+	return Objective{
+		Name: "e2e", Kind: KindLatency,
+		Metric: "daemon_pipeline_e2e_latency_ns", Threshold: 50_000_000,
+		Target: 0.99, ShortWindow: 10 * time.Second, LongWindow: 40 * time.Second,
+		BurnThreshold: 2,
+	}
+}
+
+func TestSLOLatencyFireAndResolve(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	e := NewEngine([]Objective{latencyObjective()}, func() time.Time { return now })
+
+	// Healthy traffic: 1000 good, 2 bad — error ratio 0.2%, burn 0.2 < 2.
+	var good, bad uint64 = 1000, 2
+	for i := 0; i < 5; i++ {
+		e.Observe(rollupWithLatency(good, bad))
+		good += 1000
+		now = now.Add(2 * time.Second)
+	}
+	if firing := e.Firing(); len(firing) != 0 {
+		t.Fatalf("healthy fleet fired %v", firing)
+	}
+
+	// Latency regression: everything slow. Both windows must exceed burn 2.
+	for i := 0; i < 6; i++ {
+		bad += 500
+		e.Observe(rollupWithLatency(good, bad))
+		now = now.Add(2 * time.Second)
+	}
+	if firing := e.Firing(); len(firing) != 1 || firing[0] != "e2e" {
+		st := e.Status()
+		t.Fatalf("regression did not fire: %v (status %+v)", firing, st.Objectives)
+	}
+
+	// Recovery: fast again. The short window drains first and resolves the
+	// alert even while the long window still remembers the incident.
+	for i := 0; i < 8; i++ {
+		good += 2000
+		e.Observe(rollupWithLatency(good, bad))
+		now = now.Add(2 * time.Second)
+	}
+	if firing := e.Firing(); len(firing) != 0 {
+		st := e.Status()
+		t.Fatalf("alert did not resolve: %v (status %+v)", firing, st.Objectives)
+	}
+}
+
+func TestSLOAvailabilityPartition(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	obj := Objective{
+		Name: "avail", Kind: KindAvailability,
+		Target: 0.99, ShortWindow: 10 * time.Second, LongWindow: 40 * time.Second,
+		BurnThreshold: 2,
+	}
+	e := NewEngine([]Objective{obj}, func() time.Time { return now })
+
+	healthy := Rollup{Collectors: []CollectorHealth{
+		{ID: "c1", State: StateFresh}, {ID: "c2", State: StateFresh}, {ID: "c3", State: StateFresh},
+	}}
+	partitioned := Rollup{Collectors: []CollectorHealth{
+		{ID: "c1", State: StateFresh}, {ID: "c2", State: StateFresh}, {ID: "c3", State: StateStale},
+	}}
+
+	for i := 0; i < 5; i++ {
+		e.Observe(healthy)
+		now = now.Add(2 * time.Second)
+	}
+	if len(e.Firing()) != 0 {
+		t.Fatal("healthy fleet fired")
+	}
+	// One of three collectors partitioned: error ratio 1/3, burn 33 >> 2.
+	for i := 0; i < 6; i++ {
+		e.Observe(partitioned)
+		now = now.Add(2 * time.Second)
+	}
+	if firing := e.Firing(); len(firing) != 1 {
+		t.Fatalf("partition did not fire: %v", firing)
+	}
+	// Heal: fresh again; the short window must resolve it.
+	for i := 0; i < 8; i++ {
+		e.Observe(healthy)
+		now = now.Add(2 * time.Second)
+	}
+	if firing := e.Firing(); len(firing) != 0 {
+		t.Fatalf("heal did not resolve: %v (status %+v)", firing, e.Status().Objectives)
+	}
+}
+
+func TestSLONoDataNoOpinion(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	e := NewEngine([]Objective{latencyObjective()}, func() time.Time { return now })
+	// Rollup without the metric: no sample recorded, no alert.
+	e.Observe(Rollup{})
+	st := e.Status()
+	if st.Objectives[0].Samples != 0 || st.Objectives[0].Firing {
+		t.Fatalf("absent metric produced state: %+v", st.Objectives[0])
+	}
+}
+
+func TestSLOCounterResetTolerated(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	e := NewEngine([]Objective{latencyObjective()}, func() time.Time { return now })
+	e.Observe(rollupWithLatency(10_000, 0))
+	now = now.Add(2 * time.Second)
+	// A collector restart shrinks the cumulative series; the engine must
+	// not fire (or panic on uint64 underflow).
+	e.Observe(rollupWithLatency(100, 0))
+	if len(e.Firing()) != 0 {
+		t.Fatal("counter reset fired an alert")
+	}
+}
+
+func TestDefaultObjectivesCoverIssueSurface(t *testing.T) {
+	names := map[string]bool{}
+	for _, o := range DefaultObjectives() {
+		names[o.Name] = true
+		if o.Target <= 0 || o.Target >= 1 {
+			t.Errorf("%s: target %v out of (0,1)", o.Name, o.Target)
+		}
+		if o.ShortWindow >= o.LongWindow {
+			t.Errorf("%s: short window %v not shorter than long %v", o.Name, o.ShortWindow, o.LongWindow)
+		}
+	}
+	for _, want := range []string{
+		"ingest-e2e-p99", "filter-propagation", "stream-delivery-p99",
+		"heartbeat-rtt", "collector-availability",
+	} {
+		if !names[want] {
+			t.Errorf("default objectives missing %s", want)
+		}
+	}
+}

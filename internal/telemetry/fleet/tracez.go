@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// FleetTrace is one stitched distributed trace: every span the fleet
+// recorded under one trace ID, across processes, sorted by start time.
+type FleetTrace struct {
+	TraceID telemetry.SpanID  `json:"trace_id"`
+	Spans   []telemetry.Trace `json:"spans"`
+	// Processes lists the distinct recording processes, sorted — a quick
+	// read on how many hops the trace crossed.
+	Processes []string `json:"processes"`
+}
+
+// tracezPage is the per-process /tracez payload shape.
+type tracezPage struct {
+	Traces []telemetry.Trace `json:"traces"`
+}
+
+// FleetTraces stitches distributed traces from the local recorders (the
+// coordinator's own control-plane spans, an embedded orchestrator's) and
+// every reachable collector's /tracez. Spans without a trace ID (records
+// predating propagation) are ignored. Traces are returned newest-first,
+// at most n of them.
+func (f *Federator) FleetTraces(ctx context.Context, n int, local ...*telemetry.Recorder) []FleetTrace {
+	if n <= 0 {
+		n = 50
+	}
+	perSource := 4 * n // over-fetch: one stitched trace spans many records
+
+	var mu sync.Mutex
+	var spans []telemetry.Trace
+	for _, rec := range local {
+		spans = append(spans, rec.Last(perSource)...)
+	}
+
+	f.mu.Lock()
+	targets := make([]Target, 0, len(f.states))
+	for _, st := range f.states {
+		targets = append(targets, st.target)
+	}
+	f.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, t := range targets {
+		if t.AdminAddr == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(t Target) {
+			defer wg.Done()
+			remote, err := f.fetchTraces(ctx, t, perSource)
+			if err != nil {
+				f.log.Debug("tracez fetch failed", "collector", t.ID, "err", err)
+				return
+			}
+			mu.Lock()
+			spans = append(spans, remote...)
+			mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+	return Stitch(spans, n)
+}
+
+// fetchTraces pulls one collector's flight-recorder dump.
+func (f *Federator) fetchTraces(ctx context.Context, t Target, n int) ([]telemetry.Trace, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+	defer cancel()
+	url := fmt.Sprintf("http://%s/tracez?n=%d", t.AdminAddr, n)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: tracez %s: HTTP %d", t.ID, resp.StatusCode)
+	}
+	var page tracezPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, err
+	}
+	return page.Traces, nil
+}
+
+// Stitch groups spans by trace ID into at most n stitched traces, newest
+// first (by each trace's latest span start). Exported so the in-process
+// fleet tests can stitch without HTTP.
+func Stitch(spans []telemetry.Trace, n int) []FleetTrace {
+	byTrace := make(map[telemetry.SpanID][]telemetry.Trace)
+	for _, sp := range spans {
+		if sp.TraceID == 0 {
+			continue
+		}
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	out := make([]FleetTrace, 0, len(byTrace))
+	for id, group := range byTrace {
+		sort.Slice(group, func(i, j int) bool { return group[i].Start.Before(group[j].Start) })
+		procs := make(map[string]bool)
+		for _, sp := range group {
+			if sp.Process != "" {
+				procs[sp.Process] = true
+			}
+		}
+		names := make([]string, 0, len(procs))
+		for p := range procs {
+			names = append(names, p)
+		}
+		sort.Strings(names)
+		out = append(out, FleetTrace{TraceID: id, Spans: group, Processes: names})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := out[i].Spans[len(out[i].Spans)-1], out[j].Spans[len(out[j].Spans)-1]
+		return li.Start.After(lj.Start)
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

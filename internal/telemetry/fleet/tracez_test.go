@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestStitchGroupsByTraceID: spans from three processes under one trace
+// ID stitch into one FleetTrace, ordered by start, with process roll-up;
+// unpropagated records (zero trace ID) are dropped.
+func TestStitchGroupsByTraceID(t *testing.T) {
+	trace := telemetry.NewID()
+	base := time.Unix(1_700_000_000, 0)
+	spans := []telemetry.Trace{
+		{TraceID: trace, SpanID: telemetry.NewID(), Name: "fabric.install_filters",
+			Process: "collector:c1", Start: base.Add(2 * time.Millisecond)},
+		{TraceID: trace, SpanID: telemetry.NewID(), Name: "orchestrator.distribute",
+			Process: "orchestrator", Start: base},
+		{TraceID: trace, SpanID: telemetry.NewID(), Name: "fabric.distribute_filters",
+			Process: "coordinator", Start: base.Add(time.Millisecond)},
+		{TraceID: 0, Name: "legacy"}, // predates propagation
+		{TraceID: telemetry.NewID(), SpanID: telemetry.NewID(), Name: "other",
+			Process: "collector:c2", Start: base.Add(time.Hour)},
+	}
+	out := Stitch(spans, 10)
+	if len(out) != 2 {
+		t.Fatalf("stitched %d traces, want 2", len(out))
+	}
+	// Newest-first: the "other" trace started an hour later.
+	if out[0].Spans[0].Name != "other" {
+		t.Fatalf("newest-first order violated: %+v", out[0].Spans[0])
+	}
+	ft := out[1]
+	if ft.TraceID != trace || len(ft.Spans) != 3 {
+		t.Fatalf("stitched trace = %+v", ft)
+	}
+	wantOrder := []string{"orchestrator.distribute", "fabric.distribute_filters", "fabric.install_filters"}
+	for i, w := range wantOrder {
+		if ft.Spans[i].Name != w {
+			t.Errorf("span %d = %s, want %s", i, ft.Spans[i].Name, w)
+		}
+	}
+	wantProcs := []string{"collector:c1", "coordinator", "orchestrator"}
+	if len(ft.Processes) != len(wantProcs) {
+		t.Fatalf("processes = %v, want %v", ft.Processes, wantProcs)
+	}
+	for i, p := range wantProcs {
+		if ft.Processes[i] != p {
+			t.Fatalf("processes = %v, want %v", ft.Processes, wantProcs)
+		}
+	}
+}
+
+func TestStitchCapsTraces(t *testing.T) {
+	var spans []telemetry.Trace
+	base := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 10; i++ {
+		spans = append(spans, telemetry.Trace{
+			TraceID: telemetry.NewID(), SpanID: telemetry.NewID(),
+			Start: base.Add(time.Duration(i) * time.Second),
+		})
+	}
+	out := Stitch(spans, 3)
+	if len(out) != 3 {
+		t.Fatalf("got %d traces, want 3", len(out))
+	}
+	// The cap keeps the newest.
+	if !out[0].Spans[0].Start.After(out[2].Spans[0].Start) {
+		t.Fatal("cap did not keep newest-first")
+	}
+}

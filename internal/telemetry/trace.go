@@ -9,10 +9,80 @@ package telemetry
 // updates and the overhead is a single atomic add on the untraced path.
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// SpanID is a 64-bit trace or span identifier, rendered as 16 hex digits
+// in JSON (uint64s above 2^53 lose precision in non-Go JSON consumers,
+// and operators grep hex anyway). Zero means "absent" and is omitted.
+type SpanID uint64
+
+// String renders the canonical 16-hex-digit form ("" for zero).
+func (id SpanID) String() string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// MarshalJSON renders the ID as a hex string.
+func (id SpanID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + id.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the hex-string form (with or without quotes) and,
+// leniently, a bare decimal from older producers.
+func (id *SpanID) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	if s == "" {
+		*id = 0
+		return nil
+	}
+	if v, err := strconv.ParseUint(s, 16, 64); err == nil {
+		*id = SpanID(v)
+		return nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("telemetry: bad span id %q", s)
+	}
+	*id = SpanID(v)
+	return nil
+}
+
+// idCounter seeds the fallback ID sequence if crypto/rand ever fails.
+var idCounter atomic.Uint64
+
+// NewID returns a process-independent random 64-bit identifier — trace
+// IDs minted on different machines must not collide, so a per-process
+// counter is not enough.
+func NewID() SpanID {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if v := binary.BigEndian.Uint64(b[:]); v != 0 {
+			return SpanID(v)
+		}
+	}
+	return SpanID(idCounter.Add(1) | 1<<63)
+}
+
+// SpanContext is the cross-process trace context carried on control-plane
+// frames and serving envelopes: which trace a remote span belongs to and
+// which span is its parent. The zero value means "no trace in progress".
+type SpanContext struct {
+	Trace SpanID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a trace.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 }
 
 // Default recorder geometry: ring capacity and sampling interval. One
 // trace per 1024 offered updates keeps the recorder invisible in the
@@ -48,17 +118,55 @@ type StageTiming struct {
 // concurrently.
 type Trace struct {
 	ID       uint64        `json:"id"`
-	VP       string        `json:"vp"`
-	Prefix   string        `json:"prefix"`
+	VP       string        `json:"vp,omitempty"`
+	Prefix   string        `json:"prefix,omitempty"`
 	Withdraw bool          `json:"withdraw,omitempty"`
 	Start    time.Time     `json:"start"`
-	QueueNS  int64         `json:"queue_ns"`
+	QueueNS  int64         `json:"queue_ns,omitempty"`
 	Stages   []StageTiming `json:"stages,omitempty"`
 	Verdict  string        `json:"verdict"`
 	TotalNS  int64         `json:"total_ns"`
 
+	// TraceID identifies the distributed trace this record belongs to;
+	// SpanID identifies this record within it and ParentID the span (often
+	// in another process) that caused it. Zero IDs render as "" and mark a
+	// record that predates propagation.
+	TraceID  SpanID `json:"trace_id,omitempty"`
+	SpanID   SpanID `json:"span_id,omitempty"`
+	ParentID SpanID `json:"parent_id,omitempty"`
+	// Process names the process that recorded the span (the Recorder's
+	// Process label); the fleet stitcher keys its per-hop view on it.
+	Process string `json:"process,omitempty"`
+	// Name labels non-pipeline spans ("fabric.distribute_filters",
+	// "fabric.install_filters"); pipeline traces leave it empty and are
+	// identified by VP/Prefix instead.
+	Name string `json:"name,omitempty"`
+	// Attrs carries small span attributes (generation tokens, collector
+	// IDs) for the stitched fleet view.
+	Attrs map[string]string `json:"attrs,omitempty"`
+
 	rec  *Recorder
 	done bool
+}
+
+// Context returns the trace context to propagate to child spans (in this
+// process or across a wire frame).
+func (t *Trace) Context() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: t.TraceID, Span: t.SpanID}
+}
+
+// SetAttr attaches one key=value attribute to the span.
+func (t *Trace) SetAttr(k, v string) {
+	if t == nil {
+		return
+	}
+	if t.Attrs == nil {
+		t.Attrs = make(map[string]string, 4)
+	}
+	t.Attrs[k] = v
 }
 
 // ObserveQueueWait records how long the update sat in a shard queue.
@@ -98,6 +206,11 @@ func (t *Trace) Done() bool { return t != nil && t.done }
 // of completed traces. All methods are safe for concurrent use and
 // nil-receiver safe.
 type Recorder struct {
+	// Process labels every trace this recorder commits with the owning
+	// process's fleet identity ("coordinator", "collector:c1"). Set it
+	// before the first Begin/StartSpan; it is not synchronized.
+	Process string
+
 	interval uint64
 	offered  atomic.Uint64
 	ids      atomic.Uint64
@@ -131,7 +244,9 @@ func (r *Recorder) ShouldSample() bool {
 	return r.offered.Add(1)%r.interval == 1 || r.interval == 1
 }
 
-// Begin opens a trace for one sampled update.
+// Begin opens a trace for one sampled update. The trace gets fresh
+// distributed IDs, so a sampled update's journey is stitchable across the
+// stream/serving envelopes that carry its trace ID downstream.
 func (r *Recorder) Begin(vp, prefix string, withdraw bool) *Trace {
 	if r == nil {
 		return nil
@@ -143,8 +258,40 @@ func (r *Recorder) Begin(vp, prefix string, withdraw bool) *Trace {
 		Prefix:   prefix,
 		Withdraw: withdraw,
 		Start:    time.Now(),
+		TraceID:  NewID(),
+		SpanID:   NewID(),
+		Process:  r.Process,
 		rec:      r,
 	}
+}
+
+// StartSpan opens a named control-plane span under the given parent
+// context: a zero context starts a fresh root trace, a propagated one (a
+// wire frame's trace/span IDs) attaches this process's work to the remote
+// caller's trace. Spans bypass sampling — control-plane events are rare
+// and each one matters — and commit to the same ring on Finish, so
+// /tracez and the fleet stitcher see pipeline traces and fabric spans in
+// one timeline.
+func (r *Recorder) StartSpan(name string, parent SpanContext) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.sampled.Add(1)
+	t := &Trace{
+		ID:      r.ids.Add(1),
+		Name:    name,
+		Start:   time.Now(),
+		SpanID:  NewID(),
+		Process: r.Process,
+		rec:     r,
+	}
+	if parent.Valid() {
+		t.TraceID = parent.Trace
+		t.ParentID = parent.Span
+	} else {
+		t.TraceID = NewID()
+	}
+	return t
 }
 
 // commit stores a finished trace in the ring.

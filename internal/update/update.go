@@ -48,6 +48,12 @@ type Update struct {
 	// redundancy stage (informational — filters, not tags, decide what
 	// is archived).
 	Redundant bool
+
+	// TraceID carries the distributed trace ID stamped by the pipeline on
+	// the ~1/1024 sampled updates (zero otherwise). It rides the stream
+	// and serving envelopes so a sampled update's journey is stitchable
+	// across processes; it is not part of the update's identity.
+	TraceID uint64
 }
 
 // Links returns the directed AS links of the update's AS path.

@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench_guard.sh — the perf-trajectory gate: regenerate the machine-
+# readable bench reports (BENCH_fabric.json, BENCH_serve.json) on this
+# machine and compare them against the committed (HEAD) baselines with
+# scripts/benchguard. Throughput metrics may not drop, and p99 latency
+# metrics may not grow, by more than GILL_BENCH_MAX_REGRESS (default
+# 0.25 = 25%). The working-tree BENCH files are restored afterwards, so
+# the gate never dirties the checkout — refreshing a baseline is a
+# deliberate `make bench-fabric` / `make bench-serve` + commit.
+#
+# Run via `make bench-guard` (part of `make verify`).
+set -eu
+
+GO=${GO:-go}
+max=${GILL_BENCH_MAX_REGRESS:-0.25}
+cd "$(dirname "$0")/.."
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+fail() {
+	echo "bench-guard: FAIL: $1" >&2
+	exit 1
+}
+
+guard() { # report-file  go-test-run  higher-better-keys  lower-better-keys
+	file=$1 run=$2 higher=$3 lower=$4
+	if ! git show "HEAD:$file" >"$dir/$file.base" 2>/dev/null; then
+		echo "bench-guard: no committed baseline for $file; skipping"
+		return 0
+	fi
+	[ -f "$file" ] && cp "$file" "$dir/$file.keep"
+	echo "bench-guard: regenerating $file ($run)"
+	GILL_BENCH_GUARD=1 $GO test -run "$run" -count=1 . >"$dir/$file.testlog" 2>&1 ||
+		{ cat "$dir/$file.testlog" >&2; fail "$run did not pass"; }
+	[ -f "$file" ] || fail "$run did not write $file"
+	cp "$file" "$dir/$file.new"
+	# Restore the checkout before judging, so a guard failure leaves no dirt.
+	if [ -f "$dir/$file.keep" ]; then
+		cp "$dir/$file.keep" "$file"
+	else
+		rm -f "$file"
+	fi
+	echo "bench-guard: $file vs HEAD baseline (max regression $max)"
+	$GO run ./scripts/benchguard -old "$dir/$file.base" -new "$dir/$file.new" \
+		-higher "$higher" -lower "$lower" -max-regress "$max" ||
+		fail "$file regressed beyond $max of the committed baseline"
+}
+
+guard BENCH_fabric.json TestFabricBenchReport \
+	heartbeats_per_sec \
+	control_rtt_p99_us,filter_propagation_ms,rebalance_ms
+guard BENCH_serve.json TestServeBenchReport \
+	fanout_msgs_per_sec \
+	delivery_p99_ns
+
+echo "bench-guard: PASS"

@@ -1,0 +1,134 @@
+// Command benchguard compares two machine-readable bench reports (the
+// committed BENCH_*.json baseline vs a freshly generated run) and fails
+// when any guarded metric regressed beyond the allowed fraction. It is
+// the perf-trajectory gate scripts/bench_guard.sh runs inside `make
+// bench-guard`: higher-better metrics (throughputs) may not drop, and
+// lower-better metrics (latency percentiles) may not grow, by more than
+// -max-regress. It is test tooling, not an operator command.
+//
+// Usage:
+//
+//	benchguard -old BENCH_fabric.base.json -new BENCH_fabric.json \
+//	    -higher heartbeats_per_sec \
+//	    -lower control_rtt_p99_us,filter_propagation_ms \
+//	    -max-regress 0.25
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline bench report (committed)")
+		newPath = flag.String("new", "", "fresh bench report to judge")
+		higher  = flag.String("higher", "", "comma-separated higher-is-better keys (throughputs)")
+		lower   = flag.String("lower", "", "comma-separated lower-is-better keys (latencies)")
+		maxReg  = flag.Float64("max-regress", 0.25, "maximum allowed fractional regression per metric")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -old and -new are required")
+		os.Exit(2)
+	}
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	check := func(key string, higherBetter bool) {
+		ov, nv, err := pair(oldRep, newRep, key)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			failed = true
+			return
+		}
+		if ov == 0 {
+			// A zero baseline carries no trajectory to guard; report and move on.
+			fmt.Printf("  %-28s baseline 0, new %.4g (unguarded)\n", key, nv)
+			return
+		}
+		regress := (ov - nv) / ov
+		dir := "higher-better"
+		if !higherBetter {
+			regress = (nv - ov) / ov
+			dir = "lower-better"
+		}
+		verdict := "ok"
+		if regress > *maxReg {
+			verdict = fmt.Sprintf("REGRESSED %.1f%% > %.1f%%", regress*100, *maxReg*100)
+			failed = true
+		}
+		fmt.Printf("  %-28s %-13s old %-14.6g new %-14.6g delta %+7.1f%%  %s\n",
+			key, dir, ov, nv, -regress*100*signFor(higherBetter), verdict)
+	}
+	for _, k := range splitKeys(*higher) {
+		check(k, true)
+	}
+	for _, k := range splitKeys(*lower) {
+		check(k, false)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: %s regressed beyond %.0f%% of %s\n",
+			*newPath, *maxReg*100, *oldPath)
+		os.Exit(1)
+	}
+}
+
+// signFor renders the printed delta in the metric's natural direction:
+// for higher-better a positive delta means it went up.
+func signFor(higherBetter bool) float64 {
+	if higherBetter {
+		return 1
+	}
+	return -1
+}
+
+func splitKeys(s string) []string {
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func load(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// pair extracts one guarded metric from both reports; a key missing from
+// either side is a schema drift and fails the guard loudly.
+func pair(oldRep, newRep map[string]any, key string) (ov, nv float64, err error) {
+	var ok bool
+	if ov, ok = oldRep[key].(float64); !ok {
+		return 0, 0, fmt.Errorf("baseline lacks numeric %q", key)
+	}
+	if nv, ok = newRep[key].(float64); !ok {
+		return 0, 0, fmt.Errorf("fresh report lacks numeric %q", key)
+	}
+	return ov, nv, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+	os.Exit(2)
+}
