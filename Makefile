@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke serve-smoke bench-serve fabric-smoke bench-fabric obs-fleet-smoke bench-guard verify
+.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke serve-smoke bench-serve fabric-smoke bench-fabric obs-fleet-smoke bench-codec fuzz-smoke bench-guard verify
 
 all: build
 
@@ -109,11 +109,30 @@ obs-fleet-smoke:
 	GILL_BENCH_GUARD=1 $(GO) test -run TestFederationOverheadGuard -count=1 -v ./internal/telemetry/fleet/
 	sh scripts/obs_fleet_smoke.sh
 
-# bench-guard is the perf-trajectory gate: regenerate BENCH_fabric.json
-# and BENCH_serve.json on this machine and fail if any guarded metric
-# (throughputs may not drop, p99 latencies may not grow) regressed more
-# than GILL_BENCH_MAX_REGRESS (default 25%) against the committed
-# baselines. The working tree is left clean either way.
+# bench-codec runs the codec hot-path benchmarks (decode into a reused
+# Update, legacy eager decode, append-encode into a reused buffer, and
+# the full filter → redundancy → archive → counter ingest chain) and
+# writes the machine-readable BENCH_codec.json report. The report test
+# also pins the zero-alloc contract: decode into a reused Update must be
+# allocation-free and encode at most two allocations per message.
+bench-codec:
+	$(GO) test -run xxx -bench 'BenchmarkCodec|BenchmarkIngestAllocs' -benchtime 1x .
+	GILL_BENCH_GUARD=1 $(GO) test -run TestCodecBenchReport -count=1 -v .
+
+# fuzz-smoke runs each native fuzz target briefly against its checked-in
+# seeds plus a short randomized burst: the BGP wire decoder (eager and
+# lazy paths must agree, re-encoding must be a byte-stable fixed point)
+# and the MRT record parser. Longer campaigns: raise -fuzztime.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzUnmarshal -fuzztime 5s ./internal/bgp/
+	$(GO) test -run xxx -fuzz FuzzReadRecord -fuzztime 5s ./internal/mrt/
+
+# bench-guard is the perf-trajectory gate: regenerate BENCH_fabric.json,
+# BENCH_serve.json and BENCH_codec.json on this machine and fail if any
+# guarded metric (throughputs may not drop, p99 latencies may not grow,
+# codec allocs/op may not increase at all) regressed more than
+# GILL_BENCH_MAX_REGRESS (default 25%) against the committed baselines.
+# The working tree is left clean either way.
 bench-guard:
 	sh scripts/bench_guard.sh
 
@@ -125,8 +144,10 @@ bench-guard:
 # streaming end to end), the federation smoke (fleet chaos tests plus
 # a real coordinator + two-collector failover with byte-identical filter
 # distribution), the fleet-observability smoke (federated metrics,
-# stitched traces, and a live SLO incident), and the bench guard (no
-# guarded benchmark metric may regress past the committed baselines).
+# stitched traces, and a live SLO incident), the codec fuzz smoke (no
+# decoder panics, lazy/eager agreement, encode fixed points), and the
+# bench guard (no guarded benchmark metric may regress past the
+# committed baselines; codec allocs/op may not increase at all).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -139,4 +160,5 @@ verify:
 	$(MAKE) serve-smoke
 	$(MAKE) fabric-smoke
 	$(MAKE) obs-fleet-smoke
+	$(MAKE) fuzz-smoke
 	$(MAKE) bench-guard

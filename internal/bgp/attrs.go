@@ -1,44 +1,47 @@
 package bgp
 
-// MarshalAttributes encodes only the path-attribute portion of the update,
-// as used by MRT TABLE_DUMP_V2 RIB entries (RFC 6396 §4.3.4). ORIGIN and
-// AS_PATH are always emitted; the NLRI and withdrawn-route sections are the
-// caller's concern.
-func (u *Update) MarshalAttributes() ([]byte, error) {
-	var attrs []byte
-	attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{u.Origin})
-	var asp []byte
-	if len(u.ASPath) > 0 {
-		asp = append(asp, segSequence, byte(len(u.ASPath)))
-		for _, as := range u.ASPath {
-			asp = append(asp, byte(as>>24), byte(as>>16), byte(as>>8), byte(as))
-		}
-	}
-	attrs = appendAttr(attrs, flagTransitive, AttrASPath, asp)
+import "encoding/binary"
+
+// AppendAttributes appends only the path-attribute portion of the update
+// to dst, as used by MRT TABLE_DUMP_V2 RIB entries (RFC 6396 §4.3.4).
+// ORIGIN and AS_PATH are always emitted; the NLRI and withdrawn-route
+// sections are the caller's concern.
+func (u *Update) AppendAttributes(dst []byte) ([]byte, error) {
+	dst = appendAttrHeader(dst, flagTransitive, AttrOrigin, 1)
+	dst = append(dst, u.Origin)
+	path := u.Path()
+	dst = appendAttrHeader(dst, flagTransitive, AttrASPath, asPathValueLen(path))
+	dst = appendASPathValue(dst, path)
 	if u.NextHop.Is4() {
 		nh := u.NextHop.As4()
-		attrs = appendAttr(attrs, flagTransitive, AttrNextHop, nh[:])
+		dst = appendAttrHeader(dst, flagTransitive, AttrNextHop, 4)
+		dst = append(dst, nh[:]...)
 	}
 	if u.HasMED {
-		attrs = appendAttr(attrs, flagOptional, AttrMED, []byte{byte(u.MED >> 24), byte(u.MED >> 16), byte(u.MED >> 8), byte(u.MED)})
+		dst = appendAttrHeader(dst, flagOptional, AttrMED, 4)
+		dst = binary.BigEndian.AppendUint32(dst, u.MED)
 	}
 	if u.HasLocal {
-		attrs = appendAttr(attrs, flagTransitive, AttrLocalPref, []byte{byte(u.LocalPref >> 24), byte(u.LocalPref >> 16), byte(u.LocalPref >> 8), byte(u.LocalPref)})
+		dst = appendAttrHeader(dst, flagTransitive, AttrLocalPref, 4)
+		dst = binary.BigEndian.AppendUint32(dst, u.LocalPref)
 	}
-	if len(u.Communities) > 0 {
-		var cs []byte
-		for _, c := range u.Communities {
-			v := uint32(c)
-			cs = append(cs, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	if comms := u.Comms(); len(comms) > 0 {
+		dst = appendAttrHeader(dst, flagOptional|flagTransitive, AttrCommunities, 4*len(comms))
+		for _, c := range comms {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(c))
 		}
-		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrCommunities, cs)
 	}
-	return attrs, nil
+	return dst, nil
+}
+
+// MarshalAttributes encodes the path-attribute portion into a fresh slice.
+func (u *Update) MarshalAttributes() ([]byte, error) {
+	return u.AppendAttributes(nil)
 }
 
 // UnmarshalAttributes decodes a bare path-attribute byte string into u,
 // the inverse of MarshalAttributes.
 func (u *Update) UnmarshalAttributes(b []byte) error {
 	*u = Update{}
-	return u.parseAttrs(b)
+	return u.parseAttrs(b, false)
 }

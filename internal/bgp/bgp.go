@@ -42,6 +42,7 @@ var (
 	ErrBadPrefix      = errors.New("bgp: malformed NLRI prefix")
 	ErrBadOpen        = errors.New("bgp: malformed OPEN")
 	ErrMessageTooLong = errors.New("bgp: message exceeds 4096 bytes")
+	ErrNotUpdate      = errors.New("bgp: message is not an UPDATE")
 )
 
 // Message is implemented by every BGP message body.

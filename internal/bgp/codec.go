@@ -4,24 +4,46 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
+
+var marker = [16]byte{
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+}
+
+// bufPool holds full-size wire buffers shared by ReadMessage,
+// ReadMessageInto and WriteMessage so the steady-state session loop never
+// allocates per message.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, MaxMessageLen)
+		return &b
+	},
+}
+
+// AppendMessage appends the full wire encoding of m (header + body) to dst
+// and returns the extended slice. The message length is back-patched into
+// the header once the body size is known. On error dst is returned
+// unchanged, so batch encoders can keep accumulating into one arena.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
+	base := len(dst)
+	out := append(dst, marker[:]...)
+	out = append(out, 0, 0, m.Type())
+	out, err := m.marshalBody(out)
+	if err != nil {
+		return dst, err
+	}
+	if len(out)-base > MaxMessageLen {
+		return dst, ErrMessageTooLong
+	}
+	binary.BigEndian.PutUint16(out[base+16:base+18], uint16(len(out)-base))
+	return out, nil
+}
 
 // Marshal encodes m into a full BGP message (header + body).
 func Marshal(m Message) ([]byte, error) {
-	buf := make([]byte, HeaderLen, 64)
-	for i := 0; i < 16; i++ {
-		buf[i] = 0xff
-	}
-	buf[18] = m.Type()
-	buf, err := m.marshalBody(buf)
-	if err != nil {
-		return nil, err
-	}
-	if len(buf) > MaxMessageLen {
-		return nil, ErrMessageTooLong
-	}
-	binary.BigEndian.PutUint16(buf[16:18], uint16(len(buf)))
-	return buf, nil
+	return AppendMessage(nil, m)
 }
 
 // Unmarshal decodes a full BGP message (header + body). src must contain
@@ -31,6 +53,10 @@ func Unmarshal(src []byte) (Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	return unmarshalTyped(body, typ)
+}
+
+func unmarshalTyped(body []byte, typ uint8) (Message, error) {
 	var m Message
 	switch typ {
 	case TypeOpen:
@@ -50,6 +76,22 @@ func Unmarshal(src []byte) (Message, error) {
 	return m, nil
 }
 
+// UnmarshalUpdate decodes a full wire message that must be an UPDATE into
+// u, reusing u's internal storage (u is Reset first). AS_PATH and
+// COMMUNITIES are validated but materialized only when Path/Comms is
+// called. src is never retained, so the caller may reuse its buffer.
+func UnmarshalUpdate(src []byte, u *Update) error {
+	body, typ, err := checkHeader(src)
+	if err != nil {
+		return err
+	}
+	if typ != TypeUpdate {
+		return ErrNotUpdate
+	}
+	u.Reset()
+	return u.decode(body, true)
+}
+
 // checkHeader validates the 19-byte header and returns the body and type.
 func checkHeader(src []byte) ([]byte, uint8, error) {
 	if len(src) < HeaderLen {
@@ -67,31 +109,70 @@ func checkHeader(src []byte) ([]byte, uint8, error) {
 	return src[HeaderLen:length], src[18], nil
 }
 
-// ReadMessage reads exactly one BGP message from r. It first reads the
-// 19-byte header to learn the length, then the remainder of the body.
-func ReadMessage(r io.Reader) (Message, error) {
-	var hdr [HeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// readWire reads one framed message into buf (which must have
+// MaxMessageLen capacity) and returns it sized to the wire length.
+func readWire(r io.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:HeaderLen]
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	length := int(binary.BigEndian.Uint16(hdr[16:18]))
+	length := int(binary.BigEndian.Uint16(buf[16:18]))
 	if length < HeaderLen || length > MaxMessageLen {
 		return nil, ErrBadLength
 	}
-	buf := make([]byte, length)
-	copy(buf, hdr[:])
+	buf = buf[:length]
 	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadMessage reads exactly one BGP message from r through a pooled wire
+// buffer. The decoded message owns all of its data.
+func ReadMessage(r io.Reader) (Message, error) {
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	buf, err := readWire(r, *bp)
+	if err != nil {
 		return nil, err
 	}
 	return Unmarshal(buf)
 }
 
-// WriteMessage marshals m and writes it to w.
+// ReadMessageInto reads one BGP message from r through a pooled wire
+// buffer. An UPDATE body is decoded lazily into u (Reset and reused) and u
+// itself is returned as the Message; other message types decode eagerly
+// into fresh values and u is left reset.
+func ReadMessageInto(r io.Reader, u *Update) (Message, error) {
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	buf, err := readWire(r, *bp)
+	if err != nil {
+		return nil, err
+	}
+	body, typ, err := checkHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if typ == TypeUpdate {
+		u.Reset()
+		if err := u.decode(body, true); err != nil {
+			return nil, err
+		}
+		return u, nil
+	}
+	return unmarshalTyped(body, typ)
+}
+
+// WriteMessage marshals m through a pooled buffer and writes it to w.
 func WriteMessage(w io.Writer, m Message) error {
-	buf, err := Marshal(m)
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	buf, err := AppendMessage((*bp)[:0], m)
 	if err != nil {
 		return err
 	}
+	*bp = buf
 	_, err = w.Write(buf)
 	return err
 }

@@ -1,0 +1,98 @@
+package bgp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal throws arbitrary bytes at the wire decoder and checks the
+// codec invariants that the golden tests pin for known inputs:
+//
+//   - the decoder never panics, whatever the input;
+//   - a message that decodes must re-encode, and the re-encoding must be
+//     a fixed point (decode→encode→decode→encode is byte-stable — the
+//     input itself may differ from the first encoding, since the decoder
+//     drops unknown attributes and canonicalizes segment layout);
+//   - the lazy decode path (UnmarshalUpdate into a reused Update) must
+//     agree with the eager path on every accessor and re-encode to the
+//     same bytes.
+func FuzzUnmarshal(f *testing.F) {
+	for _, s := range goldenWire {
+		f.Add(unhex(s))
+	}
+	f.Add(goldenPath255())
+	full := unhex(goldenWire["full-v4"])
+	for _, n := range []int{0, 1, 16, 18, 19, 20, len(full) - 1} {
+		f.Add(full[:n:n])
+	}
+	f.Add(mpReachWithNHLen(16))
+	f.Add(mpReachWithNHLen(32))
+	f.Add(mpReachWithNHLen(4)) // rejected: bad next-hop length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		wire, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("decoded message fails to re-encode: %v", err)
+		}
+		m2, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("re-encoded message fails to decode: %v\nwire: %x", err, wire)
+		}
+		wire2, err := Marshal(m2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatalf("encode is not a fixed point:\n first: %x\nsecond: %x", wire, wire2)
+		}
+
+		u, ok := m.(*Update)
+		if !ok {
+			return
+		}
+		var lu Update
+		if err := UnmarshalUpdate(data, &lu); err != nil {
+			t.Fatalf("eager decode succeeded but lazy decode failed: %v", err)
+		}
+		if !sameASPath(lu.Path(), u.Path()) {
+			t.Fatalf("lazy Path %v != eager %v", lu.Path(), u.Path())
+		}
+		if !sameComms(lu.Comms(), u.Comms()) {
+			t.Fatalf("lazy Comms %v != eager %v", lu.Comms(), u.Comms())
+		}
+		lwire, err := Marshal(&lu)
+		if err != nil {
+			t.Fatalf("lazy re-encode: %v", err)
+		}
+		if !bytes.Equal(lwire, wire) {
+			t.Fatalf("lazy re-encode differs from eager:\n lazy: %x\neager: %x", lwire, wire)
+		}
+	})
+}
+
+func sameASPath(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameComms(a, b []Community) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -6,13 +6,18 @@ import (
 )
 
 // appendPrefix appends the NLRI encoding of p (length octet followed by the
-// minimal number of address octets) to dst.
+// minimal number of address octets) to dst. The address bytes come from
+// stack arrays (As4/As16), not a heap slice.
 func appendPrefix(dst []byte, p netip.Prefix) []byte {
 	bits := p.Bits()
 	dst = append(dst, byte(bits))
-	addr := p.Addr().AsSlice()
 	n := (bits + 7) / 8
-	return append(dst, addr[:n]...)
+	if p.Addr().Is4() {
+		a := p.Addr().As4()
+		return append(dst, a[:n]...)
+	}
+	a := p.Addr().As16()
+	return append(dst, a[:n]...)
 }
 
 // parsePrefix decodes one NLRI prefix from src, returning the prefix and the
@@ -50,16 +55,18 @@ func parsePrefix(src []byte, v6 bool) (netip.Prefix, int, error) {
 	return p, 1 + n, nil
 }
 
-// parsePrefixes decodes a run of NLRI prefixes until src is exhausted.
-func parsePrefixes(src []byte, v6 bool) ([]netip.Prefix, error) {
-	var out []netip.Prefix
+// parsePrefixesInto decodes a run of NLRI prefixes until src is exhausted,
+// appending to dst. Callers reusing an Update pass a truncated slice so
+// the backing array survives; the eager path passes nil and gets the old
+// nil-when-empty behavior.
+func parsePrefixesInto(dst []netip.Prefix, src []byte, v6 bool) ([]netip.Prefix, error) {
 	for len(src) > 0 {
 		p, n, err := parsePrefix(src, v6)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, p)
+		dst = append(dst, p)
 		src = src[n:]
 	}
-	return out, nil
+	return dst, nil
 }

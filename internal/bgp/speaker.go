@@ -182,11 +182,15 @@ func Establish(ctx context.Context, conn net.Conn, cfg SpeakerConfig) (*Session,
 func (s *Session) readLoop(r *bufio.Reader, hold uint16) {
 	defer close(s.updates)
 	defer close(s.done)
+	// Updates are handed to the consumer (which may retain them), so a
+	// fresh Update is allocated per UPDATE — but the wire buffer is pooled
+	// and keepalives reuse the same Update untouched.
+	next := new(Update)
 	for {
 		if hold > 0 {
 			_ = s.conn.SetReadDeadline(time.Now().Add(time.Duration(hold) * time.Second))
 		}
-		msg, err := ReadMessage(r)
+		msg, err := ReadMessageInto(r, next)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				s.fsm.Step(EventHoldTimerExpired)
@@ -202,6 +206,7 @@ func (s *Session) readLoop(r *bufio.Reader, hold uint16) {
 		case *Update:
 			s.fsm.Step(EventUpdateReceived)
 			s.updates <- m
+			next = new(Update)
 		case *Keepalive:
 			s.fsm.Step(EventKeepaliveReceived)
 		case *Notification:

@@ -85,8 +85,8 @@ func TestSessionUpdateDelivery(t *testing.T) {
 		if len(got.NLRI) != 1 || got.NLRI[0] != u.NLRI[0] {
 			t.Errorf("received %+v", got)
 		}
-		if len(got.ASPath) != 2 || got.ASPath[0] != 65001 {
-			t.Errorf("AS path %v", got.ASPath)
+		if path := got.Path(); len(path) != 2 || path[0] != 65001 {
+			t.Errorf("AS path %v", path)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("update not delivered")

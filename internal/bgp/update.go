@@ -40,6 +40,10 @@ const (
 	segSequence = 2
 )
 
+// maxSegmentASNs is the AS_PATH segment capacity: the member count is a
+// single octet (RFC 4271 §4.3), so longer paths span multiple segments.
+const maxSegmentASNs = 255
+
 // Community is a standard RFC 1997 community value.
 type Community uint32
 
@@ -63,6 +67,12 @@ func ParseCommunity(s string) (Community, error) {
 // Update is the BGP UPDATE message. The codec always encodes AS_PATH with
 // 4-octet ASNs (both ends of every session this package establishes
 // advertise RFC 6793 support). IPv6 NLRI travel in MP_REACH/MP_UNREACH.
+//
+// Updates decoded through UnmarshalUpdate/ReadMessageInto keep AS_PATH and
+// COMMUNITIES as validated raw bytes and materialize them only when Path or
+// Comms is called, so stages that never look at them never pay the decode.
+// Code that reads a decoded update must therefore go through the accessors;
+// the exported fields remain authoritative for hand-constructed updates.
 type Update struct {
 	Withdrawn   []netip.Prefix // IPv4 withdrawn routes
 	Origin      uint8
@@ -77,11 +87,64 @@ type Update struct {
 
 	V6NLRI      []netip.Prefix // IPv6 announced routes (MP_REACH_NLRI)
 	V6NextHop   netip.Addr
+	V6LinkLocal netip.Addr     // optional link-local next hop (RFC 2545 32-byte form)
 	V6Withdrawn []netip.Prefix // IPv6 withdrawn routes (MP_UNREACH_NLRI)
+
+	// Lazy-decode state: raw attribute values copied out of the wire
+	// buffer (update-owned, reused across Reset) awaiting materialization.
+	rawPath   []byte
+	rawComms  []byte
+	pathDone  bool
+	commsDone bool
 }
 
 // Type implements Message.
 func (*Update) Type() uint8 { return TypeUpdate }
+
+// Reset clears u for reuse, keeping all internal storage (prefix slices,
+// path/community scratch) so a decode loop reaches zero steady-state
+// allocations.
+func (u *Update) Reset() {
+	u.Withdrawn = u.Withdrawn[:0]
+	u.Origin = 0
+	u.ASPath = u.ASPath[:0]
+	u.NextHop = netip.Addr{}
+	u.MED, u.HasMED = 0, false
+	u.LocalPref, u.HasLocal = 0, false
+	u.Communities = u.Communities[:0]
+	u.NLRI = u.NLRI[:0]
+	u.V6NLRI = u.V6NLRI[:0]
+	u.V6NextHop = netip.Addr{}
+	u.V6LinkLocal = netip.Addr{}
+	u.V6Withdrawn = u.V6Withdrawn[:0]
+	u.rawPath = u.rawPath[:0]
+	u.rawComms = u.rawComms[:0]
+	u.pathDone, u.commsDone = false, false
+}
+
+// Path returns the flattened AS path. For lazily decoded updates the raw
+// AS_PATH attribute (already structurally validated during decode) is
+// materialized into reused storage on first call.
+func (u *Update) Path() []uint32 {
+	if !u.pathDone && len(u.rawPath) > 0 {
+		u.ASPath = appendASPath(u.ASPath[:0], u.rawPath)
+		u.pathDone = true
+	}
+	return u.ASPath
+}
+
+// Comms returns the standard communities, materializing the raw
+// COMMUNITIES attribute on first call for lazily decoded updates.
+func (u *Update) Comms() []Community {
+	if !u.commsDone && len(u.rawComms) > 0 {
+		u.Communities = u.Communities[:0]
+		for i := 0; i+4 <= len(u.rawComms); i += 4 {
+			u.Communities = append(u.Communities, Community(binary.BigEndian.Uint32(u.rawComms[i:i+4])))
+		}
+		u.commsDone = true
+	}
+	return u.Communities
+}
 
 // IsWithdrawOnly reports whether the update withdraws routes without
 // announcing any.
@@ -90,89 +153,131 @@ func (u *Update) IsWithdrawOnly() bool {
 		(len(u.Withdrawn) > 0 || len(u.V6Withdrawn) > 0)
 }
 
-// appendAttr appends one path attribute, choosing extended length when the
-// value exceeds 255 bytes.
-func appendAttr(dst []byte, flags, code uint8, val []byte) []byte {
-	if len(val) > 255 {
+// appendAttrHeader appends one path-attribute header, choosing extended
+// length when the value exceeds 255 bytes. The caller appends exactly n
+// value bytes afterwards.
+func appendAttrHeader(dst []byte, flags, code uint8, n int) []byte {
+	if n > 255 {
 		dst = append(dst, flags|flagExtLen, code)
-		dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
-	} else {
-		dst = append(dst, flags, code, byte(len(val)))
+		return binary.BigEndian.AppendUint16(dst, uint16(n))
 	}
-	return append(dst, val...)
+	return append(dst, flags, code, byte(n))
+}
+
+// asPathValueLen returns the encoded size of the AS_PATH attribute value
+// for path: 4 bytes per ASN plus a 2-byte segment header per 255 ASNs.
+func asPathValueLen(path []uint32) int {
+	if len(path) == 0 {
+		return 0
+	}
+	segs := (len(path) + maxSegmentASNs - 1) / maxSegmentASNs
+	return 4*len(path) + 2*segs
+}
+
+// appendASPathValue appends the AS_PATH attribute value, splitting the
+// path into AS_SEQUENCE segments of at most 255 ASNs each so long paths
+// never truncate the per-segment count octet.
+func appendASPathValue(dst []byte, path []uint32) []byte {
+	for len(path) > 0 {
+		n := len(path)
+		if n > maxSegmentASNs {
+			n = maxSegmentASNs
+		}
+		dst = append(dst, segSequence, byte(n))
+		for _, as := range path[:n] {
+			dst = binary.BigEndian.AppendUint32(dst, as)
+		}
+		path = path[n:]
+	}
+	return dst
+}
+
+// prefixesWireLen returns the encoded NLRI size of ps.
+func prefixesWireLen(ps []netip.Prefix) int {
+	n := 0
+	for _, p := range ps {
+		n += 1 + (p.Bits()+7)/8
+	}
+	return n
 }
 
 func (u *Update) marshalBody(dst []byte) ([]byte, error) {
-	// Withdrawn routes.
-	var wd []byte
+	// Withdrawn routes; the 2-byte length is back-patched once known.
+	wdAt := len(dst)
+	dst = append(dst, 0, 0)
 	for _, p := range u.Withdrawn {
 		if !p.Addr().Is4() {
 			return nil, fmt.Errorf("%w: IPv6 prefix in v4 withdrawn set", ErrBadPrefix)
 		}
-		wd = appendPrefix(wd, p)
+		dst = appendPrefix(dst, p)
 	}
-	dst = binary.BigEndian.AppendUint16(dst, uint16(len(wd)))
-	dst = append(dst, wd...)
+	binary.BigEndian.PutUint16(dst[wdAt:], uint16(len(dst)-wdAt-2))
 
-	// Path attributes.
-	var attrs []byte
+	// Path attributes, appended in place with a back-patched total length.
+	attrAt := len(dst)
+	dst = append(dst, 0, 0)
 	hasReach := len(u.NLRI) > 0 || len(u.V6NLRI) > 0
 	if hasReach {
-		attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{u.Origin})
-		var asp []byte
-		if len(u.ASPath) > 0 {
-			asp = append(asp, segSequence, byte(len(u.ASPath)))
-			for _, as := range u.ASPath {
-				asp = binary.BigEndian.AppendUint32(asp, as)
-			}
-		}
-		attrs = appendAttr(attrs, flagTransitive, AttrASPath, asp)
+		dst = appendAttrHeader(dst, flagTransitive, AttrOrigin, 1)
+		dst = append(dst, u.Origin)
+		path := u.Path()
+		dst = appendAttrHeader(dst, flagTransitive, AttrASPath, asPathValueLen(path))
+		dst = appendASPathValue(dst, path)
 	}
 	if len(u.NLRI) > 0 {
 		if !u.NextHop.Is4() {
 			return nil, fmt.Errorf("%w: v4 NLRI requires IPv4 next hop", ErrBadAttribute)
 		}
 		nh := u.NextHop.As4()
-		attrs = appendAttr(attrs, flagTransitive, AttrNextHop, nh[:])
+		dst = appendAttrHeader(dst, flagTransitive, AttrNextHop, 4)
+		dst = append(dst, nh[:]...)
 	}
 	if u.HasMED {
-		attrs = appendAttr(attrs, flagOptional, AttrMED, binary.BigEndian.AppendUint32(nil, u.MED))
+		dst = appendAttrHeader(dst, flagOptional, AttrMED, 4)
+		dst = binary.BigEndian.AppendUint32(dst, u.MED)
 	}
 	if u.HasLocal {
-		attrs = appendAttr(attrs, flagTransitive, AttrLocalPref, binary.BigEndian.AppendUint32(nil, u.LocalPref))
+		dst = appendAttrHeader(dst, flagTransitive, AttrLocalPref, 4)
+		dst = binary.BigEndian.AppendUint32(dst, u.LocalPref)
 	}
-	if len(u.Communities) > 0 {
-		var cs []byte
-		for _, c := range u.Communities {
-			cs = binary.BigEndian.AppendUint32(cs, uint32(c))
+	if comms := u.Comms(); len(comms) > 0 {
+		dst = appendAttrHeader(dst, flagOptional|flagTransitive, AttrCommunities, 4*len(comms))
+		for _, c := range comms {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(c))
 		}
-		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrCommunities, cs)
 	}
 	if len(u.V6NLRI) > 0 {
-		var mp []byte
-		mp = append(mp, 0, AFIIPv6, SAFIUnicast)
 		if !u.V6NextHop.Is6() || u.V6NextHop.Is4In6() {
 			return nil, fmt.Errorf("%w: v6 NLRI requires IPv6 next hop", ErrBadAttribute)
 		}
-		nh := u.V6NextHop.As16()
-		mp = append(mp, 16)
-		mp = append(mp, nh[:]...)
-		mp = append(mp, 0) // reserved SNPA count
-		for _, p := range u.V6NLRI {
-			mp = appendPrefix(mp, p)
+		nhLen := 16
+		if u.V6LinkLocal.IsValid() {
+			if !u.V6LinkLocal.Is6() || u.V6LinkLocal.Is4In6() {
+				return nil, fmt.Errorf("%w: link-local next hop must be IPv6", ErrBadAttribute)
+			}
+			nhLen = 32
 		}
-		attrs = appendAttr(attrs, flagOptional, AttrMPReachNLRI, mp)
+		dst = appendAttrHeader(dst, flagOptional, AttrMPReachNLRI, 4+nhLen+1+prefixesWireLen(u.V6NLRI))
+		dst = append(dst, 0, AFIIPv6, SAFIUnicast, byte(nhLen))
+		nh := u.V6NextHop.As16()
+		dst = append(dst, nh[:]...)
+		if nhLen == 32 {
+			ll := u.V6LinkLocal.As16()
+			dst = append(dst, ll[:]...)
+		}
+		dst = append(dst, 0) // reserved SNPA count
+		for _, p := range u.V6NLRI {
+			dst = appendPrefix(dst, p)
+		}
 	}
 	if len(u.V6Withdrawn) > 0 {
-		var mp []byte
-		mp = append(mp, 0, AFIIPv6, SAFIUnicast)
+		dst = appendAttrHeader(dst, flagOptional, AttrMPUnreachNLRI, 3+prefixesWireLen(u.V6Withdrawn))
+		dst = append(dst, 0, AFIIPv6, SAFIUnicast)
 		for _, p := range u.V6Withdrawn {
-			mp = appendPrefix(mp, p)
+			dst = appendPrefix(dst, p)
 		}
-		attrs = appendAttr(attrs, flagOptional, AttrMPUnreachNLRI, mp)
 	}
-	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
-	dst = append(dst, attrs...)
+	binary.BigEndian.PutUint16(dst[attrAt:], uint16(len(dst)-attrAt-2))
 
 	// NLRI.
 	for _, p := range u.NLRI {
@@ -186,6 +291,16 @@ func (u *Update) marshalBody(dst []byte) ([]byte, error) {
 
 func (u *Update) unmarshalBody(src []byte) error {
 	*u = Update{}
+	return u.decode(src, false)
+}
+
+// decode parses an UPDATE body into u. In lazy mode AS_PATH and
+// COMMUNITIES are validated and copied into update-owned scratch for the
+// accessors to materialize on demand; prefix slices are appended in place
+// so a Reset update reuses its storage. Eager mode (the legacy
+// Unmarshal/UnmarshalAttributes path) decodes everything immediately and
+// leaves the lazy state empty.
+func (u *Update) decode(src []byte, lazy bool) error {
 	if len(src) < 4 {
 		return ErrShortMessage
 	}
@@ -193,7 +308,7 @@ func (u *Update) unmarshalBody(src []byte) error {
 	if len(src) < 2+wdLen+2 {
 		return ErrShortMessage
 	}
-	wd, err := parsePrefixes(src[2:2+wdLen], false)
+	wd, err := parsePrefixesInto(u.Withdrawn, src[2:2+wdLen], false)
 	if err != nil {
 		return err
 	}
@@ -203,18 +318,24 @@ func (u *Update) unmarshalBody(src []byte) error {
 	if len(src) < 2+attrLen {
 		return ErrShortMessage
 	}
-	if err := u.parseAttrs(src[2 : 2+attrLen]); err != nil {
+	if err := u.parseAttrs(src[2:2+attrLen], lazy); err != nil {
 		return err
 	}
-	nlri, err := parsePrefixes(src[2+attrLen:], false)
+	nlri, err := parsePrefixesInto(u.NLRI, src[2+attrLen:], false)
 	if err != nil {
 		return err
 	}
 	u.NLRI = nlri
+	// NEXT_HOP is well-known mandatory once NLRI is present (RFC 4271
+	// §6.3); rejecting its absence here keeps decode/encode symmetric —
+	// everything that decodes must re-encode.
+	if len(u.NLRI) > 0 && !u.NextHop.Is4() {
+		return fmt.Errorf("%w: v4 NLRI without IPv4 NEXT_HOP", ErrBadAttribute)
+	}
 	return nil
 }
 
-func (u *Update) parseAttrs(src []byte) error {
+func (u *Update) parseAttrs(src []byte, lazy bool) error {
 	for len(src) > 0 {
 		if len(src) < 3 {
 			return ErrBadAttribute
@@ -241,11 +362,15 @@ func (u *Update) parseAttrs(src []byte) error {
 			}
 			u.Origin = val[0]
 		case AttrASPath:
-			path, err := parseASPath(val)
-			if err != nil {
+			if err := validateASPath(val); err != nil {
 				return err
 			}
-			u.ASPath = path
+			if lazy {
+				u.rawPath = append(u.rawPath[:0], val...)
+				u.pathDone = false
+			} else {
+				u.ASPath = appendASPath(u.ASPath[:0], val)
+			}
 		case AttrNextHop:
 			if alen != 4 {
 				return fmt.Errorf("%w: NEXT_HOP length %d", ErrBadAttribute, alen)
@@ -267,8 +392,16 @@ func (u *Update) parseAttrs(src []byte) error {
 			if alen%4 != 0 {
 				return fmt.Errorf("%w: COMMUNITIES length %d", ErrBadAttribute, alen)
 			}
-			for i := 0; i < alen; i += 4 {
-				u.Communities = append(u.Communities, Community(binary.BigEndian.Uint32(val[i:i+4])))
+			// Duplicated attributes are last-wins (as for AS_PATH), so
+			// the lazy and eager paths agree on malformed duplicates.
+			if lazy {
+				u.rawComms = append(u.rawComms[:0], val...)
+				u.commsDone = false
+			} else {
+				u.Communities = u.Communities[:0]
+				for i := 0; i < alen; i += 4 {
+					u.Communities = append(u.Communities, Community(binary.BigEndian.Uint32(val[i:i+4])))
+				}
 			}
 		case AttrMPReachNLRI:
 			if err := u.parseMPReach(val); err != nil {
@@ -286,29 +419,39 @@ func (u *Update) parseAttrs(src []byte) error {
 	return nil
 }
 
-// parseASPath decodes an AS_PATH assuming 4-octet ASNs and flattens all
-// AS_SEQUENCE segments. AS_SET members are appended in order (collectors
-// treat sets as opaque path material).
-func parseASPath(val []byte) ([]uint32, error) {
-	var path []uint32
+// validateASPath structurally checks an AS_PATH attribute value (4-octet
+// ASNs assumed) without allocating, so lazy decode can defer
+// materialization while still rejecting malformed paths up front.
+func validateASPath(val []byte) error {
 	for len(val) > 0 {
 		if len(val) < 2 {
-			return nil, fmt.Errorf("%w: truncated AS_PATH segment", ErrBadAttribute)
+			return fmt.Errorf("%w: truncated AS_PATH segment", ErrBadAttribute)
 		}
 		segType, n := val[0], int(val[1])
 		if segType != segSet && segType != segSequence {
-			return nil, fmt.Errorf("%w: AS_PATH segment type %d", ErrBadAttribute, segType)
+			return fmt.Errorf("%w: AS_PATH segment type %d", ErrBadAttribute, segType)
 		}
 		need := 2 + 4*n
 		if len(val) < need {
-			return nil, fmt.Errorf("%w: truncated AS_PATH", ErrBadAttribute)
-		}
-		for i := 0; i < n; i++ {
-			path = append(path, binary.BigEndian.Uint32(val[2+4*i:6+4*i]))
+			return fmt.Errorf("%w: truncated AS_PATH", ErrBadAttribute)
 		}
 		val = val[need:]
 	}
-	return path, nil
+	return nil
+}
+
+// appendASPath flattens an already-validated AS_PATH attribute value into
+// dst. AS_SET members are appended in order (collectors treat sets as
+// opaque path material).
+func appendASPath(dst []uint32, val []byte) []uint32 {
+	for len(val) >= 2 {
+		n := int(val[1])
+		for i := 0; i < n; i++ {
+			dst = append(dst, binary.BigEndian.Uint32(val[2+4*i:6+4*i]))
+		}
+		val = val[2+4*n:]
+	}
+	return dst
 }
 
 func (u *Update) parseMPReach(val []byte) error {
@@ -324,17 +467,30 @@ func (u *Update) parseMPReach(val []byte) error {
 	if len(val) < 4+nhLen+1 {
 		return fmt.Errorf("%w: short MP_REACH_NLRI next hop", ErrBadAttribute)
 	}
-	if nhLen >= 16 {
+	switch nhLen {
+	case 16:
 		var a [16]byte
 		copy(a[:], val[4:20])
 		u.V6NextHop = netip.AddrFrom16(a)
+	case 32:
+		// RFC 2545 §3: global next hop followed by a link-local one.
+		var a, ll [16]byte
+		copy(a[:], val[4:20])
+		copy(ll[:], val[20:36])
+		u.V6NextHop = netip.AddrFrom16(a)
+		u.V6LinkLocal = netip.AddrFrom16(ll)
+	default:
+		// Any other length leaves no usable IPv6 next hop; rejecting here
+		// keeps decode→encode symmetric (a decoded update always
+		// re-marshals).
+		return fmt.Errorf("%w: MP_REACH_NLRI next hop length %d", ErrBadAttribute, nhLen)
 	}
 	rest := val[4+nhLen:]
 	if len(rest) < 1 {
 		return fmt.Errorf("%w: missing SNPA count", ErrBadAttribute)
 	}
 	rest = rest[1:] // reserved
-	nlri, err := parsePrefixes(rest, true)
+	nlri, err := parsePrefixesInto(u.V6NLRI, rest, true)
 	if err != nil {
 		return err
 	}
@@ -351,7 +507,7 @@ func (u *Update) parseMPUnreach(val []byte) error {
 	if afi != AFIIPv6 || safi != SAFIUnicast {
 		return nil
 	}
-	wd, err := parsePrefixes(val[3:], true)
+	wd, err := parsePrefixesInto(u.V6Withdrawn, val[3:], true)
 	if err != nil {
 		return err
 	}

@@ -280,19 +280,20 @@ func (m *Message) CanonicalUpdates() []*update.Update {
 	}
 	vp := fmt.Sprintf("vp%d", m.Peer.AS)
 	at := m.Peer.Timestamp
-	comms := make([]uint32, len(m.Update.Communities))
-	for i, c := range m.Update.Communities {
+	path, mcs := m.Update.Path(), m.Update.Comms()
+	comms := make([]uint32, len(mcs))
+	for i, c := range mcs {
 		comms[i] = uint32(c)
 	}
 	var out []*update.Update
 	for _, p := range m.Update.NLRI {
 		out = append(out, &update.Update{
-			VP: vp, Time: at, Prefix: p, Path: m.Update.ASPath, Comms: comms,
+			VP: vp, Time: at, Prefix: p, Path: path, Comms: comms,
 		})
 	}
 	for _, p := range m.Update.V6NLRI {
 		out = append(out, &update.Update{
-			VP: vp, Time: at, Prefix: p, Path: m.Update.ASPath, Comms: comms,
+			VP: vp, Time: at, Prefix: p, Path: path, Comms: comms,
 		})
 	}
 	for _, p := range append(append([]netip.Prefix(nil), m.Update.Withdrawn...), m.Update.V6Withdrawn...) {

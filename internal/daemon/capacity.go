@@ -92,7 +92,7 @@ func Calibrate(filters *filter.Set, out io.Writer, n int) CapacityModel {
 			continue
 		}
 		for _, p := range upd.NLRI {
-			rec := update.Update{VP: "vp65001", Time: tu.At, Prefix: p, Path: upd.ASPath}
+			rec := update.Update{VP: "vp65001", Time: tu.At, Prefix: p, Path: upd.Path()}
 			if filters != nil && !filters.Keep(&rec) {
 				dropped++
 			}

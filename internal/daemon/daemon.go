@@ -424,18 +424,21 @@ func (d *Daemon) ingest(peerAS uint32, peerIP netip.Addr, u *bgp.Update) {
 		}
 		keep = append(keep, rec)
 	}
+	// Path/Comms accessors materialize lazily decoded attributes exactly
+	// once; every per-prefix record shares the same backing slices.
+	path, cs := u.Path(), u.Comms()
 	for _, p := range u.NLRI {
 		consider(&update.Update{
 			VP: vp, Time: now, Prefix: p,
-			Path:  u.ASPath,
-			Comms: comms(u.Communities),
+			Path:  path,
+			Comms: comms(cs),
 		})
 	}
 	for _, p := range u.V6NLRI {
 		consider(&update.Update{
 			VP: vp, Time: now, Prefix: p,
-			Path:  u.ASPath,
-			Comms: comms(u.Communities),
+			Path:  path,
+			Comms: comms(cs),
 		})
 	}
 	for _, p := range append(append([]netip.Prefix(nil), u.Withdrawn...), u.V6Withdrawn...) {

@@ -67,7 +67,9 @@ type legacyMsg struct {
 	Kind      string   `json:"kind,omitempty"`
 }
 
-// writeRaw frames an arbitrary JSON body the way WriteMsg does.
+// writeRaw frames an arbitrary JSON body the way WriteMsg does. It runs
+// on a non-test goroutine, so a write failure is reported via Error (the
+// read side then fails the test on its own deadline).
 func writeRaw(t *testing.T, conn net.Conn, body []byte) {
 	t.Helper()
 	frame := make([]byte, 4+len(body))
@@ -75,7 +77,7 @@ func writeRaw(t *testing.T, conn net.Conn, body []byte) {
 	copy(frame[4:], body)
 	conn.SetWriteDeadline(time.Now().Add(time.Second))
 	if _, err := conn.Write(frame); err != nil {
-		t.Fatalf("write frame: %v", err)
+		t.Errorf("write frame: %v", err)
 	}
 }
 

@@ -61,16 +61,26 @@ func (s Subscription) matches(m *Message) bool {
 
 // ToMessage converts a canonical update.
 func ToMessage(u *update.Update) *Message {
-	return &Message{
-		Type:        "UPDATE",
-		VP:          u.VP,
-		Timestamp:   u.Time.Unix(),
-		Prefix:      u.Prefix.String(),
-		Path:        u.Path,
-		Communities: u.Comms,
-		Withdraw:    u.Withdraw,
-		TraceID:     telemetry.SpanID(u.TraceID).String(),
-	}
+	m := &Message{}
+	m.Fill(u)
+	return m
+}
+
+// Fill populates m from u in place, overwriting every field. Path and
+// Communities alias u's slices (shared read-only), so a filled Message
+// allocates only the prefix and trace-ID strings. Publishers that embed
+// the Message in a larger envelope use Fill to skip the separate
+// allocation ToMessage would make.
+func (m *Message) Fill(u *update.Update) {
+	m.Type = "UPDATE"
+	m.VP = u.VP
+	m.Timestamp = u.Time.Unix()
+	m.Prefix = u.Prefix.String()
+	m.Path = u.Path
+	m.Communities = u.Comms
+	m.Withdraw = u.Withdraw
+	m.Seq = 0
+	m.TraceID = telemetry.SpanID(u.TraceID).String()
 }
 
 // ToUpdate converts a message back to the canonical form.

@@ -20,14 +20,15 @@ func (r *Record) CanonicalUpdates() []*update.Update {
 	}
 	vp := "vp" + utoa(r.BGP4MP.PeerAS)
 	var out []*update.Update
-	comms := make([]uint32, len(msg.Communities))
-	for i, c := range msg.Communities {
+	path, mcs := msg.Path(), msg.Comms()
+	comms := make([]uint32, len(mcs))
+	for i, c := range mcs {
 		comms[i] = uint32(c)
 	}
 	announce := func(p netip.Prefix) {
 		out = append(out, &update.Update{
 			VP: vp, Time: r.Header.Timestamp, Prefix: p,
-			Path: msg.ASPath, Comms: comms,
+			Path: path, Comms: comms,
 		})
 	}
 	withdraw := func(p netip.Prefix) {

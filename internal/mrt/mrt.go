@@ -105,8 +105,13 @@ type RIBEntry struct {
 func appendAddr(dst []byte, p netip.Prefix) []byte {
 	bits := p.Bits()
 	dst = append(dst, byte(bits))
-	raw := p.Addr().AsSlice()
-	return append(dst, raw[:(bits+7)/8]...)
+	n := (bits + 7) / 8
+	if p.Addr().Is4() {
+		a := p.Addr().As4()
+		return append(dst, a[:n]...)
+	}
+	a := p.Addr().As16()
+	return append(dst, a[:n]...)
 }
 
 func parseAddr(src []byte, v6 bool) (netip.Prefix, int, error) {
@@ -141,24 +146,23 @@ func parseAddr(src []byte, v6 bool) (netip.Prefix, int, error) {
 	return p, 1 + n, nil
 }
 
-// marshalBody renders the record body for the given type/subtype.
-func (r *Record) marshalBody() ([]byte, error) {
+// appendBody appends the record body for the given type/subtype to dst.
+func (r *Record) appendBody(dst []byte) ([]byte, error) {
 	switch r.Header.Type {
 	case TypeBGP4MP, TypeBGP4MPET:
-		return r.BGP4MP.marshal()
+		return r.BGP4MP.appendTo(dst)
 	case TypeTableDumpV2:
 		switch r.Header.Subtype {
 		case SubtypePeerIndexTable:
-			return r.PeerIndex.marshal()
+			return r.PeerIndex.appendTo(dst)
 		case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
-			return r.RIB.marshal(r.Header.Subtype == SubtypeRIBIPv6Unicast)
+			return r.RIB.appendTo(dst, r.Header.Subtype == SubtypeRIBIPv6Unicast)
 		}
 	}
 	return nil, fmt.Errorf("%w: type=%d subtype=%d", ErrUnknownType, r.Header.Type, r.Header.Subtype)
 }
 
-func (m *BGP4MPMessage) marshal() ([]byte, error) {
-	var b []byte
+func (m *BGP4MPMessage) appendTo(b []byte) ([]byte, error) {
 	b = binary.BigEndian.AppendUint32(b, m.PeerAS)
 	b = binary.BigEndian.AppendUint32(b, m.LocalAS)
 	b = binary.BigEndian.AppendUint16(b, m.Interface)
@@ -174,11 +178,7 @@ func (m *BGP4MPMessage) marshal() ([]byte, error) {
 		b = append(b, p[:]...)
 		b = append(b, l[:]...)
 	}
-	msg, err := bgp.Marshal(m.Message)
-	if err != nil {
-		return nil, err
-	}
-	return append(b, msg...), nil
+	return bgp.AppendMessage(b, m.Message)
 }
 
 func parseBGP4MP(src []byte) (*BGP4MPMessage, error) {
@@ -222,8 +222,7 @@ func parseBGP4MP(src []byte) (*BGP4MPMessage, error) {
 	return m, nil
 }
 
-func (p *PeerIndexTable) marshal() ([]byte, error) {
-	var b []byte
+func (p *PeerIndexTable) appendTo(b []byte) ([]byte, error) {
 	if !p.CollectorID.Is4() {
 		return nil, fmt.Errorf("mrt: collector ID must be IPv4")
 	}
@@ -319,20 +318,27 @@ func parsePeerIndexTable(src []byte) (*PeerIndexTable, error) {
 	return t, nil
 }
 
-func (r *RIBEntrySet) marshal(v6 bool) ([]byte, error) {
-	var b []byte
+func (r *RIBEntrySet) appendTo(b []byte, v6 bool) ([]byte, error) {
 	b = binary.BigEndian.AppendUint32(b, r.Sequence)
 	b = appendAddr(b, r.Prefix)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Entries)))
-	for _, e := range r.Entries {
+	for i := range r.Entries {
+		e := &r.Entries[i]
 		b = binary.BigEndian.AppendUint16(b, e.PeerIndex)
 		b = binary.BigEndian.AppendUint32(b, uint32(e.OriginatedTime.Unix()))
-		attrs, err := e.Attrs.MarshalAttributes()
+		// Attribute length is back-patched around the in-place encode.
+		lenAt := len(b)
+		b = append(b, 0, 0)
+		var err error
+		b, err = e.Attrs.AppendAttributes(b)
 		if err != nil {
 			return nil, err
 		}
-		b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
-		b = append(b, attrs...)
+		alen := len(b) - lenAt - 2
+		if alen > 0xffff {
+			return nil, fmt.Errorf("mrt: RIB entry attributes exceed %d bytes", 0xffff)
+		}
+		binary.BigEndian.PutUint16(b[lenAt:], uint16(alen))
 	}
 	_ = v6
 	return b, nil

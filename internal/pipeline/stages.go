@@ -5,7 +5,6 @@ package pipeline
 // can insert RedundancyStage or custom stages anywhere in the chain.
 
 import (
-	"bytes"
 	"io"
 	"net/netip"
 	"strconv"
@@ -194,41 +193,53 @@ func (s *ArchiveStage) Flush() error {
 	return nil
 }
 
+// archScratch is the pooled per-batch encode arena: the whole batch's
+// wire bytes in one buffer, per-record end offsets slicing it back apart,
+// and the record list. Records themselves are still allocated fresh —
+// Sink may retain them — but the encode path reuses everything else.
+type archScratch struct {
+	wire []byte
+	ends []int
+	recs []*mrt.Record
+}
+
+var archPool = sync.Pool{New: func() any { return new(archScratch) }}
+
 // Process implements Stage.
 func (s *ArchiveStage) Process(batch []*update.Update) []*update.Update {
-	type encoded struct {
-		rec  *mrt.Record
-		wire []byte
-	}
 	encode := s.Out != nil
-	recs := make([]encoded, 0, len(batch))
-	var buf bytes.Buffer
+	sc := archPool.Get().(*archScratch)
+	wire, ends, recs := sc.wire[:0], sc.ends[:0], sc.recs[:0]
 	for _, u := range batch {
 		rec := s.record(u)
-		e := encoded{rec: rec}
 		if encode {
-			start := buf.Len()
-			if err := mrt.NewWriter(&buf).WriteRecord(rec); err != nil {
+			var err error
+			wire, err = mrt.AppendRecord(wire, rec)
+			if err != nil {
 				s.failed.Add(1)
 				continue
 			}
-			e.wire = buf.Bytes()[start:]
 		}
-		recs = append(recs, e)
+		ends = append(ends, len(wire))
+		recs = append(recs, rec)
 	}
 	if s.WriteDelay > 0 && len(recs) > 0 {
 		time.Sleep(s.WriteDelay)
 	}
 	s.mu.Lock()
-	for _, e := range recs {
+	prev := 0
+	for i, rec := range recs {
 		if s.Out != nil {
-			if _, err := s.Out.Write(e.wire); err != nil {
+			end := ends[i]
+			_, err := s.Out.Write(wire[prev:end])
+			prev = end
+			if err != nil {
 				s.failed.Add(1)
 				continue
 			}
 		}
 		if s.Sink != nil {
-			if err := s.Sink(e.rec); err != nil {
+			if err := s.Sink(rec); err != nil {
 				s.failed.Add(1)
 				continue
 			}
@@ -236,6 +247,9 @@ func (s *ArchiveStage) Process(batch []*update.Update) []*update.Update {
 		s.written.Add(1)
 	}
 	s.mu.Unlock()
+	clear(recs) // don't let the pool pin records the sink may retain
+	sc.wire, sc.ends, sc.recs = wire, ends, recs
+	archPool.Put(sc)
 	return batch
 }
 

@@ -19,6 +19,7 @@ package stream
 //     Every failure mode is a counter, not a stall.
 
 import (
+	"bytes"
 	"encoding/json"
 	"strconv"
 	"strings"
@@ -111,9 +112,28 @@ type Event struct {
 	Msg  *live.Message
 	JSON []byte
 
+	// msg is Msg's backing store: embedding it in the event folds the
+	// envelope and the message into one allocation. Events themselves are
+	// never pooled — subscribers hold them for as long as they like.
+	msg live.Message
+
 	pathOnce sync.Once
 	pathStr  string
 }
+
+// jsonScratch pairs a reusable encode buffer with an encoder bound to it;
+// Encoder.Encode writes the trailing newline natively, so the encoded
+// bytes are a ready NDJSON line copied once, exact-size, into the event.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() any {
+	s := &jsonScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	return s
+}}
 
 // PathString returns the space-joined AS path, rendered at most once per
 // event no matter how many regex filters consult it.
@@ -319,13 +339,19 @@ func (h *Hub) Publish(u *update.Update) {
 		return
 	}
 	seq := h.seq.Add(1)
-	msg := live.ToMessage(u)
-	msg.Seq = seq
-	data, err := json.Marshal(msg)
-	if err != nil {
+	ev := &Event{Seq: seq, At: h.cfg.Clock(), U: u}
+	ev.msg.Fill(u)
+	ev.msg.Seq = seq
+	ev.Msg = &ev.msg
+	sc := jsonPool.Get().(*jsonScratch)
+	sc.buf.Reset()
+	if err := sc.enc.Encode(&ev.msg); err != nil {
+		jsonPool.Put(sc)
 		return
 	}
-	ev := &Event{Seq: seq, At: h.cfg.Clock(), U: u, Msg: msg, JSON: append(data, '\n')}
+	ev.JSON = make([]byte, sc.buf.Len())
+	copy(ev.JSON, sc.buf.Bytes())
+	jsonPool.Put(sc)
 	h.published.Inc()
 	for _, sh := range h.shards {
 		select {

@@ -31,13 +31,19 @@ func Condition1(u1, u2 *Update) bool {
 
 // Condition2 reports whether L1\L1w ⊆ L2\L2w: the new links seen by u1 are
 // contained in the new links seen by u2. The relation is asymmetric.
+// The containment test walks the AS paths directly — link sets are path
+// sized, so nested scans run allocation-free and faster than the maps
+// they replaced on real-world path lengths.
 func Condition2(u1, u2 *Update) bool {
-	eff2 := make(map[Link]bool)
-	for _, l := range effectiveLinks(u2) {
-		eff2[l] = true
-	}
-	for _, l := range effectiveLinks(u1) {
-		if !eff2[l] {
+	for i := 0; i+1 < len(u1.Path); i++ {
+		if u1.Path[i] == u1.Path[i+1] {
+			continue // prepending, not a link
+		}
+		l := Link{From: u1.Path[i], To: u1.Path[i+1]}
+		if linksHas(u1.WdLinks, l) {
+			continue // withdrawn, not effective in u1
+		}
+		if !pathHasLink(u2.Path, l) || linksHas(u2.WdLinks, l) {
 			return false
 		}
 	}
@@ -47,46 +53,25 @@ func Condition2(u1, u2 *Update) bool {
 // Condition3 reports whether C1\C1w ⊆ C2\C2w, the community analogue of
 // Condition2.
 func Condition3(u1, u2 *Update) bool {
-	eff2 := make(map[uint32]bool)
-	for _, c := range effectiveComms(u2) {
-		eff2[c] = true
-	}
-	for _, c := range effectiveComms(u1) {
-		if !eff2[c] {
+	for _, c := range u1.Comms {
+		if u32Has(u1.WdComms, c) {
+			continue
+		}
+		if !u32Has(u2.Comms, c) || u32Has(u2.WdComms, c) {
 			return false
 		}
 	}
 	return true
 }
 
-// effectiveLinks returns L \ Lw.
-func effectiveLinks(u *Update) []Link {
-	wd := make(map[Link]bool, len(u.WdLinks))
-	for _, l := range u.WdLinks {
-		wd[l] = true
-	}
-	var out []Link
-	for _, l := range u.Links() {
-		if !wd[l] {
-			out = append(out, l)
+// pathHasLink reports whether the directed link l appears in path.
+func pathHasLink(path []uint32, l Link) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if path[i] != path[i+1] && path[i] == l.From && path[i+1] == l.To {
+			return true
 		}
 	}
-	return out
-}
-
-// effectiveComms returns C \ Cw.
-func effectiveComms(u *Update) []uint32 {
-	wd := make(map[uint32]bool, len(u.WdComms))
-	for _, c := range u.WdComms {
-		wd[c] = true
-	}
-	var out []uint32
-	for _, c := range u.Comms {
-		if !wd[c] {
-			out = append(out, c)
-		}
-	}
-	return out
+	return false
 }
 
 // RedundantWith reports whether u1 is redundant with u2 under def. The

@@ -8,7 +8,8 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
-	"strings"
+	"strconv"
+	"sync"
 	"time"
 )
 
@@ -83,68 +84,125 @@ func (u *Update) Origin() uint32 {
 	return u.Path[len(u.Path)-1]
 }
 
+// keyPool holds reusable key-builder scratch (byte buffer plus a
+// community sort area) so the per-update AttrKey/PathKey cost is the one
+// unavoidable string allocation.
+var keyPool = sync.Pool{New: func() any { return new(keyScratch) }}
+
+type keyScratch struct {
+	b  []byte
+	cs []uint32
+}
+
 // AttrKey returns a stable key identifying the update within a correlation
 // group: VP, AS path, and community values — everything but prefix and
 // time (§17.1).
 func (u *Update) AttrKey() string {
-	var b strings.Builder
-	b.WriteString(u.VP)
-	b.WriteByte('|')
+	s := keyPool.Get().(*keyScratch)
+	b := append(s.b[:0], u.VP...)
+	b = append(b, '|')
 	if u.Withdraw {
-		b.WriteByte('W')
+		b = append(b, 'W')
 	}
 	for _, as := range u.Path {
-		fmt.Fprintf(&b, " %d", as)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, uint64(as), 10)
 	}
-	b.WriteByte('|')
-	cs := append([]uint32(nil), u.Comms...)
-	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	b = append(b, '|')
+	cs := append(s.cs[:0], u.Comms...)
+	insertionSortU32(cs)
 	for _, c := range cs {
-		fmt.Fprintf(&b, " %d", c)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, uint64(c), 10)
 	}
-	return b.String()
+	out := string(b)
+	s.b, s.cs = b, cs
+	keyPool.Put(s)
+	return out
 }
 
 // PathKey returns a stable key for the AS path alone.
 func PathKey(path []uint32) string {
-	var b strings.Builder
-	for _, as := range path {
-		fmt.Fprintf(&b, "%d ", as)
+	if len(path) == 0 {
+		return ""
 	}
-	return b.String()
+	s := keyPool.Get().(*keyScratch)
+	b := s.b[:0]
+	for _, as := range path {
+		b = strconv.AppendUint(b, uint64(as), 10)
+		b = append(b, ' ')
+	}
+	out := string(b)
+	s.b = b
+	keyPool.Put(s)
+	return out
+}
+
+// insertionSortU32 sorts s ascending in place; community sets are small
+// enough that this beats sort.Slice without its closure allocation.
+func insertionSortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // Annotate fills WdLinks and WdComms across a stream of updates by
 // replaying per-(VP, prefix) history in timestamp order. The input slice is
-// sorted in place by time; the updates are mutated.
+// sorted in place by time; the updates are mutated. Each update's link set
+// is extracted exactly once and carried forward, so the pass costs one
+// Links() per update rather than two.
 func Annotate(us []*Update) {
 	sort.SliceStable(us, func(i, j int) bool { return us[i].Time.Before(us[j].Time) })
 	type key struct {
 		vp string
 		p  netip.Prefix
 	}
-	prev := make(map[key]*Update)
+	type prevEntry struct {
+		links []Link
+		comms []uint32
+	}
+	prev := make(map[key]prevEntry)
 	for _, u := range us {
 		k := key{u.VP, u.Prefix}
-		if p := prev[k]; p != nil {
-			u.WdLinks = linkDiff(p.Links(), u.Links())
-			u.WdComms = setDiff(p.Comms, u.Comms)
+		links := u.Links()
+		if p, ok := prev[k]; ok {
+			u.WdLinks = linkDiff(p.links, links)
+			u.WdComms = setDiff(p.comms, u.Comms)
 		} else {
 			u.WdLinks, u.WdComms = nil, nil
 		}
-		prev[k] = u
+		prev[k] = prevEntry{links: links, comms: u.Comms}
 	}
 }
 
-// linkDiff returns the links in old that are absent from new.
-func linkDiff(old, new []Link) []Link {
-	in := make(map[Link]bool, len(new))
-	for _, l := range new {
-		in[l] = true
+// linksHas reports whether l appears in ls.
+func linksHas(ls []Link, l Link) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
 	}
+	return false
+}
+
+// u32Has reports whether v appears in s.
+func u32Has(s []uint32, v uint32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// linkDiff returns the links in old that are absent from new. Link sets
+// are AS-path sized, so a direct scan beats building a membership map.
+func linkDiff(old, new []Link) []Link {
 	var out []Link
 	for _, l := range old {
-		if !in[l] {
+		if !linksHas(new, l) {
 			out = append(out, l)
 		}
 	}
@@ -153,13 +211,9 @@ func linkDiff(old, new []Link) []Link {
 
 // setDiff returns values in old absent from new.
 func setDiff(old, new []uint32) []uint32 {
-	in := make(map[uint32]bool, len(new))
-	for _, v := range new {
-		in[v] = true
-	}
 	var out []uint32
 	for _, v := range old {
-		if !in[v] {
+		if !u32Has(new, v) {
 			out = append(out, v)
 		}
 	}

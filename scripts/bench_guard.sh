@@ -1,12 +1,14 @@
 #!/bin/sh
 # bench_guard.sh — the perf-trajectory gate: regenerate the machine-
-# readable bench reports (BENCH_fabric.json, BENCH_serve.json) on this
-# machine and compare them against the committed (HEAD) baselines with
-# scripts/benchguard. Throughput metrics may not drop, and p99 latency
-# metrics may not grow, by more than GILL_BENCH_MAX_REGRESS (default
-# 0.25 = 25%). The working-tree BENCH files are restored afterwards, so
-# the gate never dirties the checkout — refreshing a baseline is a
-# deliberate `make bench-fabric` / `make bench-serve` + commit.
+# readable bench reports (BENCH_fabric.json, BENCH_serve.json,
+# BENCH_codec.json) on this machine and compare them against the
+# committed (HEAD) baselines with scripts/benchguard. Throughput metrics
+# may not drop, and p99 latency metrics may not grow, by more than
+# GILL_BENCH_MAX_REGRESS (default 0.25 = 25%); zero-tolerance metrics
+# (codec allocs/op) may not increase at all. The working-tree BENCH
+# files are restored afterwards, so the gate never dirties the checkout —
+# refreshing a baseline is a deliberate `make bench-fabric` /
+# `make bench-serve` / `make bench-codec` + commit.
 #
 # Run via `make bench-guard` (part of `make verify`).
 set -eu
@@ -22,8 +24,8 @@ fail() {
 	exit 1
 }
 
-guard() { # report-file  go-test-run  higher-better-keys  lower-better-keys
-	file=$1 run=$2 higher=$3 lower=$4
+guard() { # report-file  go-test-run  higher-better-keys  lower-better-keys  [zero-tolerance-keys]
+	file=$1 run=$2 higher=$3 lower=$4 zero=${5:-}
 	if ! git show "HEAD:$file" >"$dir/$file.base" 2>/dev/null; then
 		echo "bench-guard: no committed baseline for $file; skipping"
 		return 0
@@ -42,7 +44,7 @@ guard() { # report-file  go-test-run  higher-better-keys  lower-better-keys
 	fi
 	echo "bench-guard: $file vs HEAD baseline (max regression $max)"
 	$GO run ./scripts/benchguard -old "$dir/$file.base" -new "$dir/$file.new" \
-		-higher "$higher" -lower "$lower" -max-regress "$max" ||
+		-higher "$higher" -lower "$lower" -zero "$zero" -max-regress "$max" ||
 		fail "$file regressed beyond $max of the committed baseline"
 }
 
@@ -52,5 +54,9 @@ guard BENCH_fabric.json TestFabricBenchReport \
 guard BENCH_serve.json TestServeBenchReport \
 	fanout_msgs_per_sec \
 	delivery_p99_ns
+guard BENCH_codec.json TestCodecBenchReport \
+	decode_msgs_per_sec,encode_msgs_per_sec,ingest_msgs_per_sec \
+	'' \
+	decode_allocs_per_op,encode_allocs_per_op,ingest_allocs_per_op
 
 echo "bench-guard: PASS"

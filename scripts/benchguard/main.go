@@ -11,7 +11,12 @@
 //	benchguard -old BENCH_fabric.base.json -new BENCH_fabric.json \
 //	    -higher heartbeats_per_sec \
 //	    -lower control_rtt_p99_us,filter_propagation_ms \
+//	    -zero publish_allocs_per_op \
 //	    -max-regress 0.25
+//
+// -zero keys are absolute, zero-tolerance metrics (allocation counts):
+// any increase over the baseline fails, including from a zero baseline —
+// the one case the fractional comparison cannot express.
 package main
 
 import (
@@ -28,6 +33,7 @@ func main() {
 		newPath = flag.String("new", "", "fresh bench report to judge")
 		higher  = flag.String("higher", "", "comma-separated higher-is-better keys (throughputs)")
 		lower   = flag.String("lower", "", "comma-separated lower-is-better keys (latencies)")
+		zero    = flag.String("zero", "", "comma-separated zero-tolerance keys (alloc counts): any increase fails")
 		maxReg  = flag.Float64("max-regress", 0.25, "maximum allowed fractional regression per metric")
 	)
 	flag.Parse()
@@ -71,11 +77,32 @@ func main() {
 		fmt.Printf("  %-28s %-13s old %-14.6g new %-14.6g delta %+7.1f%%  %s\n",
 			key, dir, ov, nv, -regress*100*signFor(higherBetter), verdict)
 	}
+	// checkZero enforces an absolute ceiling: the fresh value may not
+	// exceed the baseline at all. Unlike the fractional checks it guards
+	// zero baselines too — that is its whole point for allocs/op.
+	checkZero := func(key string) {
+		ov, nv, err := pair(oldRep, newRep, key)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			failed = true
+			return
+		}
+		verdict := "ok"
+		if nv > ov {
+			verdict = fmt.Sprintf("INCREASED %.4g > %.4g", nv, ov)
+			failed = true
+		}
+		fmt.Printf("  %-28s %-13s old %-14.6g new %-14.6g %s\n",
+			key, "zero-tol", ov, nv, verdict)
+	}
 	for _, k := range splitKeys(*higher) {
 		check(k, true)
 	}
 	for _, k := range splitKeys(*lower) {
 		check(k, false)
+	}
+	for _, k := range splitKeys(*zero) {
+		checkZero(k)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchguard: %s regressed beyond %.0f%% of %s\n",
