@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke serve-smoke bench-serve fabric-smoke bench-fabric obs-fleet-smoke bench-codec fuzz-smoke bench-guard verify
+.PHONY: all build test race bench-pipeline bench-recompute chaos obs-smoke quality-smoke serve-smoke bench-serve fabric-smoke bench-fabric obs-fleet-smoke vitals-smoke bench-codec fuzz-smoke bench-guard verify
 
 all: build
 
@@ -109,14 +109,33 @@ obs-fleet-smoke:
 	GILL_BENCH_GUARD=1 $(GO) test -run TestFederationOverheadGuard -count=1 -v ./internal/telemetry/fleet/
 	sh scripts/obs_fleet_smoke.sh
 
+# vitals-smoke is the VP-vitals end-to-end: the vitals package tests
+# (state machine, EWMA anomaly detection, gap-auditor exactness) and the
+# in-process fleet incident test under the race detector, then a real
+# gill-daemon with two simulated VPs — one feed goes silent with its
+# session up, /vitalz must walk it live → silent → live, and the offline
+# gap auditor must find the injected outage in the WAL — and finally the
+# env-gated tap overhead guard (vitals on must hold 95% of vitals-off
+# ingest throughput).
+vitals-smoke:
+	$(GO) test -race -count=1 ./internal/vitals/
+	$(GO) test -race -count=1 -run TestFleetVitalsIncidentEndToEnd ./internal/telemetry/fleet/
+	sh scripts/vitals_smoke.sh
+	GILL_BENCH_GUARD=1 $(GO) test -run TestVitalsOverheadGuard -count=1 -v .
+
 # bench-codec runs the codec hot-path benchmarks (decode into a reused
 # Update, legacy eager decode, append-encode into a reused buffer, and
 # the full filter → redundancy → archive → counter ingest chain) and
-# writes the machine-readable BENCH_codec.json report. The report test
-# also pins the zero-alloc contract: decode into a reused Update must be
-# allocation-free and encode at most two allocations per message.
+# writes the machine-readable BENCH_codec.json report (throughputs,
+# allocs/op, and the pipeline's own e2e ingest latency p50/p99). The
+# report test also pins the zero-alloc contract: decode into a reused
+# Update must be allocation-free and encode at most two allocations per
+# message. Set CPUPROFILE=<path> to also capture a pprof CPU profile of
+# the benchmark pass (`make bench-codec CPUPROFILE=codec.pprof`, then
+# `go tool pprof codec.pprof`).
 bench-codec:
-	$(GO) test -run xxx -bench 'BenchmarkCodec|BenchmarkIngestAllocs' -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkCodec|BenchmarkIngestAllocs' \
+		$(if $(CPUPROFILE),-benchtime 100000x -cpuprofile $(CPUPROFILE),-benchtime 1x) .
 	GILL_BENCH_GUARD=1 $(GO) test -run TestCodecBenchReport -count=1 -v .
 
 # fuzz-smoke runs each native fuzz target briefly against its checked-in
@@ -144,7 +163,9 @@ bench-guard:
 # streaming end to end), the federation smoke (fleet chaos tests plus
 # a real coordinator + two-collector failover with byte-identical filter
 # distribution), the fleet-observability smoke (federated metrics,
-# stitched traces, and a live SLO incident), the codec fuzz smoke (no
+# stitched traces, and a live SLO incident), the vitals smoke (per-VP
+# live → silent → live classification against a real daemon plus the
+# offline archive-gap audit), the codec fuzz smoke (no
 # decoder panics, lazy/eager agreement, encode fixed points), and the
 # bench guard (no guarded benchmark metric may regress past the
 # committed baselines; codec allocs/op may not increase at all).
@@ -160,5 +181,6 @@ verify:
 	$(MAKE) serve-smoke
 	$(MAKE) fabric-smoke
 	$(MAKE) obs-fleet-smoke
+	$(MAKE) vitals-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-guard

@@ -140,11 +140,13 @@ func main() {
 		// burn-rate objectives into /alertz after every scrape.
 		if *federate {
 			fed, err := fleet.NewFederator(fleet.Config{
-				Targets:    fleet.TargetsFromStatus(coord.Status),
-				Interval:   *scrapeEv,
-				StaleAfter: *staleAf,
-				Registry:   reg,
-				Log:        logg,
+				Targets:     fleet.TargetsFromStatus(coord.Status),
+				Interval:    *scrapeEv,
+				StaleAfter:  *staleAf,
+				Registry:    reg,
+				Log:         logg,
+				Vitals:      true,
+				Assignments: fleet.AssignmentsFromStatus(coord.Status),
 			})
 			if err != nil {
 				logm.Error("federator init failed", "err", err)

@@ -46,32 +46,36 @@ import (
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/update"
+	"repro/internal/vitals"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":1790", "address to accept BGP sessions on")
-		localAS  = flag.Uint("as", 65000, "collector AS number")
-		routerID = flag.String("router-id", "192.0.2.1", "collector BGP identifier (IPv4)")
-		filters  = flag.String("filters", "", "filter file produced by the orchestrator (empty: collect everything)")
-		out      = flag.String("out", "", "MRT output file (.gz for compression; empty: discard)")
-		archDir  = flag.String("archive", "", "rotating MRT archive directory (the §9 database; overrides -out)")
-		ribEvery = flag.Duration("rib-every", daemon.RIBDumpInterval, "RIB dump interval")
-		ribOut   = flag.String("rib-out", "", "RIB dump file prefix (empty: no dumps)")
-		stats    = flag.Duration("stats", 30*time.Second, "stats reporting interval")
-		shards   = flag.Int("shards", 0, "ingest pipeline shards (0: default)")
-		batch    = flag.Int("batch", 0, "ingest pipeline batch size (0: default)")
-		walDir   = flag.String("wal", "", "crash-safe record journal directory (recovered on startup)")
-		walRot   = flag.Int("wal-rotate", 0, "records per journal segment before rotation (0: default)")
-		liveAddr = flag.String("live", "", "legacy JSON-over-TCP live feed address (empty: disabled)")
-		filtTTL  = flag.Duration("filter-ttl", 0, "degrade to retain-everything when filters go stale (0: never)")
-		chaos    = flag.String("chaos", "", "fault-injection spec, e.g. seed=7,reset=0.01,drop-accept=50 (testing only)")
-		coordTo  = flag.String("coordinator", "", "fabric coordinator address; joins the fleet, receives VP assignments and filter pushes")
-		fabricID = flag.String("fabric-id", "", "collector identity within the fabric (required with -coordinator)")
-		advert   = flag.String("advertise", "", "BGP address advertised to the coordinator (default: -listen)")
-		admin    = flag.String("admin", "", "admin-plane address (/metrics, /statusz, /healthz, /readyz, /tracez, /qualityz, pprof); bind loopback — unauthenticated")
-		logLevel = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
-		shadow   = flag.String("shadow-fraction", "1/64", "fraction of (VP,prefix) slots mirrored into the data-quality shadow lane (1/N, all, or off)")
+		listen       = flag.String("listen", ":1790", "address to accept BGP sessions on")
+		localAS      = flag.Uint("as", 65000, "collector AS number")
+		routerID     = flag.String("router-id", "192.0.2.1", "collector BGP identifier (IPv4)")
+		filters      = flag.String("filters", "", "filter file produced by the orchestrator (empty: collect everything)")
+		out          = flag.String("out", "", "MRT output file (.gz for compression; empty: discard)")
+		archDir      = flag.String("archive", "", "rotating MRT archive directory (the §9 database; overrides -out)")
+		ribEvery     = flag.Duration("rib-every", daemon.RIBDumpInterval, "RIB dump interval")
+		ribOut       = flag.String("rib-out", "", "RIB dump file prefix (empty: no dumps)")
+		stats        = flag.Duration("stats", 30*time.Second, "stats reporting interval")
+		shards       = flag.Int("shards", 0, "ingest pipeline shards (0: default)")
+		batch        = flag.Int("batch", 0, "ingest pipeline batch size (0: default)")
+		walDir       = flag.String("wal", "", "crash-safe record journal directory (recovered on startup)")
+		walRot       = flag.Int("wal-rotate", 0, "records per journal segment before rotation (0: default)")
+		liveAddr     = flag.String("live", "", "legacy JSON-over-TCP live feed address (empty: disabled)")
+		filtTTL      = flag.Duration("filter-ttl", 0, "degrade to retain-everything when filters go stale (0: never)")
+		chaos        = flag.String("chaos", "", "fault-injection spec, e.g. seed=7,reset=0.01,drop-accept=50 (testing only)")
+		coordTo      = flag.String("coordinator", "", "fabric coordinator address; joins the fleet, receives VP assignments and filter pushes")
+		fabricID     = flag.String("fabric-id", "", "collector identity within the fabric (required with -coordinator)")
+		advert       = flag.String("advertise", "", "BGP address advertised to the coordinator (default: -listen)")
+		admin        = flag.String("admin", "", "admin-plane address (/metrics, /statusz, /healthz, /readyz, /tracez, /qualityz, pprof); bind loopback — unauthenticated")
+		logLevel     = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		shadow       = flag.String("shadow-fraction", "1/64", "fraction of (VP,prefix) slots mirrored into the data-quality shadow lane (1/N, all, or off)")
+		vitalsEvery  = flag.Duration("vitals-eval", time.Second, "per-VP vitals evaluation interval (0: disable the vitals plane)")
+		vitalsSilent = flag.Duration("vitals-silent-after", 30*time.Second, "last-update age past which a VP renders silent")
+		vitalsMaxGap = flag.Duration("vitals-max-gap", 5*time.Minute, "largest inter-record spacing still counted as continuous archive coverage")
 	)
 	flag.Parse()
 
@@ -142,6 +146,26 @@ func main() {
 		Log:      logg.With("quality"),
 	})
 
+	// The vitals plane: per-VP liveness from a pipeline tap, archive gap
+	// coverage from the WAL seal hook, served on /vitalz and scraped into
+	// the coordinator's /fleet/vitalz.
+	var tracker *vitals.Tracker
+	var gaps *vitals.GapAuditor
+	if *vitalsEvery > 0 {
+		if *walDir != "" {
+			gaps = vitals.NewGapAuditor(*vitalsMaxGap, reg)
+		}
+		tracker = vitals.New(vitals.Config{
+			Registry:     reg,
+			EvalInterval: *vitalsEvery,
+			SilentAfter:  *vitalsSilent,
+			Gaps:         gaps,
+			Log:          logg,
+		})
+		tracker.Collector = *fabricID
+		qp.SetVPHealth(func() any { return tracker.Summary() })
+	}
+
 	cfgD := daemon.Config{
 		LocalAS:   uint32(*localAS),
 		RouterID:  rid,
@@ -154,6 +178,7 @@ func main() {
 		Log:       logg,
 		Tracer:    rec,
 		Quality:   qp,
+		Vitals:    tracker,
 	}
 	var store *archive.Store
 	if *archDir != "" {
@@ -192,9 +217,21 @@ func main() {
 			if err := ix.Index.AddSegment(path); err != nil {
 				logi.Warn("indexing sealed segment failed", "segment", path, "err", err)
 			}
+			if gaps != nil {
+				if err := gaps.ScanSegment(path); err != nil {
+					logi.Warn("gap audit of sealed segment failed", "segment", path, "err", err)
+				}
+			}
 		}
 		st := ix.Index.Stats()
 		logm.Info("index ready", "segments", st.Segments, "records", st.Records)
+		if gaps != nil {
+			// Boot-time audit: existing segments establish the coverage
+			// baseline before any new traffic lands.
+			if err := gaps.AuditDir(*walDir); err != nil {
+				logm.Warn("boot gap audit failed", "err", err)
+			}
+		}
 	}
 	switch {
 	case store != nil && wal != nil:
@@ -263,6 +300,11 @@ func main() {
 
 	go qp.Run(ctx)
 	logm.Info("data-quality plane running", "shadow_fraction", qp.Selector().String())
+
+	if tracker != nil {
+		go tracker.Run(ctx)
+		logm.Info("vitals plane running", "eval", *vitalsEvery, "silent_after", *vitalsSilent)
+	}
 
 	// The admin listener binds before the fabric agent starts so the agent
 	// can advertise the daemon's real admin address (resolved port included)
@@ -378,6 +420,9 @@ func main() {
 				return p
 			},
 			Quality: func() any { return qp.Status() },
+		}
+		if tracker != nil {
+			a.Vitals = func() any { return tracker.Snapshot() }
 		}
 		if agent != nil {
 			a.Fleet = func() any { return agent.Status() }

@@ -184,9 +184,11 @@ func main() {
 			// traces (both in-process recorders included), and the stock SLO
 			// burn-rate alerts on /alertz.
 			fed, ferr := fleet.NewFederator(fleet.Config{
-				Targets:  fleet.TargetsFromStatus(coord.Status),
-				Registry: reg,
-				Log:      logg,
+				Targets:     fleet.TargetsFromStatus(coord.Status),
+				Registry:    reg,
+				Log:         logg,
+				Vitals:      true,
+				Assignments: fleet.AssignmentsFromStatus(coord.Status),
 			})
 			if ferr != nil {
 				logm.Error("federator init failed", "err", ferr)

@@ -22,6 +22,13 @@
 //
 //	gill-query -http 127.0.0.1:8471 -stats
 //	gill-query -http 127.0.0.1:8471 -rib -at now -prefix 203.0.113.0/24
+//
+// Both WAL and HTTP modes also answer archive-health questions: -gaps
+// audits per-VP coverage (offline by replaying the journal, online by
+// asking the daemon's /vitalz):
+//
+//	gill-query -wal ./wal -gaps [-gap-min 5m] [-vp vp65001]
+//	gill-query -http 127.0.0.1:8471 -gaps
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/live"
 	"repro/internal/update"
+	"repro/internal/vitals"
 )
 
 func main() {
@@ -56,6 +64,8 @@ func main() {
 		rebuild  = flag.Bool("rebuild", false, "rebuild the index by scanning every segment (WAL mode)")
 		list     = flag.Bool("list", false, "list archive files instead of querying (store mode)")
 		count    = flag.Bool("count", false, "print only the number of matching updates")
+		gaps     = flag.Bool("gaps", false, "audit per-VP archive coverage and report gaps (WAL and HTTP modes)")
+		gapMin   = flag.Duration("gap-min", 5*time.Minute, "smallest inter-record spacing reported as a gap (WAL -gaps)")
 	)
 	flag.Parse()
 
@@ -72,8 +82,16 @@ func main() {
 	case *dir != "":
 		storeMode(*dir, *from, *to, *vp, *list, *count)
 	case *walDir != "":
+		if *gaps {
+			gapsWALMode(*walDir, *vp, *gapMin)
+			return
+		}
 		walMode(*walDir, *from, *to, *at, *vp, *prefix, *rib, *stats, *rebuild, *count)
 	default:
+		if *gaps {
+			gapsHTTPMode(*httpAddr, *vp)
+			return
+		}
 		httpMode(*httpAddr, *from, *to, *at, *vp, *prefix, *rib, *stats, *count)
 	}
 }
@@ -175,6 +193,55 @@ func walMode(dir, from, to, at, vp, prefix string, rib, stats, rebuild, count bo
 		log.Fatalf("gill-query: %v", err)
 	}
 	printUpdates(us, count)
+}
+
+// gapsWALMode replays a journal directory through the gap auditor and
+// prints per-VP coverage — the offline twin of the daemon's online
+// auditor (both fold the same Observe stream, so they agree exactly).
+func gapsWALMode(dir, vp string, maxGap time.Duration) {
+	aud := vitals.NewGapAuditor(maxGap, nil)
+	if err := aud.AuditDir(dir); err != nil {
+		log.Fatalf("gill-query: gap audit: %v", err)
+	}
+	printGapReport(aud.Report(), vp)
+}
+
+// gapsHTTPMode asks a running daemon's /vitalz for its live view and
+// prints VP health plus the online gap audit.
+func gapsHTTPMode(addr, vp string) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	var snap vitals.Snapshot
+	getJSON(base+"/vitalz", &snap)
+	for _, v := range snap.VPs {
+		if vp != "" && v.VP != vp {
+			continue
+		}
+		fmt.Printf("%-12s %-9s age %6.1fs  rate %6.2f/s (long %6.2f/s)  updates %d\n",
+			v.VP, v.State, float64(v.AgeMS)/1000, v.RateShort, v.RateLong, v.Updates)
+	}
+	if snap.Gaps != nil {
+		printGapReport(*snap.Gaps, vp)
+	}
+}
+
+func printGapReport(rep vitals.GapReport, vp string) {
+	fmt.Printf("segments %d (%d sealed, %d torn)  records %d  gap seconds %.0f\n",
+		rep.Segments, rep.Sealed, rep.Torn, rep.Records, rep.GapSecondsTotal)
+	for _, c := range rep.VPs {
+		if vp != "" && c.VP != vp {
+			continue
+		}
+		fmt.Printf("%-12s %s .. %s  coverage %6.2f%%  gaps %d (%.0fs)  records %d\n",
+			c.VP, c.First.UTC().Format(time.RFC3339), c.Last.UTC().Format(time.RFC3339),
+			c.CoveragePct, len(c.Gaps), c.GapSeconds, c.Records)
+		for _, g := range c.Gaps {
+			fmt.Printf("  gap %s .. %s  (%.0fs)\n",
+				g.From.UTC().Format(time.RFC3339), g.To.UTC().Format(time.RFC3339), g.Seconds)
+		}
+	}
 }
 
 // httpMode asks a running daemon over its admin-plane /api endpoints.

@@ -36,6 +36,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/update"
 	"repro/internal/validity"
+	"repro/internal/vitals"
 )
 
 // RIBDumpInterval is the paper's RIB snapshot period (§8).
@@ -97,6 +98,10 @@ type Config struct {
 	// those slots, and its completeness ledger samples the daemon's
 	// accounting (LedgerCounts).
 	Quality *quality.Plane
+	// Vitals, when set, taps the ingest pipeline ahead of the filter (so
+	// per-VP liveness reflects what the VP sends, not what the platform
+	// retains) and receives session up/down events from ServeConn.
+	Vitals *vitals.Tracker
 }
 
 // Stats are the daemon's monotonic counters.
@@ -200,7 +205,11 @@ func New(cfg Config) *Daemon {
 	if cfg.Quality != nil {
 		cfg.Quality.SetLedger(d.LedgerCounts)
 	}
-	stages := []pipeline.Stage{d.filt}
+	var stages []pipeline.Stage
+	if cfg.Vitals != nil {
+		stages = append(stages, cfg.Vitals)
+	}
+	stages = append(stages, d.filt)
 	if cfg.Publish != nil {
 		stages = append(stages, &pipeline.LiveStage{Publish: cfg.Publish})
 	}
@@ -350,20 +359,32 @@ func (d *Daemon) ServeConn(ctx context.Context, conn net.Conn) error {
 	defer sess.Close()
 	peerIP := remoteAddr(conn)
 	d.log.Info("session up", "peer_as", sess.PeerAS, "peer", peerIP)
+	vp := "vp" + strconv.FormatUint(uint64(sess.PeerAS), 10)
+	if d.cfg.Vitals != nil {
+		d.cfg.Vitals.SessionUp(vp)
+	}
+	sessionDown := func(reason string) {
+		if d.cfg.Vitals != nil {
+			d.cfg.Vitals.SessionDown(vp, reason)
+		}
+	}
 	stop := ctx.Done()
 	for {
 		select {
 		case <-stop:
 			d.log.Info("session closing on shutdown", "peer_as", sess.PeerAS)
+			sessionDown("shutdown")
 			return ctx.Err()
 		case u, ok := <-sess.Updates():
 			if !ok {
 				err := sess.Err()
 				if err == nil || errors.Is(err, io.EOF) {
 					d.log.Info("session down", "peer_as", sess.PeerAS)
+					sessionDown("")
 					return nil
 				}
 				d.log.Warn("session down", "peer_as", sess.PeerAS, "err", err)
+				sessionDown(err.Error())
 				return err
 			}
 			d.ingest(sess.PeerAS, peerIP, u)

@@ -19,8 +19,10 @@ package index
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -179,11 +181,18 @@ func (ix *Index) AddSegment(path string) error {
 	return err
 }
 
+// syncScanHook, when set, runs before Sync re-scans a segment. Tests
+// use it to delete the file between the directory listing and the scan,
+// exercising the mid-scan-deletion path without a second goroutine.
+var syncScanHook func(path string)
+
 // Sync reconciles the index with the segments on disk: entries for
 // deleted segments are dropped, and any segment that is missing, was
 // unsealed when last scanned, or whose size changed (crash repair
 // truncates in place) is re-scanned. Trusted sealed entries are kept
-// as-is, so a clean restart costs one directory listing.
+// as-is, so a clean restart costs one directory listing. A segment that
+// vanishes between the listing and its scan (retention pruning runs
+// concurrently) is treated as deleted, not as an error.
 func (ix *Index) Sync() error {
 	segs, err := archive.ListSegments(ix.dir)
 	if err != nil {
@@ -205,8 +214,16 @@ func (ix *Index) Sync() error {
 				continue
 			}
 		}
+		if syncScanHook != nil {
+			syncScanHook(path)
+		}
 		m, err := scanMeta(path)
 		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				delete(present, name)
+				delete(ix.segs, name)
+				continue
+			}
 			return err
 		}
 		ix.segs[name] = m

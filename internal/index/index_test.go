@@ -412,3 +412,51 @@ func TestSyncRescansRepairedSegment(t *testing.T) {
 		t.Fatalf("stale metadata survived repair: %+v", m)
 	}
 }
+
+// TestSyncToleratesSegmentDeletedMidScan: retention pruning can unlink a
+// sealed segment between Sync's directory listing and its scan. That is
+// a deletion, not an error — Sync must drop the entry and keep going.
+func TestSyncToleratesSegmentDeletedMidScan(t *testing.T) {
+	dir := t.TempDir()
+	fillJournal(t, dir, nil)
+	segs, _ := archive.ListSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(segs))
+	}
+	target := segs[1]
+
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	syncScanHook = func(path string) {
+		if path == target {
+			if err := os.Remove(target); err != nil {
+				t.Fatalf("mid-scan remove: %v", err)
+			}
+		}
+	}
+	defer func() { syncScanHook = nil }()
+	if err := ix.Sync(); err != nil {
+		t.Fatalf("Sync with mid-scan deletion: %v", err)
+	}
+
+	for _, s := range ix.Segments() {
+		if s.Name == filepath.Base(target) {
+			t.Fatalf("deleted segment %s still indexed", s.Name)
+		}
+	}
+	if got, want := len(ix.Segments()), len(segs)-1; got != want {
+		t.Fatalf("indexed segments = %d, want %d", got, want)
+	}
+	// The surviving entries must still answer queries, and a second Sync
+	// (nothing changed on disk now) must be a no-op.
+	syncScanHook = nil
+	before := ix.Stats()
+	if err := ix.Sync(); err != nil {
+		t.Fatalf("second Sync: %v", err)
+	}
+	if after := ix.Stats(); after != before {
+		t.Fatalf("second Sync changed stats: %+v -> %+v", before, after)
+	}
+}

@@ -103,6 +103,10 @@ type Report struct {
 	// Ledger is the completeness ledger sample, if a ledger source is
 	// wired.
 	Ledger *LedgerReport `json:"ledger,omitempty"`
+	// VPHealth is the vitals plane's per-VP health digest (state counts,
+	// archive gap total), if a vitals source is wired: use-case coverage
+	// numbers are only as trustworthy as the VPs feeding them.
+	VPHealth any `json:"vp_health,omitempty"`
 	// Audits counts audits run so far (including this one).
 	Audits uint64 `json:"audits"`
 }
@@ -117,6 +121,7 @@ type Plane struct {
 	baseline     correlation.Baseline
 	baselineKind string // "none", "self", "training"
 	ledger       func() LedgerCounts
+	vpHealth     func() any
 	last         Report
 	above        bool // drift edge-trigger state
 
@@ -239,6 +244,15 @@ func (p *Plane) SetLedger(fn func() LedgerCounts) {
 	p.mu.Unlock()
 }
 
+// SetVPHealth wires the vitals plane's health digest (e.g. a vitals
+// Tracker's Summary, wrapped in func() any); each audit report embeds
+// the current digest as vp_health.
+func (p *Plane) SetVPHealth(fn func() any) {
+	p.mu.Lock()
+	p.vpHealth = fn
+	p.mu.Unlock()
+}
+
 // SetBaseline installs training-time digests (from the orchestrator's
 // last recompute, correlation.Result.Baseline()) as the drift reference.
 func (p *Plane) SetBaseline(b correlation.Baseline) {
@@ -279,6 +293,7 @@ func (p *Plane) Audit() Report {
 	}
 	baseline, kind := p.baseline, p.baselineKind
 	ledger := p.ledger
+	vpHealth := p.vpHealth
 	p.mu.Unlock()
 
 	r := Report{
@@ -298,6 +313,9 @@ func (p *Plane) Audit() Report {
 		lr := ledger().Report()
 		r.Ledger = &lr
 		p.unacct.Set(lr.Unaccounted)
+	}
+	if vpHealth != nil {
+		r.VPHealth = vpHealth()
 	}
 
 	p.liveRP.Set(ppm(r.LiveRP))

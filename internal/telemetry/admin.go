@@ -12,6 +12,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -51,6 +52,13 @@ type Admin struct {
 	// embedded in /statusz (objectives, burn rates, firing/resolved
 	// state). Nil means no SLO engine: /alertz answers 404.
 	Alerts func() any
+	// Vitals returns the per-VP data-health payload served on /vitalz and
+	// embedded in /statusz (per-VP liveness state, rate EWMAs, archive
+	// gap coverage, event timeline). Nil means no vitals plane: /vitalz
+	// answers 404. When the payload implements
+	// interface{ WriteProm(io.Writer) error }, /vitalz?format=prom
+	// renders the per-VP labeled Prometheus series instead of JSON.
+	Vitals func() any
 	// Build carries the build-identity labels rendered as the build_info
 	// gauge on /metrics and the "build" section of /statusz; nil defaults
 	// to BuildInfo().
@@ -84,6 +92,7 @@ type statuszPayload struct {
 	Quality     any                         `json:"quality,omitempty"`
 	Fleet       any                         `json:"fleet,omitempty"`
 	Alerts      any                         `json:"alerts,omitempty"`
+	Vitals      any                         `json:"vitals,omitempty"`
 	Histograms  map[string]HistogramSummary `json:"histograms,omitempty"`
 }
 
@@ -99,6 +108,7 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/qualityz", a.qualityzHandler)
 	mux.HandleFunc("/fleetz", a.fleetzHandler)
 	mux.HandleFunc("/alertz", a.alertzHandler)
+	mux.HandleFunc("/vitalz", a.vitalzHandler)
 	mux.HandleFunc("/healthz", a.healthzHandler)
 	mux.HandleFunc("/readyz", a.readyzHandler)
 	mux.HandleFunc("/tracez", a.tracezHandler)
@@ -179,6 +189,9 @@ func (a *Admin) statuszHandler(w http.ResponseWriter, r *http.Request) {
 	if a.Alerts != nil {
 		p.Alerts = a.Alerts()
 	}
+	if a.Vitals != nil {
+		p.Vitals = a.Vitals()
+	}
 	if a.Registry != nil {
 		snap := a.Registry.Snapshot()
 		if len(snap.Histograms) > 0 {
@@ -226,6 +239,29 @@ func (a *Admin) alertzHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, a.Alerts())
+}
+
+// vitalzHandler serves the per-VP data-health payload; without a vitals
+// plane the endpoint 404s so probes can tell "no vitals" from "vitals,
+// all live". ?format=prom renders the per-VP labeled series when the
+// payload knows how (the payload type stays opaque here — telemetry must
+// not import the vitals package).
+func (a *Admin) vitalzHandler(w http.ResponseWriter, r *http.Request) {
+	if a.Vitals == nil {
+		http.NotFound(w, r)
+		return
+	}
+	payload := a.Vitals()
+	if r.URL.Query().Get("format") == "prom" {
+		if pw, ok := payload.(interface{ WriteProm(io.Writer) error }); ok {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := pw.WriteProm(w); err != nil {
+				a.Log.Debug("vitalz prom render aborted", "err", err)
+			}
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (a *Admin) healthzHandler(w http.ResponseWriter, r *http.Request) {

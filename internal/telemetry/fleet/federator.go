@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
+	"repro/internal/vitals"
 )
 
 // Scrape-model defaults. The interval is deliberately coarse relative to
@@ -57,6 +59,18 @@ type Config struct {
 	Log *telemetry.Logger
 	// Clock overrides time.Now (tests).
 	Clock func() time.Time
+	// Vitals additionally scrapes each collector's /vitalz (the per-VP
+	// data-health plane) alongside /metrics; the merged view is served by
+	// FleetVitals and /fleet/vitalz. Collectors without a vitals plane
+	// answer 404 and simply contribute no rows.
+	Vitals bool
+	// Assignments maps VP → owning collector ID (e.g. derived from the
+	// coordinator's fleet status via AssignmentsFromStatus). When set, the
+	// fleet vitals merge attributes each assigned VP to its owner's row —
+	// a VP that moved between collectors keeps one continuous health
+	// record instead of appearing twice. Nil falls back to
+	// freshest-snapshot-wins.
+	Assignments func() map[string]string
 }
 
 // Collector scrape states rendered on /fleetz and /fleet/metrics.
@@ -96,6 +110,17 @@ type scrapeState struct {
 	haveSnap bool
 	lastOK   time.Time
 	lastErr  string
+	// missingSince is when the collector first vanished from the target
+	// list (zero while listed). States are only forgotten after the
+	// absence outlasts StaleAfter: a lease flap that re-adds the collector
+	// within the grace window keeps its cumulative history, so rollup
+	// series don't drop-and-jump (which would double-count the history in
+	// every windowed SLO delta).
+	missingSince time.Time
+
+	vitals     vitals.Snapshot
+	haveVitals bool
+	vitalsOK   time.Time
 }
 
 // Federator periodically scrapes every target's admin /metrics, keeps the
@@ -169,13 +194,19 @@ func (f *Federator) Run(ctx context.Context) {
 // per-collector state: a success replaces the snapshot, a failure keeps
 // the last good one (the collector will render stale once StaleAfter
 // passes). Collectors no longer in the target list — their lease expired,
-// the fabric's source of truth for membership — are forgotten.
+// the fabric's source of truth for membership — are kept (rendering
+// stale) for one StaleAfter grace period before being forgotten: a
+// collector flapping across a lease boundary must rejoin with its
+// cumulative history intact, not as a brand-new series whose restart
+// discontinuity double-counts in every windowed rollup delta.
 func (f *Federator) ScrapeOnce(ctx context.Context) {
 	targets := f.cfg.Targets()
 	type result struct {
-		t    Target
-		snap metrics.Snapshot
-		err  error
+		t     Target
+		snap  metrics.Snapshot
+		err   error
+		vsnap vitals.Snapshot
+		vsOK  bool
 	}
 	results := make([]result, len(targets))
 	var wg sync.WaitGroup
@@ -184,7 +215,13 @@ func (f *Federator) ScrapeOnce(ctx context.Context) {
 		go func(i int, t Target) {
 			defer wg.Done()
 			snap, err := f.scrape(ctx, t)
-			results[i] = result{t: t, snap: snap, err: err}
+			r := result{t: t, snap: snap, err: err}
+			if f.cfg.Vitals && err == nil {
+				if vs, verr := f.scrapeVitals(ctx, t); verr == nil {
+					r.vsnap, r.vsOK = vs, true
+				}
+			}
+			results[i] = r
 		}(i, t)
 	}
 	wg.Wait()
@@ -200,6 +237,7 @@ func (f *Federator) ScrapeOnce(ctx context.Context) {
 			f.states[r.t.ID] = st
 		}
 		st.target = r.t
+		st.missingSince = time.Time{}
 		if r.err != nil {
 			st.lastErr = r.err.Error()
 			continue
@@ -208,9 +246,21 @@ func (f *Federator) ScrapeOnce(ctx context.Context) {
 		st.haveSnap = true
 		st.lastOK = now
 		st.lastErr = ""
+		if r.vsOK {
+			st.vitals = r.vsnap
+			st.haveVitals = true
+			st.vitalsOK = now
+		}
 	}
-	for id := range f.states {
-		if !live[id] {
+	for id, st := range f.states {
+		if live[id] {
+			continue
+		}
+		if st.missingSince.IsZero() {
+			st.missingSince = now
+			continue
+		}
+		if now.Sub(st.missingSince) >= f.cfg.StaleAfter {
 			delete(f.states, id)
 		}
 	}
@@ -256,6 +306,31 @@ func (f *Federator) scrape(ctx context.Context, t Target) (metrics.Snapshot, err
 	}
 	f.scrapeNS.Observe(uint64(f.cfg.Clock().Sub(start).Nanoseconds()))
 	return snap, nil
+}
+
+// scrapeVitals fetches and decodes one collector's /vitalz.
+func (f *Federator) scrapeVitals(ctx context.Context, t Target) (vitals.Snapshot, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+t.AdminAddr+"/vitalz", nil)
+	if err != nil {
+		return vitals.Snapshot{}, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return vitals.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return vitals.Snapshot{}, fmt.Errorf("fleet: vitals scrape %s: HTTP %d", t.ID, resp.StatusCode)
+	}
+	var vs vitals.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&vs); err != nil {
+		return vitals.Snapshot{}, err
+	}
+	return vs, nil
 }
 
 // Health reports every known collector's scrape state, sorted by ID.

@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestFleetJitterTransitions drives one collector through
+// fresh/stale/never transitions with jittered scrape timing (cadences
+// that land just inside and just outside the StaleAfter boundary) and a
+// second collector that starts dark (never) and comes up late. State
+// must be a pure function of scrape age — jitter may never drop a row or
+// bounce a state without a boundary crossing.
+func TestFleetJitterTransitions(t *testing.T) {
+	fcA, fcB := newFakeCollector(t), newFakeCollector(t)
+	fcA.reg.Counter("pipeline_in").Add(10)
+	fcB.reg.Counter("pipeline_in").Add(20)
+	fcB.down.Store(true) // B starts unreachable
+
+	now := time.Unix(1_700_000_000, 0)
+	leasedA := true
+	f, err := NewFederator(Config{
+		Targets: func() []Target {
+			var out []Target
+			if leasedA {
+				out = append(out, Target{ID: "a", AdminAddr: fcA.addr(), Connected: true})
+			}
+			out = append(out, Target{ID: "b", AdminAddr: fcB.addr(), Connected: false})
+			return out
+		},
+		Interval:   time.Second,
+		StaleAfter: 3 * time.Second,
+		Clock:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stateOf := func(id string) (string, bool) {
+		for _, h := range f.Health() {
+			if h.ID == id {
+				return h.State, true
+			}
+		}
+		return "", false
+	}
+
+	steps := []struct {
+		name    string
+		setup   func()
+		advance time.Duration
+		wantA   string
+		aGone   bool
+		wantB   string
+	}{
+		{name: "first scrape", wantA: StateFresh, wantB: StateNever},
+		// Jitter under the boundary: 2.9s between scrapes, A's endpoint
+		// briefly down — age stays under StaleAfter, so still fresh.
+		{name: "slow scrape, endpoint down, under boundary",
+			setup:   func() { fcA.down.Store(true) },
+			advance: 2900 * time.Millisecond, wantA: StateFresh, wantB: StateNever},
+		// 200ms more tips the age over StaleAfter: stale, exactly one
+		// transition, still listed.
+		{name: "over boundary", advance: 200 * time.Millisecond,
+			wantA: StateStale, wantB: StateNever},
+		// Recovery scrape lands early (jitter the other way): fresh again,
+		// and B comes up for the first time: never → fresh.
+		{name: "recovery with early scrape",
+			setup:   func() { fcA.down.Store(false); fcB.down.Store(false) },
+			advance: 100 * time.Millisecond, wantA: StateFresh, wantB: StateFresh},
+		// A's lease lapses. Within the grace window it stays, aging.
+		{name: "lease lapse within grace",
+			setup:   func() { leasedA = true; fcA.down.Store(false) },
+			advance: time.Second, wantA: StateFresh, wantB: StateFresh},
+		{name: "lease gone, still in grace",
+			setup:   func() { leasedA = false },
+			advance: time.Second, wantA: StateFresh, wantB: StateFresh},
+		// Absence outlasts StaleAfter: forgotten.
+		{name: "grace exhausted",
+			advance: 4 * time.Second, aGone: true, wantB: StateFresh},
+	}
+	for _, step := range steps {
+		if step.setup != nil {
+			step.setup()
+		}
+		now = now.Add(step.advance)
+		f.ScrapeOnce(context.Background())
+		gotA, haveA := stateOf("a")
+		if step.aGone {
+			if haveA {
+				t.Fatalf("%s: collector a still present (%s), want forgotten", step.name, gotA)
+			}
+		} else if !haveA || gotA != step.wantA {
+			t.Fatalf("%s: a = %q (present=%v), want %q", step.name, gotA, haveA, step.wantA)
+		}
+		if gotB, haveB := stateOf("b"); !haveB || gotB != step.wantB {
+			t.Fatalf("%s: b = %q (present=%v), want %q", step.name, gotB, haveB, step.wantB)
+		}
+	}
+}
+
+// TestFleetLeaseFlapKeepsHistory is the satellite no-double-count
+// regression: collector B carries historical errors in its cumulative
+// counters (900 good of 1000 total). While B's traffic stays clean, the
+// coverage SLO's windowed deltas see no new errors and must not fire —
+// even when B's lease flaps across one scrape. Before the retention
+// grace, a flap deleted B's state and re-added it a scrape later; the
+// fleet counter series dipped and jumped, and the post-rejoin window
+// delta re-counted B's entire history (error ratio ~10% out of nowhere).
+func TestFleetLeaseFlapKeepsHistory(t *testing.T) {
+	fcA, fcB := newFakeCollector(t), newFakeCollector(t)
+	fcA.reg.Counter("cov_good").Add(1000)
+	fcA.reg.Counter("cov_total").Add(1000)
+	fcB.reg.Counter("cov_good").Add(900) // 100 ancient errors
+	fcB.reg.Counter("cov_total").Add(1000)
+
+	now := time.Unix(1_700_000_000, 0)
+	leasedB := true
+	f, err := NewFederator(Config{
+		Targets: func() []Target {
+			out := []Target{{ID: "a", AdminAddr: fcA.addr(), Connected: true}}
+			if leasedB {
+				out = append(out, Target{ID: "b", AdminAddr: fcB.addr(), Connected: true})
+			}
+			return out
+		},
+		Interval:   time.Second,
+		StaleAfter: 3 * time.Second,
+		Clock:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine([]Objective{{
+		Name: "coverage", Kind: KindRatio,
+		Metric: "cov_good", TotalMetric: "cov_total",
+		Target: 0.90, ShortWindow: 10 * time.Second, LongWindow: 30 * time.Second,
+		BurnThreshold: 1,
+	}}, func() time.Time { return now })
+
+	step := func() AlertStatus {
+		now = now.Add(time.Second)
+		// Both collectors keep producing clean traffic.
+		fcA.reg.Counter("cov_good").Add(100)
+		fcA.reg.Counter("cov_total").Add(100)
+		fcB.reg.Counter("cov_good").Add(100)
+		fcB.reg.Counter("cov_total").Add(100)
+		f.ScrapeOnce(context.Background())
+		eng.Observe(f.Rollup())
+		return eng.Status().Objectives[0]
+	}
+
+	for i := 0; i < 6; i++ {
+		if st := step(); st.Firing {
+			t.Fatalf("steady state: alert firing at step %d (short=%.2f)", i, st.ShortBurn)
+		}
+	}
+	// One-scrape lease flap: absent, then back — inside the grace window.
+	leasedB = false
+	if st := step(); st.Firing || st.ShortBurn >= 1 {
+		t.Fatalf("flap (out): burn %.2f, firing=%v — history dropped", st.ShortBurn, st.Firing)
+	}
+	leasedB = true
+	for i := 0; i < 6; i++ {
+		if st := step(); st.Firing || st.ShortBurn >= 1 {
+			t.Fatalf("flap (rejoin+%d): burn %.2f firing=%v — B's ancient errors re-counted",
+				i, st.ShortBurn, st.Firing)
+		}
+	}
+}

@@ -211,8 +211,10 @@ func TestFleetNeverScraped(t *testing.T) {
 	}
 }
 
-// TestFleetExpiredLeaseForgotten: only lease expiry (the target vanishing
-// from the coordinator's status) removes a collector.
+// TestFleetExpiredLeaseForgotten: lease expiry (the target vanishing from
+// the coordinator's status) removes a collector — but only after one
+// StaleAfter grace period, so a lease flap does not drop-and-recreate the
+// collector's cumulative series (see TestFleetLeaseFlapKeepsHistory).
 func TestFleetExpiredLeaseForgotten(t *testing.T) {
 	fc := newFakeCollector(t)
 	leased := true
@@ -224,7 +226,9 @@ func TestFleetExpiredLeaseForgotten(t *testing.T) {
 			}
 			return []Target{{ID: "c1", AdminAddr: fc.addr(), Connected: true}}
 		},
-		Clock: func() time.Time { return now },
+		Interval:   time.Second,
+		StaleAfter: 3 * time.Second,
+		Clock:      func() time.Time { return now },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -234,9 +238,16 @@ func TestFleetExpiredLeaseForgotten(t *testing.T) {
 		t.Fatal("expected one collector")
 	}
 	leased = false
+	// Within the grace window the collector stays in the book (ages to
+	// stale rather than vanishing).
+	f.ScrapeOnce(context.Background())
+	if len(f.Health()) != 1 {
+		t.Fatal("collector must survive lease loss within the grace period")
+	}
+	now = now.Add(4 * time.Second) // past StaleAfter
 	f.ScrapeOnce(context.Background())
 	if len(f.Health()) != 0 {
-		t.Fatal("expired-lease collector must leave the federation book")
+		t.Fatal("expired-lease collector must leave the federation book after the grace period")
 	}
 }
 

@@ -11,10 +11,17 @@ import (
 // Routes returns the federation handlers to mount on an admin mux
 // (telemetry.Admin's Routes map): /fleet/metrics serves the rolled-up
 // Prometheus exposition, /fleet/tracez the stitched cross-process traces
-// (local recorders' spans included). The /alertz surface is the Admin's
-// own, fed by Engine.Status via the Alerts hook.
+// (local recorders' spans included), /fleet/vitalz the merged per-VP
+// data-health view. The /alertz surface is the Admin's own, fed by
+// Engine.Status via the Alerts hook.
 func (f *Federator) Routes(local ...*telemetry.Recorder) map[string]http.Handler {
 	return map[string]http.Handler{
+		"/fleet/vitalz": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(f.FleetVitals())
+		}),
 		"/fleet/metrics": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			if err := f.Rollup().WriteProm(w); err != nil {

@@ -26,6 +26,10 @@ const (
 	// fresh collectors, total events all leased collectors. Integrated
 	// per evaluation, so a window's ratio is the average fresh fraction.
 	KindAvailability = "availability"
+	// KindRatio reads a pair of rollup counters: good events from Metric,
+	// total events from TotalMetric. Both must be cumulative series (the
+	// vitals coverage counters are the canonical pair).
+	KindRatio = "ratio"
 )
 
 // Objective is one declarative SLO.
@@ -35,8 +39,12 @@ type Objective struct {
 	// Kind selects the evaluation (KindLatency, KindAvailability).
 	Kind string `json:"kind"`
 	// Metric names the rollup histogram a latency objective reads, in
-	// scraped (sanitized) form: "daemon_pipeline_e2e_latency_ns".
+	// scraped (sanitized) form: "daemon_pipeline_e2e_latency_ns". For
+	// KindRatio it names the good-event counter instead.
 	Metric string `json:"metric,omitempty"`
+	// TotalMetric names the total-event counter a ratio objective divides
+	// by (KindRatio only).
+	TotalMetric string `json:"total_metric,omitempty"`
 	// Threshold is the good/bad latency boundary in the metric's unit.
 	// Measured against bucket bounds: the effective boundary is the
 	// largest bucket bound at or under Threshold.
@@ -84,6 +92,24 @@ func DefaultObjectives() []Objective {
 		{
 			Name: "collector-availability", Kind: KindAvailability,
 			Target: 0.99, ShortWindow: 30 * time.Second, LongWindow: 2 * time.Minute,
+			BurnThreshold: 2,
+		},
+		{
+			// Per-VP freshness: each vitals evaluation samples every VP's
+			// last-update age into vitals.vp_age_ms; a good event is a VP
+			// fresher than 30s (a vitals AgeBounds bucket bound — the SLO
+			// engine measures against bucket bounds).
+			Name: "vp-freshness-p99", Kind: KindLatency,
+			Metric: "vitals_vp_age_ms", Threshold: 30_000,
+			Target: 0.99, ShortWindow: 30 * time.Second, LongWindow: 2 * time.Minute,
+			BurnThreshold: 2,
+		},
+		{
+			// Fleet coverage: the share of per-VP vitals evaluations that
+			// found the VP feeding (age ≤ SilentAfter), fleet-wide.
+			Name: "fleet-coverage", Kind: KindRatio,
+			Metric: "vitals_coverage_good_total", TotalMetric: "vitals_coverage_events_total",
+			Target: 0.90, ShortWindow: 30 * time.Second, LongWindow: 2 * time.Minute,
 			BurnThreshold: 2,
 		},
 	}
@@ -187,6 +213,13 @@ func (st *objectiveState) measure(r Rollup) (good, total uint64, ok bool) {
 		st.cumGood += fresh
 		st.cumTot += all
 		return st.cumGood, st.cumTot, true
+	case KindRatio:
+		good, gok := r.Counters[st.obj.Metric]
+		total, tok := r.Counters[st.obj.TotalMetric]
+		if !gok || !tok || total == 0 {
+			return 0, 0, false
+		}
+		return good, total, true
 	}
 	return 0, 0, false
 }

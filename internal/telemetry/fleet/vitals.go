@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/vitals"
+)
+
+// FleetVPRow is one VP's row on /fleet/vitalz: the VP's vitals as
+// reported by the collector the merge attributed it to.
+type FleetVPRow struct {
+	vitals.VPVital
+	// Collector is the collector whose snapshot this row came from.
+	Collector string `json:"collector"`
+	// Assigned is true when the assignment map owns the attribution (the
+	// row came from the VP's current owner, not just the freshest
+	// snapshot mentioning it).
+	Assigned bool `json:"assigned"`
+	// Stale flags rows sourced from a collector whose scrape is stale.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// FleetVitals is the /fleet/vitalz payload.
+type FleetVitals struct {
+	At         time.Time      `json:"at"`
+	Collectors int            `json:"collectors"`
+	States     map[string]int `json:"states"`
+	VPs        []FleetVPRow   `json:"vps"`
+	// GapSecondsTotal sums every attributed VP's archive gap seconds.
+	GapSecondsTotal float64 `json:"gap_seconds_total"`
+}
+
+// FleetVitals merges every collector's last-known /vitalz snapshot into
+// one fleet-wide per-VP view. Each VP appears exactly once: when the
+// assignment map names its owner, the owner's row wins (a VP that moved
+// between collectors keeps one continuous record, attributed to wherever
+// it lives now); otherwise — unassigned VPs, or the owner's snapshot not
+// yet mentioning it — the freshest snapshot wins.
+func (f *Federator) FleetVitals() FleetVitals {
+	now := f.cfg.Clock()
+	var assign map[string]string
+	if f.cfg.Assignments != nil {
+		assign = f.cfg.Assignments()
+	}
+	type source struct {
+		collector string
+		snap      vitals.Snapshot
+		stale     bool
+	}
+	f.mu.Lock()
+	var sources []source
+	for id, st := range f.states {
+		if !st.haveVitals {
+			continue
+		}
+		sources = append(sources, source{
+			collector: id,
+			snap:      st.vitals,
+			stale:     now.Sub(st.vitalsOK) > f.cfg.StaleAfter,
+		})
+	}
+	f.mu.Unlock()
+	// Deterministic merge order regardless of map iteration.
+	sort.Slice(sources, func(i, j int) bool { return sources[i].collector < sources[j].collector })
+
+	out := FleetVitals{At: now, Collectors: len(sources), States: make(map[string]int, len(vitals.States))}
+	rows := make(map[string]FleetVPRow)
+	rowAt := make(map[string]int64) // vp → AtMS of the snapshot its row came from
+	for _, src := range sources {
+		for _, v := range src.snap.VPs {
+			row := FleetVPRow{VPVital: v, Collector: src.collector, Stale: src.stale}
+			owner, hasOwner := assign[v.VP]
+			row.Assigned = hasOwner && owner == src.collector
+			prev, seen := rows[v.VP]
+			switch {
+			case !seen,
+				row.Assigned && !prev.Assigned,
+				row.Assigned == prev.Assigned && src.snap.AtMS > rowAt[v.VP]:
+				rows[v.VP] = row
+				rowAt[v.VP] = src.snap.AtMS
+			}
+		}
+	}
+	for _, row := range rows {
+		out.States[row.State]++
+		out.GapSecondsTotal += row.GapSeconds
+		out.VPs = append(out.VPs, row)
+	}
+	sort.Slice(out.VPs, func(i, j int) bool { return out.VPs[i].VP < out.VPs[j].VP })
+	return out
+}
+
+// AssignmentsFromStatus adapts a coordinator status source into the
+// federator's VP → owner map for the fleet vitals merge.
+func AssignmentsFromStatus(status func() fabric.FleetStatus) func() map[string]string {
+	return func() map[string]string {
+		fs := status()
+		out := make(map[string]string)
+		for _, c := range fs.Collectors {
+			for _, vp := range c.VPs {
+				out[vp] = c.ID
+			}
+		}
+		return out
+	}
+}

@@ -1,0 +1,595 @@
+// Package vitals is the per-VP data-health plane. The paper's central
+// operational complaint about today's collection platforms is silent
+// data loss: VPs die quietly, sessions flap, and archives grow gaps that
+// consumers discover months later. This package watches the data itself —
+// per-VP last-update age, a short/long message-rate EWMA pair whose ratio
+// flags a VP feeding at a fraction of its usual rate (degraded even while
+// the session is up), a session-flap and withdraw-storm timeline, and an
+// archive gap auditor over the WAL segments (gap.go). Collectors expose
+// the result on /vitalz (JSON and per-VP Prometheus series) and the
+// coordinator's federation merges the fleet into /fleet/vitalz.
+//
+// The Tracker doubles as a pipeline tap stage: it implements the pipeline
+// Stage contract structurally (Name/Process) and passes every batch
+// through untouched, recording one clock read per batch and a few atomic
+// stores per update — cheap enough that the ingest overhead guard holds
+// it under 5%. All rate math, state classification, and timeline writes
+// happen on the evaluation ticker, never on the hot path.
+package vitals
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+	"repro/internal/update"
+)
+
+// VP health states, ordered by severity. A VP is degraded when updates
+// still arrive but the short-term rate has collapsed relative to the
+// long-term expectation; silent when no update arrived within
+// SilentAfter; dead when the silence outlasts DeadAfter.
+const (
+	StateLive     = "live"
+	StateDegraded = "degraded"
+	StateSilent   = "silent"
+	StateDead     = "dead"
+)
+
+// States lists the health states in severity order (for stable iteration
+// in exports and rollups).
+var States = []string{StateLive, StateDegraded, StateSilent, StateDead}
+
+// AgeBounds are the vitals.vp_age_ms histogram buckets (milliseconds).
+// The exact 30_000 bound matters: the stock per-VP freshness SLO draws
+// its good/bad boundary there, and the SLO engine measures against bucket
+// bounds, not raw observations.
+var AgeBounds = []uint64{50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 15_000, 30_000, 60_000, 120_000, 300_000, 600_000}
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// Registry receives the aggregate vitals.* metrics (state-count
+	// gauges, the vp_age_ms histogram, coverage counters). Nil uses a
+	// private registry.
+	Registry *metrics.Registry
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+	// EvalInterval is the evaluation ticker period (default 1s): EWMA
+	// folding, state classification, and freshness sampling all happen at
+	// this cadence.
+	EvalInterval time.Duration
+	// ShortHalfLife and LongHalfLife parameterize the rate EWMA pair
+	// (defaults 30s and 10m). The short EWMA tracks "what the VP sends
+	// now", the long one "what this VP usually sends"; their ratio is the
+	// anomaly signal.
+	ShortHalfLife time.Duration
+	LongHalfLife  time.Duration
+	// DegradedRatio is the short/long rate ratio at or under which a VP
+	// that is still sending renders degraded (default 0.2 — a VP at 10%
+	// of its usual rate is well inside it).
+	DegradedRatio float64
+	// MinRate is the long-EWMA floor (updates/s) below which the ratio
+	// test is skipped: a VP that never sent much cannot meaningfully
+	// collapse (default 0.5/s).
+	MinRate float64
+	// SilentAfter is the last-update age past which a VP renders silent
+	// (default 30s); DeadAfter the age past which it renders dead
+	// (default 10m).
+	SilentAfter time.Duration
+	DeadAfter   time.Duration
+	// StormRatio and StormMin parameterize withdraw-storm detection: an
+	// evaluation window holding at least StormMin updates of which at
+	// least StormRatio are withdrawals opens a storm timeline event
+	// (defaults 0.8 and 32).
+	StormRatio float64
+	StormMin   uint64
+	// TimelineSize bounds the event ring (default 128).
+	TimelineSize int
+	// Gaps, when set, is the archive gap auditor whose per-VP coverage
+	// report is joined into snapshots (the daemon feeds it from the WAL
+	// seal hook).
+	Gaps *GapAuditor
+	// Log receives state-transition events; nil discards them.
+	Log *telemetry.Logger
+}
+
+// vpState is the tracker's book on one vantage point. The first block is
+// written from the hot path (atomics only); the rest is owned by the
+// evaluation loop under the tracker mutex.
+type vpState struct {
+	count     atomic.Uint64 // lifetime updates seen by the tap
+	withdraws atomic.Uint64
+	lastNS    atomic.Int64  // unix nanos of the newest tapped update
+	sessions  atomic.Int64  // currently-established peering sessions
+	flaps     atomic.Uint64 // session-down events
+
+	firstNS   int64
+	prevCount uint64
+	prevWd    uint64
+	short     float64 // EWMA rate, updates/s
+	long      float64
+	warm      int // evaluations folded so far (degraded needs a warm long EWMA)
+	state     string
+	storming  bool
+}
+
+// Event is one timeline entry: session up/down, a state transition, or a
+// withdraw storm opening/clearing.
+type Event struct {
+	At     time.Time `json:"at"`
+	VP     string    `json:"vp"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Tracker watches per-VP feed health. It is a pipeline tap stage (insert
+// it ahead of the filter so liveness reflects what the VP sends, not what
+// the platform retains) and an evaluation loop (Run).
+type Tracker struct {
+	cfg Config
+	log *telemetry.Logger
+
+	// Collector labels snapshots with the fleet identity so the
+	// federation's merge can attribute rows; empty for standalone daemons.
+	Collector string
+
+	vps   sync.Map // string -> *vpState
+	evals atomic.Uint64
+
+	mu       sync.Mutex
+	timeline []Event
+	tlNext   int
+	tlFull   bool
+
+	stateGauges map[string]*metrics.Gauge
+	vpGauge     *metrics.Gauge
+	transitions *metrics.Counter
+	storms      *metrics.Counter
+	observed    *metrics.Counter
+	ageHist     *metrics.Histogram
+	covGood     *metrics.Counter
+	covTotal    *metrics.Counter
+}
+
+// New builds a tracker. Call Run to start the evaluation loop.
+func New(cfg Config) *Tracker {
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.EvalInterval <= 0 {
+		cfg.EvalInterval = time.Second
+	}
+	if cfg.ShortHalfLife <= 0 {
+		cfg.ShortHalfLife = 30 * time.Second
+	}
+	if cfg.LongHalfLife <= 0 {
+		cfg.LongHalfLife = 10 * time.Minute
+	}
+	if cfg.DegradedRatio <= 0 {
+		cfg.DegradedRatio = 0.2
+	}
+	if cfg.MinRate <= 0 {
+		cfg.MinRate = 0.5
+	}
+	if cfg.SilentAfter <= 0 {
+		cfg.SilentAfter = 30 * time.Second
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 10 * time.Minute
+	}
+	if cfg.StormRatio <= 0 {
+		cfg.StormRatio = 0.8
+	}
+	if cfg.StormMin <= 0 {
+		cfg.StormMin = 32
+	}
+	if cfg.TimelineSize <= 0 {
+		cfg.TimelineSize = 128
+	}
+	t := &Tracker{
+		cfg:         cfg,
+		log:         cfg.Log.With("vitals"),
+		timeline:    make([]Event, cfg.TimelineSize),
+		stateGauges: make(map[string]*metrics.Gauge, len(States)),
+		vpGauge:     cfg.Registry.Gauge("vitals.vps"),
+		transitions: cfg.Registry.Counter("vitals.transitions"),
+		storms:      cfg.Registry.Counter("vitals.withdraw_storms"),
+		observed:    cfg.Registry.Counter("vitals.observed"),
+		ageHist:     cfg.Registry.Histogram("vitals.vp_age_ms", AgeBounds),
+		covGood:     cfg.Registry.Counter("vitals.coverage_good_total"),
+		covTotal:    cfg.Registry.Counter("vitals.coverage_events_total"),
+	}
+	for _, s := range States {
+		t.stateGauges[s] = cfg.Registry.Gauge("vitals.vp_state." + s)
+	}
+	return t
+}
+
+// Name implements the pipeline Stage contract.
+func (t *Tracker) Name() string { return "vitals" }
+
+// Process is the tap: one clock read per batch, a few atomic stores per
+// update, the batch returned untouched. It runs concurrently from every
+// pipeline shard.
+func (t *Tracker) Process(batch []*update.Update) []*update.Update {
+	if len(batch) == 0 {
+		return batch
+	}
+	now := t.cfg.Clock().UnixNano()
+	var st *vpState
+	var lastVP string
+	for _, u := range batch {
+		if st == nil || u.VP != lastVP {
+			st = t.state(u.VP, now)
+			lastVP = u.VP
+		}
+		st.count.Add(1)
+		if u.Withdraw {
+			st.withdraws.Add(1)
+		}
+		st.lastNS.Store(now)
+	}
+	t.observed.Add(uint64(len(batch)))
+	return batch
+}
+
+// state returns the VP's book, creating it on first sight.
+func (t *Tracker) state(vp string, nowNS int64) *vpState {
+	if v, ok := t.vps.Load(vp); ok {
+		return v.(*vpState)
+	}
+	st := &vpState{firstNS: nowNS, state: StateLive}
+	if v, loaded := t.vps.LoadOrStore(vp, st); loaded {
+		return v.(*vpState)
+	}
+	t.event(Event{At: time.Unix(0, nowNS), VP: vp, Kind: "vp-seen"})
+	return st
+}
+
+// SessionUp records one peering session establishment for the VP.
+func (t *Tracker) SessionUp(vp string) {
+	now := t.cfg.Clock()
+	st := t.state(vp, now.UnixNano())
+	st.sessions.Add(1)
+	t.event(Event{At: now, VP: vp, Kind: "session-up"})
+}
+
+// SessionDown records one peering session teardown; reason may carry the
+// error that ended it ("" for a clean close). Every down is counted as a
+// flap — the flap rate over the timeline is the signal, not one event.
+func (t *Tracker) SessionDown(vp, reason string) {
+	now := t.cfg.Clock()
+	st := t.state(vp, now.UnixNano())
+	if st.sessions.Load() > 0 {
+		st.sessions.Add(-1)
+	}
+	st.flaps.Add(1)
+	t.event(Event{At: now, VP: vp, Kind: "session-down", Detail: reason})
+}
+
+// event appends to the timeline ring.
+func (t *Tracker) event(e Event) {
+	t.mu.Lock()
+	t.timeline[t.tlNext] = e
+	t.tlNext++
+	if t.tlNext == len(t.timeline) {
+		t.tlNext, t.tlFull = 0, true
+	}
+	t.mu.Unlock()
+}
+
+// Run evaluates every EvalInterval until ctx ends.
+func (t *Tracker) Run(ctx context.Context) {
+	tick := time.NewTicker(t.cfg.EvalInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			t.Eval()
+		}
+	}
+}
+
+// ewmaWeight is the per-interval folding weight for a half-life: after
+// exactly one half-life of intervals the old estimate contributes 50%.
+func ewmaWeight(interval, halfLife time.Duration) float64 {
+	return 1 - math.Exp2(-float64(interval)/float64(halfLife))
+}
+
+// Eval folds one evaluation window: per VP it turns the window's update
+// delta into a rate, updates both EWMAs, classifies the health state,
+// samples the freshness histogram and coverage counters, and emits
+// timeline events for transitions and withdraw storms. Exported so tests
+// (and callers with their own cadence) can step it deterministically.
+func (t *Tracker) Eval() {
+	now := t.cfg.Clock()
+	interval := t.cfg.EvalInterval
+	aS := ewmaWeight(interval, t.cfg.ShortHalfLife)
+	aL := ewmaWeight(interval, t.cfg.LongHalfLife)
+	warmup := int(3 * t.cfg.ShortHalfLife / interval)
+	if warmup < 3 {
+		warmup = 3
+	}
+
+	counts := make(map[string]int, len(States))
+	var vps int64
+	t.mu.Lock()
+	t.vps.Range(func(k, v any) bool {
+		vp, st := k.(string), v.(*vpState)
+		vps++
+		cnt, wd := st.count.Load(), st.withdraws.Load()
+		delta, wdDelta := cnt-st.prevCount, wd-st.prevWd
+		st.prevCount, st.prevWd = cnt, wd
+		rate := float64(delta) / interval.Seconds()
+		st.short += aS * (rate - st.short)
+		st.long += aL * (rate - st.long)
+		st.warm++
+
+		age := now.Sub(time.Unix(0, st.lastNS.Load()))
+		state := t.classify(st, age, warmup)
+		if state != st.state {
+			t.transitions.Inc()
+			e := Event{At: now, VP: vp, Kind: state,
+				Detail: fmt.Sprintf("was %s, age %s, rate %.2f/s (usual %.2f/s)",
+					st.state, age.Round(time.Millisecond), st.short, st.long)}
+			t.appendLocked(e)
+			t.log.Info("vp state changed", "vp", vp, "state", state, "was", st.state,
+				"age", age.Round(time.Millisecond), "rate_ratio", fmt.Sprintf("%.3f", ratioOf(st)))
+			st.state = state
+		}
+		counts[state]++
+
+		// Withdraw-storm detection over this window alone.
+		storm := delta >= t.cfg.StormMin && float64(wdDelta) >= t.cfg.StormRatio*float64(delta)
+		switch {
+		case storm && !st.storming:
+			st.storming = true
+			t.storms.Inc()
+			t.appendLocked(Event{At: now, VP: vp, Kind: "withdraw-storm",
+				Detail: fmt.Sprintf("%d/%d withdrawals in %s", wdDelta, delta, interval)})
+		case !storm && st.storming:
+			st.storming = false
+			t.appendLocked(Event{At: now, VP: vp, Kind: "withdraw-storm-cleared"})
+		}
+
+		// Freshness sample + fleet-coverage accounting: every VP counts,
+		// and it counts as covered while fresher than SilentAfter.
+		ms := age.Milliseconds()
+		if ms < 0 {
+			ms = 0
+		}
+		t.ageHist.Observe(uint64(ms))
+		t.covTotal.Inc()
+		if age <= t.cfg.SilentAfter {
+			t.covGood.Inc()
+		}
+		return true
+	})
+	t.mu.Unlock()
+
+	t.vpGauge.Set(vps)
+	for _, s := range States {
+		t.stateGauges[s].Set(int64(counts[s]))
+	}
+	t.evals.Add(1)
+}
+
+// appendLocked is event() for callers already holding the mutex.
+func (t *Tracker) appendLocked(e Event) {
+	t.timeline[t.tlNext] = e
+	t.tlNext++
+	if t.tlNext == len(t.timeline) {
+		t.tlNext, t.tlFull = 0, true
+	}
+}
+
+// classify maps one VP's age and rate shape onto a health state.
+func (t *Tracker) classify(st *vpState, age time.Duration, warmup int) string {
+	switch {
+	case age > t.cfg.DeadAfter:
+		return StateDead
+	case age > t.cfg.SilentAfter:
+		return StateSilent
+	case st.warm >= warmup && st.long >= t.cfg.MinRate && st.short < t.cfg.DegradedRatio*st.long:
+		return StateDegraded
+	default:
+		return StateLive
+	}
+}
+
+func ratioOf(st *vpState) float64 {
+	if st.long <= 0 {
+		return 1
+	}
+	return st.short / st.long
+}
+
+// VPVital is one VP's row on /vitalz.
+type VPVital struct {
+	VP    string `json:"vp"`
+	State string `json:"state"`
+	// AgeMS is the time since the newest tapped update (-1: never seen).
+	AgeMS      int64   `json:"age_ms"`
+	LastUpdate string  `json:"last_update,omitempty"`
+	RateShort  float64 `json:"rate_short_per_sec"`
+	RateLong   float64 `json:"rate_long_per_sec"`
+	RateRatio  float64 `json:"rate_ratio"`
+	Updates    uint64  `json:"updates"`
+	Withdraws  uint64  `json:"withdraws"`
+	Sessions   int64   `json:"sessions"`
+	Flaps      uint64  `json:"flaps"`
+	Storming   bool    `json:"storming,omitempty"`
+	// GapSeconds and CoveragePct join the archive gap auditor's view of
+	// this VP (absent without an auditor).
+	GapSeconds  float64 `json:"gap_seconds,omitempty"`
+	Gaps        int     `json:"gaps,omitempty"`
+	CoveragePct float64 `json:"coverage_pct,omitempty"`
+}
+
+// Snapshot is the /vitalz payload.
+type Snapshot struct {
+	At        time.Time      `json:"at"`
+	AtMS      int64          `json:"at_ms"`
+	Collector string         `json:"collector,omitempty"`
+	States    map[string]int `json:"states"`
+	VPs       []VPVital      `json:"vps"`
+	Timeline  []Event        `json:"timeline,omitempty"`
+	Gaps      *GapReport     `json:"gaps,omitempty"`
+	Evals     uint64         `json:"evals"`
+}
+
+// Summary is the compact health digest embedded in other planes'
+// payloads (the quality report's vp_health section).
+type Summary struct {
+	VPs             int            `json:"vps"`
+	States          map[string]int `json:"states"`
+	GapSecondsTotal float64        `json:"gap_seconds_total,omitempty"`
+	Evals           uint64         `json:"evals"`
+}
+
+// Snapshot assembles the current per-VP health view. States are
+// re-classified against the snapshot clock, so a VP that went quiet since
+// the last evaluation already renders silent here — /vitalz never lags
+// the evaluation cadence on the age axis.
+func (t *Tracker) Snapshot() Snapshot {
+	now := t.cfg.Clock()
+	interval := t.cfg.EvalInterval
+	warmup := int(3 * t.cfg.ShortHalfLife / interval)
+	if warmup < 3 {
+		warmup = 3
+	}
+	s := Snapshot{
+		At:        now,
+		AtMS:      now.UnixMilli(),
+		Collector: t.Collector,
+		States:    make(map[string]int, len(States)),
+		Evals:     t.evals.Load(),
+	}
+	var gaps map[string]VPCoverage
+	if t.cfg.Gaps != nil {
+		rep := t.cfg.Gaps.Report()
+		s.Gaps = &rep
+		gaps = make(map[string]VPCoverage, len(rep.VPs))
+		for _, c := range rep.VPs {
+			gaps[c.VP] = c
+		}
+	}
+	t.mu.Lock()
+	t.vps.Range(func(k, v any) bool {
+		vp, st := k.(string), v.(*vpState)
+		lastNS := st.lastNS.Load()
+		row := VPVital{
+			VP:        vp,
+			AgeMS:     -1,
+			RateShort: st.short,
+			RateLong:  st.long,
+			RateRatio: ratioOf(st),
+			Updates:   st.count.Load(),
+			Withdraws: st.withdraws.Load(),
+			Sessions:  st.sessions.Load(),
+			Flaps:     st.flaps.Load(),
+			Storming:  st.storming,
+		}
+		age := now.Sub(time.Unix(0, lastNS))
+		row.AgeMS = age.Milliseconds()
+		row.LastUpdate = time.Unix(0, lastNS).UTC().Format(time.RFC3339Nano)
+		row.State = t.classify(st, age, warmup)
+		if c, ok := gaps[vp]; ok {
+			row.GapSeconds = c.GapSeconds
+			row.Gaps = len(c.Gaps)
+			row.CoveragePct = c.CoveragePct
+		}
+		s.States[row.State]++
+		s.VPs = append(s.VPs, row)
+		return true
+	})
+	s.Timeline = t.timelineLocked()
+	t.mu.Unlock()
+	sort.Slice(s.VPs, func(i, j int) bool { return s.VPs[i].VP < s.VPs[j].VP })
+	return s
+}
+
+// timelineLocked returns the ring oldest-first.
+func (t *Tracker) timelineLocked() []Event {
+	var out []Event
+	if t.tlFull {
+		out = append(out, t.timeline[t.tlNext:]...)
+	}
+	out = append(out, t.timeline[:t.tlNext]...)
+	// Drop zero entries (ring not yet full).
+	kept := out[:0]
+	for _, e := range out {
+		if !e.At.IsZero() {
+			kept = append(kept, e)
+		}
+	}
+	return kept
+}
+
+// Summary condenses the tracker state for embedding elsewhere.
+func (t *Tracker) Summary() Summary {
+	s := t.Snapshot()
+	sum := Summary{VPs: len(s.VPs), States: s.States, Evals: s.Evals}
+	if s.Gaps != nil {
+		sum.GapSecondsTotal = s.Gaps.GapSecondsTotal
+	}
+	return sum
+}
+
+// WriteProm renders the snapshot's per-VP labeled series in Prometheus
+// text exposition format (the aggregate vitals.* series ride the process
+// registry's /metrics; these are the {vp="..."} drill-down rows served by
+// /vitalz?format=prom).
+func (s Snapshot) WriteProm(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# TYPE vitals_vp_age_seconds gauge\n"); err != nil {
+		return err
+	}
+	for _, v := range s.VPs {
+		if _, err := fmt.Fprintf(w, "vitals_vp_age_seconds{vp=%q} %g\n", v.VP, float64(v.AgeMS)/1000); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE vitals_vp_rate_ratio gauge\n"); err != nil {
+		return err
+	}
+	for _, v := range s.VPs {
+		if _, err := fmt.Fprintf(w, "vitals_vp_rate_ratio{vp=%q} %g\n", v.VP, v.RateRatio); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE vitals_vp_state gauge\n"); err != nil {
+		return err
+	}
+	for _, v := range s.VPs {
+		for _, state := range States {
+			val := 0
+			if v.State == state {
+				val = 1
+			}
+			if _, err := fmt.Fprintf(w, "vitals_vp_state{vp=%q,state=%q} %d\n", v.VP, state, val); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE vitals_vp_gap_seconds gauge\n"); err != nil {
+		return err
+	}
+	for _, v := range s.VPs {
+		if _, err := fmt.Fprintf(w, "vitals_vp_gap_seconds{vp=%q} %g\n", v.VP, v.GapSeconds); err != nil {
+			return err
+		}
+	}
+	return nil
+}

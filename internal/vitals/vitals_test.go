@@ -1,0 +1,489 @@
+package vitals
+
+import (
+	"net/netip"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/bgp"
+	"repro/internal/metrics"
+	"repro/internal/mrt"
+	"repro/internal/update"
+)
+
+// testClock is a hand-advanced clock shared by tracker tests.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testTracker(t *testing.T, clk *testClock) *Tracker {
+	t.Helper()
+	return New(Config{
+		Registry:      metrics.NewRegistry(),
+		Clock:         clk.Now,
+		EvalInterval:  time.Second,
+		ShortHalfLife: 2 * time.Second,
+		LongHalfLife:  20 * time.Second,
+		DegradedRatio: 0.2,
+		MinRate:       0.5,
+		SilentAfter:   10 * time.Second,
+		DeadAfter:     time.Minute,
+	})
+}
+
+func feed(tr *Tracker, vp string, n int, withdraw bool) {
+	batch := make([]*update.Update, n)
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	for i := range batch {
+		batch[i] = &update.Update{VP: vp, Prefix: p, Withdraw: withdraw}
+	}
+	tr.Process(batch)
+}
+
+// step advances the clock by one eval interval, feeds n updates, and
+// evaluates — one tracker "window".
+func step(clk *testClock, tr *Tracker, vp string, n int) {
+	clk.Advance(time.Second)
+	if n > 0 {
+		feed(tr, vp, n, false)
+	}
+	tr.Eval()
+}
+
+func vitalOf(t *testing.T, tr *Tracker, vp string) VPVital {
+	t.Helper()
+	for _, v := range tr.Snapshot().VPs {
+		if v.VP == vp {
+			return v
+		}
+	}
+	t.Fatalf("vp %q not in snapshot", vp)
+	return VPVital{}
+}
+
+func TestStateMachineSilentAndDead(t *testing.T) {
+	clk := newTestClock()
+	tr := testTracker(t, clk)
+	for i := 0; i < 10; i++ {
+		step(clk, tr, "vp65001", 50)
+	}
+	if got := vitalOf(t, tr, "vp65001").State; got != StateLive {
+		t.Fatalf("steady feed: state = %q, want live", got)
+	}
+	// Feed stops: silent once age exceeds SilentAfter (10s)...
+	for i := 0; i < 11; i++ {
+		step(clk, tr, "vp65001", 0)
+	}
+	if got := vitalOf(t, tr, "vp65001").State; got != StateSilent {
+		t.Fatalf("after 11s quiet: state = %q, want silent", got)
+	}
+	// ...and dead past DeadAfter (60s).
+	for i := 0; i < 60; i++ {
+		step(clk, tr, "vp65001", 0)
+	}
+	if got := vitalOf(t, tr, "vp65001").State; got != StateDead {
+		t.Fatalf("after 71s quiet: state = %q, want dead", got)
+	}
+	// Recovery: updates resume, state returns to live immediately (the
+	// snapshot classifies against current age).
+	step(clk, tr, "vp65001", 50)
+	if got := vitalOf(t, tr, "vp65001").State; got != StateLive {
+		t.Fatalf("after resume: state = %q, want live", got)
+	}
+}
+
+func TestStateMachineDegradedAtTenPercent(t *testing.T) {
+	clk := newTestClock()
+	tr := testTracker(t, clk)
+	// Learn the usual rate well past warmup (3× short half-life = 6 evals).
+	for i := 0; i < 60; i++ {
+		step(clk, tr, "vp65002", 100)
+	}
+	v := vitalOf(t, tr, "vp65002")
+	if v.State != StateLive {
+		t.Fatalf("steady: state = %q, want live", v.State)
+	}
+	// 60 evals at a 20s half-life is 3 half-lives: 1-2^-3 = 87.5% of the
+	// true rate.
+	if v.RateLong < 80 || v.RateLong > 110 {
+		t.Fatalf("long EWMA = %.1f, want ~87-100", v.RateLong)
+	}
+	// Collapse to 10% of usual. Updates still arrive every window, so the
+	// VP never goes silent — only the ratio test can catch it. The short
+	// EWMA (2s half-life) needs a few windows to decay under 0.2×long.
+	var sawDegraded bool
+	for i := 0; i < 10; i++ {
+		step(clk, tr, "vp65002", 10)
+		if vitalOf(t, tr, "vp65002").State == StateDegraded {
+			sawDegraded = true
+			break
+		}
+	}
+	if !sawDegraded {
+		v = vitalOf(t, tr, "vp65002")
+		t.Fatalf("10%% rate never rendered degraded: ratio=%.3f short=%.1f long=%.1f",
+			v.RateRatio, v.RateShort, v.RateLong)
+	}
+	// Recovery back to the usual rate returns it to live.
+	var sawLive bool
+	for i := 0; i < 20; i++ {
+		step(clk, tr, "vp65002", 100)
+		if vitalOf(t, tr, "vp65002").State == StateLive {
+			sawLive = true
+			break
+		}
+	}
+	if !sawLive {
+		t.Fatalf("degraded VP never recovered to live")
+	}
+}
+
+func TestLowVolumeVPNeverDegraded(t *testing.T) {
+	clk := newTestClock()
+	tr := testTracker(t, clk)
+	// A VP under the MinRate floor (0.5/s) must not flap to degraded when
+	// its trickle pauses for a window or two.
+	for i := 0; i < 40; i++ {
+		n := 0
+		if i%5 == 0 {
+			n = 1 // 0.2/s average, under the floor
+		}
+		step(clk, tr, "vp65003", n)
+		if got := vitalOf(t, tr, "vp65003").State; got == StateDegraded {
+			t.Fatalf("low-volume VP rendered degraded at window %d", i)
+		}
+	}
+}
+
+func TestWithdrawStormTimeline(t *testing.T) {
+	clk := newTestClock()
+	tr := testTracker(t, clk)
+	for i := 0; i < 5; i++ {
+		step(clk, tr, "vp65004", 50)
+	}
+	// A window of ≥32 updates, ≥80% withdrawals, opens a storm.
+	clk.Advance(time.Second)
+	feed(tr, "vp65004", 10, false)
+	feed(tr, "vp65004", 90, true)
+	tr.Eval()
+	if !vitalOf(t, tr, "vp65004").Storming {
+		t.Fatalf("withdraw storm not flagged")
+	}
+	// Back to normal traffic clears it.
+	step(clk, tr, "vp65004", 50)
+	if vitalOf(t, tr, "vp65004").Storming {
+		t.Fatalf("withdraw storm did not clear")
+	}
+	var opened, cleared bool
+	for _, e := range tr.Snapshot().Timeline {
+		switch e.Kind {
+		case "withdraw-storm":
+			opened = true
+		case "withdraw-storm-cleared":
+			cleared = true
+		}
+	}
+	if !opened || !cleared {
+		t.Fatalf("timeline missing storm events (opened=%v cleared=%v)", opened, cleared)
+	}
+}
+
+func TestSessionEventsAndFlaps(t *testing.T) {
+	clk := newTestClock()
+	tr := testTracker(t, clk)
+	tr.SessionUp("vp65005")
+	tr.SessionDown("vp65005", "EOF")
+	tr.SessionUp("vp65005")
+	v := vitalOf(t, tr, "vp65005")
+	if v.Sessions != 1 || v.Flaps != 1 {
+		t.Fatalf("sessions=%d flaps=%d, want 1/1", v.Sessions, v.Flaps)
+	}
+	var ups, downs int
+	for _, e := range tr.Snapshot().Timeline {
+		switch e.Kind {
+		case "session-up":
+			ups++
+		case "session-down":
+			downs++
+			if e.Detail != "EOF" {
+				t.Fatalf("session-down detail = %q, want EOF", e.Detail)
+			}
+		}
+	}
+	if ups != 2 || downs != 1 {
+		t.Fatalf("timeline ups=%d downs=%d, want 2/1", ups, downs)
+	}
+}
+
+func TestTimelineRingWraps(t *testing.T) {
+	clk := newTestClock()
+	tr := New(Config{Clock: clk.Now, TimelineSize: 8})
+	for i := 0; i < 20; i++ {
+		clk.Advance(time.Second)
+		tr.SessionUp("vp1")
+	}
+	tl := tr.Snapshot().Timeline
+	if len(tl) != 8 {
+		t.Fatalf("timeline length = %d, want 8 (ring size)", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].At.Before(tl[i-1].At) {
+			t.Fatalf("timeline not oldest-first at %d", i)
+		}
+	}
+}
+
+func TestEvalMetricsAndCoverageCounters(t *testing.T) {
+	clk := newTestClock()
+	reg := metrics.NewRegistry()
+	tr := New(Config{
+		Registry: reg, Clock: clk.Now, EvalInterval: time.Second,
+		SilentAfter: 10 * time.Second, DeadAfter: time.Minute,
+	})
+	for i := 0; i < 5; i++ {
+		step(clk, tr, "vpA", 10)
+	}
+	// vpB appears then goes quiet past SilentAfter.
+	feed(tr, "vpB", 10, false)
+	for i := 0; i < 12; i++ {
+		step(clk, tr, "vpA", 10)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["vitals.vps"]; got != 2 {
+		t.Fatalf("vitals.vps = %d, want 2", got)
+	}
+	if got := snap.Gauges["vitals.vp_state.live"]; got != 1 {
+		t.Fatalf("live gauge = %d, want 1", got)
+	}
+	if got := snap.Gauges["vitals.vp_state.silent"]; got != 1 {
+		t.Fatalf("silent gauge = %d, want 1", got)
+	}
+	good, total := snap.Counters["vitals.coverage_good_total"], snap.Counters["vitals.coverage_events_total"]
+	if total == 0 || good == 0 || good >= total {
+		t.Fatalf("coverage counters good=%d total=%d, want 0 < good < total", good, total)
+	}
+	if snap.Counters["vitals.transitions"] == 0 {
+		t.Fatalf("no transitions counted despite vpB going silent")
+	}
+}
+
+func TestSnapshotWriteProm(t *testing.T) {
+	clk := newTestClock()
+	tr := testTracker(t, clk)
+	step(clk, tr, "vp65001", 10)
+	var sb strings.Builder
+	if err := tr.Snapshot().WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`vitals_vp_age_seconds{vp="vp65001"}`,
+		`vitals_vp_rate_ratio{vp="vp65001"}`,
+		`vitals_vp_state{vp="vp65001",state="live"} 1`,
+		`vitals_vp_state{vp="vp65001",state="dead"} 0`,
+		`vitals_vp_gap_seconds{vp="vp65001"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// journalWithOutage writes a WAL with two VPs: vpA records every second
+// throughout [0,total), vpB the same except nothing inside
+// [gapStart,gapEnd) — the injected outage. Returns the journal dir.
+func journalWithOutage(t *testing.T, total, gapStart, gapEnd int) string {
+	t.Helper()
+	dir := t.TempDir()
+	j, err := archive.OpenJournal(dir, 64)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	base := time.Unix(1_700_000_000, 0).UTC()
+	rec := func(as uint32, ts time.Time) *mrt.Record {
+		return &mrt.Record{
+			Header: mrt.Header{Timestamp: ts, Type: mrt.TypeBGP4MP, Subtype: mrt.SubtypeBGP4MPMessageAS4},
+			BGP4MP: &mrt.BGP4MPMessage{
+				PeerAS: as, LocalAS: 65000,
+				PeerIP:  netip.MustParseAddr("192.0.2.9"),
+				LocalIP: netip.MustParseAddr("192.0.2.1"),
+				Message: &bgp.Update{
+					Origin:  bgp.OriginIGP,
+					ASPath:  []uint32{as, 3356},
+					NextHop: netip.MustParseAddr("192.0.2.9"),
+					NLRI:    []netip.Prefix{netip.MustParsePrefix("10.0.0.0/24")},
+				},
+			},
+		}
+	}
+	for s := 0; s < total; s++ {
+		ts := base.Add(time.Duration(s) * time.Second)
+		if err := j.Append(rec(65001, ts)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if s < gapStart || s >= gapEnd {
+			if err := j.Append(rec(65002, ts)); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return dir
+}
+
+func TestGapAuditorExactOutageWindow(t *testing.T) {
+	// 120s of feed, vpB out during [40,70) — the auditor must report the
+	// gap as exactly gapEnd-gapStart seconds: last record before the hole
+	// is at t=39, the first after at t=70, 31s apart... but MRT stamps are
+	// whole seconds and vpB's cadence is 1/s, so the measurable hole is
+	// 70-39 = 31s. Ground truth from the writer, not an approximation.
+	dir := journalWithOutage(t, 120, 40, 70)
+	g := NewGapAuditor(5*time.Second, nil)
+	if err := g.AuditDir(dir); err != nil {
+		t.Fatalf("AuditDir: %v", err)
+	}
+	rep := g.Report()
+	byVP := make(map[string]VPCoverage)
+	for _, c := range rep.VPs {
+		byVP[c.VP] = c
+	}
+	a, ok := byVP["vp65001"]
+	if !ok {
+		t.Fatalf("vp65001 missing from report")
+	}
+	if a.GapSeconds != 0 || len(a.Gaps) != 0 {
+		t.Fatalf("vp65001 gaps = %v (%.0fs), want none", a.Gaps, a.GapSeconds)
+	}
+	if a.CoveragePct != 100 {
+		t.Fatalf("vp65001 coverage = %.2f%%, want 100%%", a.CoveragePct)
+	}
+	b, ok := byVP["vp65002"]
+	if !ok {
+		t.Fatalf("vp65002 missing from report")
+	}
+	if len(b.Gaps) != 1 {
+		t.Fatalf("vp65002 gaps = %d, want 1 (%v)", len(b.Gaps), b.Gaps)
+	}
+	if want := float64(70 - 39); b.GapSeconds != want {
+		t.Fatalf("vp65002 gap seconds = %v, want exactly %v", b.GapSeconds, want)
+	}
+	wantFrom := time.Unix(1_700_000_000+39, 0).UTC()
+	wantTo := time.Unix(1_700_000_000+70, 0).UTC()
+	if !b.Gaps[0].From.Equal(wantFrom) || !b.Gaps[0].To.Equal(wantTo) {
+		t.Fatalf("gap window = [%v, %v], want [%v, %v]", b.Gaps[0].From, b.Gaps[0].To, wantFrom, wantTo)
+	}
+	// Coverage: covered 119-31 = 88s of a 119s span.
+	if want := 100 * float64(119-31) / 119; b.CoveragePct < want-0.01 || b.CoveragePct > want+0.01 {
+		t.Fatalf("vp65002 coverage = %.4f%%, want %.4f%%", b.CoveragePct, want)
+	}
+	if rep.GapSecondsTotal != 31 {
+		t.Fatalf("total gap seconds = %v, want 31", rep.GapSecondsTotal)
+	}
+	if rep.Torn != 0 || rep.Sealed != rep.Segments {
+		t.Fatalf("segments=%d sealed=%d torn=%d, want all sealed", rep.Segments, rep.Sealed, rep.Torn)
+	}
+}
+
+func TestGapAuditorOnlineMatchesOffline(t *testing.T) {
+	dir := journalWithOutage(t, 60, 20, 35)
+	// Online: scan segments one by one as a seal hook would.
+	online := NewGapAuditor(5*time.Second, nil)
+	segs, err := archive.ListSegments(dir)
+	if err != nil {
+		t.Fatalf("ListSegments: %v", err)
+	}
+	for _, s := range segs {
+		if err := online.ScanSegment(s); err != nil {
+			t.Fatalf("ScanSegment(%s): %v", s, err)
+		}
+	}
+	offline := NewGapAuditor(5*time.Second, nil)
+	if err := offline.AuditDir(dir); err != nil {
+		t.Fatalf("AuditDir: %v", err)
+	}
+	or, fr := online.Report(), offline.Report()
+	if or.GapSecondsTotal != fr.GapSecondsTotal || len(or.VPs) != len(fr.VPs) {
+		t.Fatalf("online/offline disagree: %v vs %v", or.GapSecondsTotal, fr.GapSecondsTotal)
+	}
+}
+
+func TestGapAuditorTornSegment(t *testing.T) {
+	dir := journalWithOutage(t, 30, 0, 0)
+	segs, err := archive.ListSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("ListSegments: %v (%d)", err, len(segs))
+	}
+	// Truncate the last segment's trailer so it scans as unsealed.
+	last := segs[len(segs)-1]
+	if err := truncateTail(last, 16); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	g := NewGapAuditor(5*time.Second, nil)
+	if err := g.AuditDir(dir); err != nil {
+		t.Fatalf("AuditDir: %v", err)
+	}
+	if rep := g.Report(); rep.Torn != 1 {
+		t.Fatalf("torn = %d, want 1", rep.Torn)
+	}
+}
+
+func truncateTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, fi.Size()-n)
+}
+
+func TestGapSecondsCounter(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := NewGapAuditor(2*time.Second, reg)
+	base := time.Unix(1_700_000_000, 0)
+	g.Observe("vpX", base)
+	g.Observe("vpX", base.Add(1*time.Second))
+	g.Observe("vpX", base.Add(45*time.Second)) // 44s hole
+	if got := reg.Snapshot().Counters["vitals.gap_seconds_total"]; got != 44 {
+		t.Fatalf("vitals.gap_seconds_total = %d, want 44", got)
+	}
+}
+
+func TestSnapshotJoinsGapAuditor(t *testing.T) {
+	clk := newTestClock()
+	g := NewGapAuditor(2*time.Second, nil)
+	base := clk.Now()
+	g.Observe("vp65001", base.Add(-60*time.Second))
+	g.Observe("vp65001", base.Add(-10*time.Second)) // 50s hole
+	tr := New(Config{Clock: clk.Now, Gaps: g})
+	feed(tr, "vp65001", 5, false)
+	v := vitalOf(t, tr, "vp65001")
+	if v.GapSeconds != 50 || v.Gaps != 1 {
+		t.Fatalf("joined gap = %.0fs/%d, want 50s/1", v.GapSeconds, v.Gaps)
+	}
+	s := tr.Snapshot()
+	if s.Gaps == nil || s.Gaps.GapSecondsTotal != 50 {
+		t.Fatalf("snapshot gap report missing or wrong: %+v", s.Gaps)
+	}
+}

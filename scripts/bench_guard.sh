@@ -56,7 +56,7 @@ guard BENCH_serve.json TestServeBenchReport \
 	delivery_p99_ns
 guard BENCH_codec.json TestCodecBenchReport \
 	decode_msgs_per_sec,encode_msgs_per_sec,ingest_msgs_per_sec \
-	'' \
+	ingest_e2e_p50_ns,ingest_e2e_p99_ns \
 	decode_allocs_per_op,encode_allocs_per_op,ingest_allocs_per_op
 
 echo "bench-guard: PASS"

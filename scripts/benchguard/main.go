@@ -52,10 +52,14 @@ func main() {
 
 	failed := false
 	check := func(key string, higherBetter bool) {
-		ov, nv, err := pair(oldRep, newRep, key)
+		ov, nv, fresh, err := pair(oldRep, newRep, key)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 			failed = true
+			return
+		}
+		if fresh {
+			fmt.Printf("  %-28s new metric, no baseline yet: %.6g (unguarded)\n", key, nv)
 			return
 		}
 		if ov == 0 {
@@ -81,10 +85,14 @@ func main() {
 	// exceed the baseline at all. Unlike the fractional checks it guards
 	// zero baselines too — that is its whole point for allocs/op.
 	checkZero := func(key string) {
-		ov, nv, err := pair(oldRep, newRep, key)
+		ov, nv, fresh, err := pair(oldRep, newRep, key)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 			failed = true
+			return
+		}
+		if fresh {
+			fmt.Printf("  %-28s new metric, no baseline yet: %.6g (unguarded)\n", key, nv)
 			return
 		}
 		verdict := "ok"
@@ -142,17 +150,20 @@ func load(path string) (map[string]any, error) {
 	return m, nil
 }
 
-// pair extracts one guarded metric from both reports; a key missing from
-// either side is a schema drift and fails the guard loudly.
-func pair(oldRep, newRep map[string]any, key string) (ov, nv float64, err error) {
+// pair extracts one guarded metric from both reports. A key missing
+// from the fresh report is a schema drift and fails the guard loudly; a
+// key missing only from the baseline is a metric added after the
+// baseline was committed — fresh=true, unguarded until the next baseline
+// refresh picks it up.
+func pair(oldRep, newRep map[string]any, key string) (ov, nv float64, fresh bool, err error) {
 	var ok bool
-	if ov, ok = oldRep[key].(float64); !ok {
-		return 0, 0, fmt.Errorf("baseline lacks numeric %q", key)
-	}
 	if nv, ok = newRep[key].(float64); !ok {
-		return 0, 0, fmt.Errorf("fresh report lacks numeric %q", key)
+		return 0, 0, false, fmt.Errorf("fresh report lacks numeric %q", key)
 	}
-	return ov, nv, nil
+	if ov, ok = oldRep[key].(float64); !ok {
+		return 0, nv, true, nil
+	}
+	return ov, nv, false, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,98 @@
+// Command vitalsfeed is the vitals smoke test's traffic source: it dials
+// a running gill-daemon as two BGP peers and announces a steady update
+// stream — then peer 2 goes quiet for a configurable outage window while
+// its session stays up (the exact failure the vitals plane exists to
+// catch: a healthy session carrying no data), and resumes. Peer 1 never
+// pauses, so its archive coverage must come out gapless. It is test
+// tooling, not an operator command.
+//
+// Usage:
+//
+//	vitalsfeed -addr 127.0.0.1:1790 -rate 20 -pre 2s -outage 4s -post 3s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:1790", "daemon BGP listen address")
+		rate   = flag.Int("rate", 20, "updates per second per active peer")
+		pre    = flag.Duration("pre", 2*time.Second, "both peers feed this long before the outage")
+		outage = flag.Duration("outage", 4*time.Second, "peer 2 feeds nothing this long (session stays up)")
+		post   = flag.Duration("post", 3*time.Second, "both peers feed this long after the resume")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("vitalsfeed: ")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	sess1, err := bgp.Dial(ctx, *addr, bgp.SpeakerConfig{
+		LocalAS: 65001, RouterID: netip.MustParseAddr("192.0.2.11"), HoldTime: 60,
+	})
+	if err != nil {
+		log.Fatalf("dial peer 1: %v", err)
+	}
+	defer sess1.Close()
+	sess2, err := bgp.Dial(ctx, *addr, bgp.SpeakerConfig{
+		LocalAS: 65002, RouterID: netip.MustParseAddr("192.0.2.12"), HoldTime: 60,
+	})
+	if err != nil {
+		log.Fatalf("dial peer 2: %v", err)
+	}
+	defer sess2.Close()
+
+	seq := 0
+	send := func(s *bgp.Session, as uint32, pfx string) {
+		// A distinct middle hop per round keeps updates non-redundant so
+		// every one reaches the archive.
+		u := &bgp.Update{
+			Origin: bgp.OriginIGP, ASPath: []uint32{as, uint32(64512 + seq%1000), 64999},
+			NextHop: netip.MustParseAddr("192.0.2.9"),
+			NLRI:    []netip.Prefix{netip.MustParsePrefix(pfx)},
+		}
+		if err := s.Send(u); err != nil {
+			log.Fatalf("send from AS%d: %v", as, err)
+		}
+	}
+
+	// phase paces both feeds at -rate for one wall-clock window; peer 2
+	// only participates when feed2 is set.
+	phase := func(d time.Duration, feed2 bool) {
+		tick := time.NewTicker(time.Second / time.Duration(*rate))
+		defer tick.Stop()
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			select {
+			case <-tick.C:
+				seq++
+				send(sess1, 65001, "203.0.113.0/24")
+				if feed2 {
+					send(sess2, 65002, "198.51.100.0/24")
+				}
+			case <-ctx.Done():
+				log.Fatal("feeder timed out")
+			}
+		}
+	}
+
+	phase(*pre, true)
+	fmt.Printf("outage: peer 2 silent for %s (session up)\n", *outage)
+	phase(*outage, false)
+	fmt.Printf("resume: peer 2 feeding again\n")
+	phase(*post, true)
+
+	// Let the daemon drain before the sessions close.
+	time.Sleep(time.Second)
+	fmt.Printf("done: %d rounds sent\n", seq)
+}

@@ -1,0 +1,104 @@
+package gill_test
+
+// TestVitalsOverheadGuard (env-gated, run by `make vitals-smoke`) asserts
+// the pipeline with the vitals liveness tap installed stays within 5% of
+// the tap-free baseline — the tap is one clock read and a few atomic
+// stores per batch, everything else happens on the evaluation ticker.
+
+import (
+	"context"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/update"
+	"repro/internal/vitals"
+)
+
+// runVitalsPipeline pushes n updates through a filter → archive chain,
+// optionally with the vitals tap as the first stage (and its evaluation
+// ticker running, as the daemon runs it), and returns updates-per-second.
+func runVitalsPipeline(tb testing.TB, us []*update.Update, tracked bool, n int) float64 {
+	var stages []pipeline.Stage
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if tracked {
+		tr := vitals.New(vitals.Config{Registry: metrics.NewRegistry()})
+		go tr.Run(ctx)
+		stages = append(stages, tr)
+	}
+	stages = append(stages,
+		&pipeline.FilterStage{},
+		&pipeline.ArchiveStage{
+			LocalAS:    65000,
+			Out:        io.Discard,
+			WriteDelay: 50 * time.Microsecond,
+		},
+	)
+	p := pipeline.New(pipeline.Config{
+		Shards:    4,
+		QueueSize: 4096,
+		BatchSize: 64,
+		Overflow:  pipeline.Block, // measure capacity, not drops
+	}, stages...)
+	if err := p.Start(ctx); err != nil {
+		tb.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		p.Ingest(us[i%len(us)])
+	}
+	if err := p.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// BenchmarkPipelineVitalsOverhead reports tapped vs untapped ingest
+// capacity.
+func BenchmarkPipelineVitalsOverhead(b *testing.B) {
+	us := obsWorkload()
+	for _, tracked := range []bool{false, true} {
+		name := "untapped"
+		if tracked {
+			name = "tapped"
+		}
+		b.Run(name, func(b *testing.B) {
+			thr := runVitalsPipeline(b, us, tracked, b.N)
+			b.ReportMetric(thr, "upd/s")
+		})
+	}
+}
+
+// TestVitalsOverheadGuard asserts the tapped pipeline sustains at least
+// 95% of the untapped throughput. It needs a quiet machine and several
+// seconds, so it only runs when GILL_BENCH_GUARD=1 (make vitals-smoke
+// sets it); under plain `go test` it is skipped.
+func TestVitalsOverheadGuard(t *testing.T) {
+	if os.Getenv("GILL_BENCH_GUARD") != "1" {
+		t.Skip("set GILL_BENCH_GUARD=1 to run the vitals overhead guard")
+	}
+	us := obsWorkload()
+	const n = 250_000
+	runVitalsPipeline(t, us, false, n) // warm caches and the scheduler
+	// Interleave the variants and compare best-of-5 so scheduler and
+	// frequency drift hit both sides equally.
+	var untapped, tapped float64
+	for i := 0; i < 5; i++ {
+		if thr := runVitalsPipeline(t, us, false, n); thr > untapped {
+			untapped = thr
+		}
+		if thr := runVitalsPipeline(t, us, true, n); thr > tapped {
+			tapped = thr
+		}
+	}
+	t.Logf("untapped %.0f upd/s, tapped %.0f upd/s (%.2f%%)",
+		untapped, tapped, 100*tapped/untapped)
+	if tapped < 0.95*untapped {
+		t.Errorf("vitals tap overhead exceeds 5%%: untapped %.0f upd/s, tapped %.0f upd/s",
+			untapped, tapped)
+	}
+}
